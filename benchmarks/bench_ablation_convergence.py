@@ -1,0 +1,104 @@
+"""Ablation: convergence dynamics of the GA (history instrumentation).
+
+Tracks the per-generation best coefficient and the population's
+modal-string share for the optimized and two-point crossover variants.
+The curve is the mechanism behind Table 1's quality gap: the optimized
+crossover drives the best set down fast and keeps the whole population
+feasible, while the two-point baseline leaks fitness into infeasible
+children every generation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.registry import load_dataset
+from repro.grid.counter import CubeCounter
+from repro.grid.discretizer import EquiDepthDiscretizer
+from repro.search.evolutionary.config import EvolutionaryConfig
+from repro.search.evolutionary.engine import EvolutionarySearch
+
+from conftest import register_report, run_once
+
+CHECKPOINTS = [0, 5, 10, 20, 40]
+_CURVES: dict[str, list] = {}
+
+
+@pytest.fixture(scope="module")
+def counter():
+    dataset = load_dataset("ionosphere")
+    cells = EquiDepthDiscretizer(int(dataset.metadata["phi"])).fit_transform(
+        dataset.values
+    )
+    return CubeCounter(cells)
+
+
+@pytest.mark.parametrize("crossover", ["optimized", "two_point"])
+def test_track_curve(benchmark, counter, crossover):
+    def run():
+        return EvolutionarySearch(
+            counter,
+            dimensionality=3,
+            n_projections=20,
+            config=EvolutionaryConfig(
+                population_size=40,
+                max_generations=max(CHECKPOINTS),
+                track_history=True,
+            ),
+            crossover=crossover,
+            random_state=0,
+        ).run()
+
+    outcome = run_once(benchmark, run)
+    _CURVES[crossover] = list(outcome.history)
+    assert outcome.history
+    best = [r.best_coefficient for r in outcome.history]
+    assert all(b <= a + 1e-12 for a, b in zip(best, best[1:]))
+
+
+def test_report_and_shape(benchmark):
+    def build_lines():
+        lines = [
+            "dataset: ionosphere stand-in (d=34, phi=3, k=3); "
+            "best-set coefficient and feasible-population share by generation",
+            "",
+            f"{'gen':>5}"
+            f"{'opt best':>11}{'opt feas':>10}{'opt conv':>10}"
+            f"{'2pt best':>11}{'2pt feas':>10}{'2pt conv':>10}",
+            "-" * 67,
+        ]
+        for generation in CHECKPOINTS:
+            row = f"{generation:>5}"
+            for variant in ("optimized", "two_point"):
+                curve = _CURVES[variant]
+                record = next(
+                    (r for r in curve if r.generation == generation), curve[-1]
+                )
+                row += (
+                    f"{record.best_coefficient:>11.3f}"
+                    f"{record.n_feasible:>10}"
+                    f"{record.convergence:>10.2f}"
+                )
+            lines.append(row)
+        return lines
+
+    lines = run_once(benchmark, build_lines)
+    lines += [
+        "",
+        "Shape: the optimized crossover keeps every child feasible and "
+        "reaches its final quality within a few generations; the "
+        "two-point variant bleeds population into infeasible strings.",
+    ]
+    register_report("Ablation - GA convergence dynamics", lines)
+
+    # Feasibility shape: optimized keeps the whole population feasible
+    # at every recorded generation; two-point does not.
+    opt_min_feasible = min(r.n_feasible for r in _CURVES["optimized"])
+    two_point_min_feasible = min(r.n_feasible for r in _CURVES["two_point"])
+    assert opt_min_feasible == 40
+    assert two_point_min_feasible < 40
+    # Quality shape at the end of the run.
+    assert (
+        _CURVES["optimized"][-1].best_coefficient
+        <= _CURVES["two_point"][-1].best_coefficient + 1e-9
+    )

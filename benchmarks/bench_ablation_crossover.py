@@ -1,0 +1,107 @@
+"""Ablation: the optimized crossover (Figure 5) vs alternatives.
+
+The paper argues the optimized crossover is the key to solution quality
+— the two-point baseline "often resulted in strings which were not in
+the feasible search space" — and Table 1 shows it winning on quality.
+This ablation isolates the operator on one dataset across seeds:
+
+* ``optimized`` — Figure 5 (exact Type II + greedy Type III + complement);
+* ``two_point`` — segment-exchange baseline with infeasibility penalty;
+* ``mutation_only`` — crossover disabled (crossover_rate = 0), the
+  hill-climbing control the paper contrasts GA methods against.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+import pytest
+
+from repro.data.registry import load_dataset
+from repro.grid.counter import CubeCounter
+from repro.grid.discretizer import EquiDepthDiscretizer
+from repro.search.evolutionary.config import EvolutionaryConfig
+from repro.search.evolutionary.engine import EvolutionarySearch
+
+from conftest import register_report, run_once
+
+SEEDS = [0, 1, 2, 3, 4]
+VARIANTS = ["optimized", "two_point", "mutation_only"]
+
+_RESULTS: dict[str, list] = {}
+
+
+@pytest.fixture(scope="module")
+def counter():
+    dataset = load_dataset("ionosphere")
+    cells = EquiDepthDiscretizer(int(dataset.metadata["phi"])).fit_transform(
+        dataset.values
+    )
+    return CubeCounter(cells)
+
+
+def _search(counter, variant, seed):
+    crossover = "optimized" if variant == "mutation_only" else variant
+    config = EvolutionaryConfig(
+        population_size=40,
+        max_generations=60,
+        crossover_rate=0.0 if variant == "mutation_only" else 1.0,
+    )
+    return EvolutionarySearch(
+        counter,
+        dimensionality=3,
+        n_projections=20,
+        config=config,
+        crossover=crossover,
+        random_state=seed,
+    )
+
+
+@pytest.mark.parametrize("variant", VARIANTS)
+def test_variant(benchmark, counter, variant):
+    def run_all_seeds():
+        return [_search(counter, variant, seed).run() for seed in SEEDS]
+
+    outcomes = run_once(benchmark, run_all_seeds)
+    _RESULTS[variant] = outcomes
+    assert all(o.projections for o in outcomes)
+
+
+def test_report_and_shape(benchmark, counter):
+    def summarize():
+        rows = {}
+        for variant in VARIANTS:
+            outcomes = _RESULTS[variant]
+            rows[variant] = (
+                statistics.mean(o.mean_coefficient(top=20) for o in outcomes),
+                statistics.mean(o.best_coefficient for o in outcomes),
+                statistics.mean(o.stats["generations"] for o in outcomes),
+                statistics.mean(o.stats["evaluations"] for o in outcomes),
+            )
+        return rows
+
+    rows = run_once(benchmark, summarize)
+    lines = [
+        f"dataset: ionosphere stand-in (d=34, phi=3, k=3); mean over {len(SEEDS)} seeds",
+        "",
+        f"{'crossover variant':<18}{'mean quality':>14}{'best coeff':>12}"
+        f"{'generations':>13}{'evaluations':>13}",
+        "-" * 70,
+    ]
+    for variant in VARIANTS:
+        quality, best, gens, evals = rows[variant]
+        lines.append(
+            f"{variant:<18}{quality:>14.3f}{best:>12.3f}{gens:>13.1f}{evals:>13.0f}"
+        )
+    lines += [
+        "",
+        "Paper shape: optimized crossover yields substantially better "
+        "quality than two-point, which wastes evaluations on infeasible "
+        "children.",
+    ]
+    register_report("Ablation - crossover operator", lines)
+
+    # Shape: optimized beats two-point on mean quality (more negative).
+    assert rows["optimized"][0] < rows["two_point"][0]
+    # And crossover of either kind beats no crossover at all on best-found.
+    assert rows["optimized"][1] <= rows["mutation_only"][1] + 1e-9

@@ -1,0 +1,103 @@
+"""Calibration: the selection effect behind "sparsity ≤ −3".
+
+§1.3 calibrates one cube against the normal table; the searchers report
+the best of up to ``C(d,k)·φ^k`` cubes.  This benchmark quantifies that
+gap on the breast-cancer stand-in three ways:
+
+1. the analytic expectation — how many −3 cubes chance alone produces
+   in a search space this size (``expected_abnormal_cubes``);
+2. the empirical null — best coefficient mined from column-permuted
+   (structureless) data, over several permutations;
+3. the real run — whose best coefficient should beat the entire null
+   distribution (the planted structure is real).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.detector import SubspaceOutlierDetector
+from repro.data.registry import load_dataset
+from repro.eval.calibration import (
+    empirical_p_value,
+    permutation_null_best_coefficients,
+)
+from repro.search.brute_force import search_space_size
+from repro.sparsity.statistics import (
+    bonferroni_significance,
+    expected_abnormal_cubes,
+)
+
+from conftest import register_report, run_once
+
+N_PERMUTATIONS = 10
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return load_dataset("breast_cancer")
+
+
+def _factory():
+    return SubspaceOutlierDetector(
+        dimensionality=3, n_ranges=4, n_projections=20, method="brute_force"
+    )
+
+
+def test_calibration(benchmark, dataset):
+    # The single best coefficient is floored at the count-1 cube value
+    # (every dataset this size has *some* count-1 cube), so the
+    # calibrated statistic is Table 1's own quality metric — the mean
+    # of the best 20 non-empty projections — which measures how *many*
+    # abnormally sparse cubes exist, not just the floor.
+    def run():
+        real_result = _factory().detect(dataset.values)
+        real_quality = real_result.mean_coefficient(top=20)
+        real_best = real_result.best_coefficient
+        null_quality = []
+        null_best = []
+        from repro.eval.calibration import column_permuted
+
+        rng = np.random.default_rng(0)
+        for _ in range(N_PERMUTATIONS):
+            result = _factory().detect(column_permuted(dataset.values, rng))
+            null_quality.append(result.mean_coefficient(top=20))
+            null_best.append(result.best_coefficient)
+        return real_quality, real_best, np.array(null_quality), np.array(null_best)
+
+    real_quality, real_best, null_quality, null_best = run_once(benchmark, run)
+    space = search_space_size(dataset.n_dims, 3, 4)
+    p_value = empirical_p_value(real_quality, null_quality)
+    lines = [
+        f"dataset: breast_cancer stand-in (N={dataset.n_points}, d=14, "
+        "phi=4, k=3, brute force; statistic = mean top-20 quality)",
+        "",
+        f"search space size:                 {space:,} cubes",
+        f"chance -3 cubes expected (CLT):    "
+        f"{expected_abnormal_cubes(space, -3.0):.1f}",
+        f"Bonferroni significance of -3:     "
+        f"{bonferroni_significance(-3.0, space):.3f}",
+        "",
+        f"null best coefficient (column-permuted, {N_PERMUTATIONS} runs): "
+        f"median {np.nanmedian(null_best):.3f}",
+        f"null top-20 quality:               "
+        f"min {np.nanmin(null_quality):.3f} / median "
+        f"{np.nanmedian(null_quality):.3f}",
+        f"real top-20 quality:               {real_quality:.3f}",
+        f"empirical p-value (quality):       {p_value:.3f}",
+        "",
+        "Shape: structureless data already yields a -3-ish single best "
+        "cube (the selection effect; Bonferroni agrees -3 is unremarkable "
+        "over 23k cubes), but the real data's *top-20* quality beats "
+        "every permuted run — real structure means many abnormal cubes, "
+        "not one lucky one.",
+    ]
+    register_report("Calibration - selection effect of the search", lines)
+
+    assert real_quality < np.nanmin(null_quality)
+    assert p_value == pytest.approx(1 / (N_PERMUTATIONS + 1))
+    # The null's single best is itself at/near -3: exactly the
+    # multiple-testing point — a -3 cube alone is not search-level
+    # significance.
+    assert np.nanmedian(null_best) <= -2.7

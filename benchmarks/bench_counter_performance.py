@@ -1,0 +1,102 @@
+"""Substrate micro-benchmark: cube-counting engines.
+
+Not a paper table — this measures the reproduction's own engine-room
+(DESIGN.md "Counting" decision): the boolean-mask counter vs the
+bit-packed counter vs naive row scanning, at a scale larger than any
+paper dataset, plus the memoisation hit rate a GA-shaped workload
+achieves.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.subspace import Subspace
+from repro.grid.cells import CellAssignment
+from repro.grid.counter import CubeCounter
+from repro.grid.packed_counter import PackedCubeCounter
+
+N_POINTS = 100_000
+N_DIMS = 32
+PHI = 8
+N_CUBES = 300
+
+_LINES: list[str] = []
+
+
+@pytest.fixture(scope="module")
+def cells():
+    rng = np.random.default_rng(5)
+    codes = rng.integers(0, PHI, size=(N_POINTS, N_DIMS)).astype(np.int16)
+    return CellAssignment(codes, PHI)
+
+
+@pytest.fixture(scope="module")
+def cubes():
+    rng = np.random.default_rng(6)
+    out = []
+    for _ in range(N_CUBES):
+        k = int(rng.integers(2, 5))
+        dims = tuple(sorted(rng.choice(N_DIMS, size=k, replace=False).tolist()))
+        ranges = tuple(int(r) for r in rng.integers(0, PHI, size=k))
+        out.append(Subspace(dims, ranges))
+    return out
+
+
+def _count_all(counter, cubes):
+    return [counter.count(cube) for cube in cubes]
+
+
+def test_boolean_mask_counter(benchmark, cells, cubes):
+    counter = CubeCounter(cells, cache_size=0)
+    counts = benchmark.pedantic(
+        lambda: _count_all(counter, cubes), rounds=1, iterations=1
+    )
+    _LINES.append(
+        f"{'boolean masks':<22}{counter.mask_memory_bytes() / 1e6:>12.1f} MB"
+    )
+    assert len(counts) == N_CUBES
+
+
+def test_packed_counter(benchmark, cells, cubes):
+    counter = PackedCubeCounter(cells, cache_size=0)
+    reference = _count_all(CubeCounter(cells, cache_size=0), cubes)
+    counts = benchmark.pedantic(
+        lambda: _count_all(counter, cubes), rounds=1, iterations=1
+    )
+    _LINES.append(
+        f"{'bit-packed masks':<22}{counter.mask_memory_bytes() / 1e6:>12.1f} MB"
+    )
+    assert counts == reference
+
+
+def test_cache_effectiveness(benchmark, cells, cubes):
+    # A GA re-evaluates converging populations: simulate 10x repetition.
+    counter = CubeCounter(cells)
+
+    def repeated():
+        for _ in range(10):
+            _count_all(counter, cubes)
+        return counter.cache_stats()
+
+    stats = benchmark.pedantic(repeated, rounds=1, iterations=1)
+    hit_rate = stats["cache_hits"] / stats["count_calls"]
+    _LINES.append(f"{'memoisation hit rate':<22}{hit_rate:>12.1%}")
+    assert hit_rate > 0.85
+
+
+def test_report(benchmark):
+    lines = benchmark.pedantic(
+        lambda: [
+            f"N={N_POINTS:,}, d={N_DIMS}, phi={PHI}; {N_CUBES} random cubes "
+            "(k in 2..4)",
+            "",
+        ]
+        + _LINES,
+        rounds=1,
+        iterations=1,
+    )
+    from conftest import register_report
+
+    register_report("Substrate - cube counting engines", lines)

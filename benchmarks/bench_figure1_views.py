@@ -1,0 +1,165 @@
+"""Figure 1: low-dimensional views expose outliers that full-dim distance hides.
+
+The paper's motivating figure shows a high-dimensional dataset whose
+2-d cross-sections differ: some (views 1 and 4) are structured and
+expose outliers A and B, others (views 2 and 3) are noise.  The
+``figure1_views`` generator reproduces that geometry; this benchmark
+measures the figure's claim quantitatively:
+
+* the subspace method flags A and B at the most abnormal score, and
+  the mined projections are exactly the structured views;
+* full-dimensional kNN distance and LOF rank A and B far from the top —
+  "the averaging behavior of the noisy and irrelevant dimensions"
+  masks them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.knn import KNNDistanceOutlierDetector
+from repro.baselines.lof import LOFOutlierDetector
+from repro.core.detector import SubspaceOutlierDetector
+from repro.data.registry import load_dataset
+from repro.search.evolutionary.config import EvolutionaryConfig
+
+from conftest import register_report, run_once
+
+_STATE: dict[str, object] = {}
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return load_dataset("figure1_views")
+
+
+def _rank_of(scores: np.ndarray, point: int) -> int:
+    """0-based outlyingness rank of *point* (0 = most outlying)."""
+    order = np.argsort(-scores)
+    return int(np.where(order == point)[0][0])
+
+
+def test_subspace_exposes_planted(benchmark, dataset):
+    detector = SubspaceOutlierDetector(
+        dimensionality=2,
+        n_ranges=int(dataset.metadata["phi"]),
+        n_projections=10,
+        config=EvolutionaryConfig(
+            population_size=60, max_generations=60, restarts=4
+        ),
+        random_state=0,
+    )
+    result = run_once(benchmark, lambda: detector.detect(dataset.values))
+    _STATE["result"] = result
+    planted = set(dataset.planted_outliers.tolist())
+    assert planted <= set(result.outlier_indices.tolist())
+    for point in planted:
+        assert result.point_score(point) == pytest.approx(result.best_coefficient)
+    # The most abnormal mined projections live in the structured views.
+    structured = {(0, 1), (2, 3)}
+    assert {p.subspace.dims for p in result.projections[:2]} <= structured
+
+
+def test_full_dimensional_baselines_miss_them(benchmark, dataset):
+    knn_scores = run_once(
+        benchmark, lambda: KNNDistanceOutlierDetector(n_neighbors=1).scores(dataset.values)
+    )
+    lof_scores = LOFOutlierDetector(n_neighbors=10).scores(dataset.values)
+    a = int(dataset.metadata["outlier_A"])
+    b = int(dataset.metadata["outlier_B"])
+    knn_ranks = (_rank_of(knn_scores, a), _rank_of(knn_scores, b))
+    lof_ranks = (_rank_of(lof_scores, a), _rank_of(lof_scores, b))
+    _STATE["knn_ranks"] = knn_ranks
+    _STATE["lof_ranks"] = lof_ranks
+    # Neither planted outlier makes the top-4 of either full-dim method.
+    assert min(knn_ranks) >= 4
+    assert min(lof_ranks) >= 4
+
+
+def test_auc_comparison(benchmark, dataset):
+    """Ranking quality over the whole dataset (AUC on planted labels)."""
+    from repro.eval.ranking import outlyingness_from_subspace_scores, roc_auc
+
+    result = _STATE["result"]
+    labels = np.zeros(dataset.n_points, dtype=bool)
+    labels[dataset.planted_outliers] = True
+
+    detector = SubspaceOutlierDetector(
+        dimensionality=2,
+        n_ranges=int(dataset.metadata["phi"]),
+        n_projections=10,
+        config=EvolutionaryConfig(
+            population_size=60, max_generations=60, restarts=4
+        ),
+        random_state=0,
+    )
+    detector.detect(dataset.values)
+
+    def compute():
+        subspace = roc_auc(
+            outlyingness_from_subspace_scores(detector.score(dataset.values)),
+            labels,
+        )
+        knn = roc_auc(
+            KNNDistanceOutlierDetector(n_neighbors=1).scores(dataset.values),
+            labels,
+        )
+        lof = roc_auc(
+            LOFOutlierDetector(n_neighbors=10).scores(dataset.values), labels
+        )
+        return subspace, knn, lof
+
+    subspace_auc, knn_auc, lof_auc = run_once(benchmark, compute)
+    _STATE["aucs"] = (subspace_auc, knn_auc, lof_auc)
+    assert subspace_auc > max(knn_auc, lof_auc)
+    assert subspace_auc > 0.95
+
+
+def test_report(benchmark, dataset):
+    result = _STATE["result"]
+    knn_ranks = _STATE["knn_ranks"]
+    lof_ranks = _STATE["lof_ranks"]
+    a = int(dataset.metadata["outlier_A"])
+    b = int(dataset.metadata["outlier_B"])
+
+    def subspace_rank(point):
+        ranked = [p for p, _ in result.ranked_outliers()]
+        return ranked.index(point) if point in ranked else None
+
+    rank_a = run_once(benchmark, lambda: subspace_rank(a))
+    rank_b = subspace_rank(b)
+    register_report(
+        "Figure 1 - views expose what full-dim distance hides",
+        [
+            f"dataset: N={dataset.n_points}, d={dataset.n_dims} "
+            "(views 1 & 4 structured, everything else noise)",
+            "",
+            f"{'method':<26}{'rank of A':>11}{'rank of B':>11}   (0 = most outlying)",
+            "-" * 62,
+            f"{'subspace (views 1/4)':<26}{rank_a:>11}{rank_b:>11}",
+            f"{'kNN distance (full dim)':<26}{knn_ranks[0]:>11}{knn_ranks[1]:>11}",
+            f"{'LOF (full dim)':<26}{lof_ranks[0]:>11}{lof_ranks[1]:>11}",
+            "",
+            "ranking quality (AUC on planted labels): "
+            + "subspace {:.3f}, kNN {:.3f}, LOF {:.3f}".format(
+                *_STATE["aucs"]
+            ),
+            "",
+            "best mined projections: "
+            + ", ".join(
+                p.subspace.describe(dataset.feature_names)
+                for p in result.projections[:2]
+            ),
+            "",
+            "Paper shape: A and B are top subspace outliers via views 1/4; "
+            "full-dimensional measures bury them.",
+        ],
+    )
+    # A and B sit in the top handful (ties with a couple of natural
+    # count-1 cubes are possible) while the full-dim baselines rank
+    # them in the tens-to-hundreds.
+    assert rank_a is not None and rank_a < 8
+    assert rank_b is not None and rank_b < 8
+    assert min(_STATE["knn_ranks"]) > rank_a
+    assert min(_STATE["knn_ranks"]) > rank_b

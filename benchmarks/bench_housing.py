@@ -1,0 +1,111 @@
+"""§3.1 housing experiment: interpretable contrarian records.
+
+The paper mines 3- and 4-dimensional projections of 13 Boston housing
+attributes (the binary CHAS attribute dropped) and reads off contrarian
+records — e.g. a suburb with a high crime rate and high pupil-teacher
+ratio yet *close* to employment centers.  The stand-in generator wires
+in the same correlations and plants the paper's three contrarians; this
+benchmark mines projections at k = 2, 3 and 4 and verifies the planted
+records are recovered with interpretable explanations.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.detector import SubspaceOutlierDetector
+from repro.core.explain import explain_point
+from repro.data.preprocess import drop_low_variance_columns
+from repro.data.registry import load_dataset
+from repro.eval.metrics import recall_of_planted
+from repro.search.evolutionary.config import EvolutionaryConfig
+
+from conftest import register_report, run_once
+
+_STATE: dict[str, object] = {}
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return load_dataset("housing")
+
+
+@pytest.fixture(scope="module")
+def cleaned(dataset):
+    """The paper's cleanup: drop the single binary attribute (CHAS)."""
+    values, kept = drop_low_variance_columns(dataset.values, min_unique=3)
+    names = tuple(dataset.feature_names[i] for i in kept)
+    assert "CHAS" not in names
+    assert len(names) == 13
+    return values, names
+
+
+def test_contrarians_mined_at_k2(benchmark, dataset, cleaned):
+    values, names = cleaned
+    detector = SubspaceOutlierDetector(
+        dimensionality=2,
+        n_ranges=int(dataset.metadata["phi"]),
+        n_projections=20,
+        method="brute_force",
+    )
+    result = run_once(
+        benchmark, lambda: detector.detect(values, feature_names=names)
+    )
+    _STATE["k2"] = (detector, result, values, names)
+    recall = recall_of_planted(result.outlier_indices, dataset.planted_outliers)
+    assert recall == 1.0
+
+
+@pytest.mark.parametrize("k", [3, 4])
+def test_higher_dimensional_projections(benchmark, dataset, cleaned, k):
+    """The paper's 3- and 4-dimensional runs (evolutionary search)."""
+    values, names = cleaned
+    detector = SubspaceOutlierDetector(
+        dimensionality=k,
+        n_ranges=int(dataset.metadata["phi"]),
+        n_projections=20,
+        config=EvolutionaryConfig(
+            population_size=60, max_generations=60, restarts=3
+        ),
+        random_state=k,
+    )
+    result = run_once(
+        benchmark, lambda: detector.detect(values, feature_names=names)
+    )
+    _STATE[f"k{k}"] = (detector, result, values, names)
+    assert all(p.dimensionality == k for p in result.projections)
+    assert result.best_coefficient < 0
+
+
+def test_report(benchmark, dataset):
+    detector, result, values, names = _STATE["k2"]
+
+    def build_findings():
+        lines = []
+        for row in dataset.planted_outliers.tolist():
+            explanation = explain_point(
+                row, result, detector.cells_, values, names
+            )
+            lines.append(str(explanation))
+        return lines
+
+    findings = run_once(benchmark, build_findings)
+    lines = [
+        "paper protocol: 13 of 14 attributes (binary CHAS dropped), "
+        "3- and 4-d projections mined",
+        "",
+        "planted contrarians (paper's §3.1 anecdotes) as explained by "
+        "the k=2 run:",
+    ]
+    lines += findings
+    for k in (3, 4):
+        _, result_k, _, names_k = _STATE[f"k{k}"]
+        lines += [
+            "",
+            f"best k={k} projections:",
+        ]
+        lines += [
+            f"  {p.describe(names_k)}" for p in result_k.projections[:3]
+        ]
+    register_report("Section 3.1 - housing contrarian records", lines)
+    assert any("CRIM" in line for line in findings)

@@ -1,0 +1,101 @@
+"""§1.2: projections can be mined from incompletely observed records.
+
+The paper highlights that "lower dimensional projections can be mined
+even in data sets which have missing attribute values" — a structural
+consequence of cube counting simply skipping missing coordinates.  This
+benchmark quantifies it: on the Figure 1 workload, sweep the fraction
+of randomly missing cells and measure whether the planted view-outliers
+are still recovered (their own coordinates stay observed; everything
+else may vanish).
+
+The full-dimensional baselines cannot run on incomplete data at all —
+they need imputation first, which is itself a distortion — so the sweep
+also reports the kNN-after-mean-imputation rank as the contrast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.knn import KNNDistanceOutlierDetector
+from repro.core.detector import SubspaceOutlierDetector
+from repro.data.preprocess import inject_missing_values, mean_impute
+from repro.data.registry import load_dataset
+from repro.eval.metrics import recall_of_planted
+
+from conftest import register_report, run_once
+
+FRACTIONS = [0.0, 0.1, 0.2, 0.3, 0.4]
+
+_ROWS: list[tuple] = []
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return load_dataset("figure1_views")
+
+
+def test_missingness_sweep(benchmark, dataset):
+    def sweep():
+        rows = []
+        planted = dataset.planted_outliers
+        for fraction in FRACTIONS:
+            holes = inject_missing_values(
+                dataset.values, fraction, random_state=17
+            )
+            # Keep the planted coordinates themselves observable — the
+            # claim is about noise in the *rest* of the data.
+            for point in planted:
+                holes[point] = dataset.values[point]
+            detector = SubspaceOutlierDetector(
+                dimensionality=2,
+                n_ranges=int(dataset.metadata["phi"]),
+                n_projections=20,
+                method="brute_force",
+            )
+            result = detector.detect(holes)
+            recall = recall_of_planted(result.outlier_indices, planted)
+            knn_scores = KNNDistanceOutlierDetector(n_neighbors=1).scores(
+                mean_impute(holes)
+            )
+            order = np.argsort(-knn_scores)
+            knn_best_rank = min(
+                int(np.where(order == p)[0][0]) for p in planted
+            )
+            rows.append((fraction, recall, result.best_coefficient, knn_best_rank))
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    _ROWS.extend(rows)
+    lines = [
+        "Figure-1 workload; planted coordinates observed, everything "
+        "else randomly missing",
+        "",
+        f"{'missing':>9}{'subspace recall':>17}{'best coeff':>12}"
+        f"{'kNN best rank':>15}",
+        "-" * 53,
+    ]
+    for fraction, recall, best, knn_rank in rows:
+        lines.append(
+            f"{fraction:>9.0%}{recall:>17.2f}{best:>12.3f}{knn_rank:>15}"
+        )
+    lines += [
+        "",
+        "Paper claim (§1.2): the subspace method keeps working under "
+        "missingness (counting skips missing coordinates) — recall stays "
+        "1.0 at every level.  The kNN baseline needs mean imputation "
+        "first, and its ranks are imputation artifacts: at heavy "
+        "missingness the fully-observed rows look artificially distant "
+        "from the imputation-shrunken rest, which is a distortion, not "
+        "detection.",
+    ]
+    register_report("Section 1.2 - missing-data tolerance", lines)
+
+    # Shape: the subspace method's recall is perfect at every level;
+    # the kNN baseline buries the outliers wherever imputation has not
+    # yet degenerated the geometry outright.
+    for fraction, recall, _, knn_rank in rows:
+        assert recall == 1.0
+        if fraction <= 0.2:
+            assert knn_rank >= 4

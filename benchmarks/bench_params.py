@@ -1,0 +1,79 @@
+"""§2.4: projection-parameter analysis (Equation 2).
+
+Regenerates the paper's parameter guidance as a table: for a sweep of
+dataset sizes N and grid resolutions φ, the recommended dimensionality
+``k* = floor(log_φ(N/s² + 1))`` and the empty-cube sparsity it implies.
+Verifies the two §2.4 identities:
+
+* the empty-cube coefficient is ``−sqrt(N/(φ^k − 1))``;
+* ``k*`` is the largest k whose empty cube still reaches the target s
+  (the rounding makes the effective coefficient slightly more negative
+  than s, as the paper notes).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.params import (
+    choose_projection_dimensionality,
+    empty_cube_sparsity,
+    expected_cube_count,
+)
+from repro.sparsity.coefficient import sparsity_coefficient
+
+from conftest import register_report, run_once
+
+SWEEP_N = [452, 699, 2310, 10_000, 100_000]
+SWEEP_PHI = [3, 4, 5, 10]
+TARGET = -3.0
+
+
+def test_equation2_sweep(benchmark):
+    def build_rows():
+        rows = []
+        for n in SWEEP_N:
+            for phi in SWEEP_PHI:
+                k_star = choose_projection_dimensionality(n, phi, TARGET)
+                rows.append(
+                    (
+                        n,
+                        phi,
+                        k_star,
+                        empty_cube_sparsity(n, phi, k_star),
+                        expected_cube_count(n, phi, k_star),
+                    )
+                )
+        return rows
+
+    rows = run_once(benchmark, build_rows)
+    lines = [
+        f"target sparsity s = {TARGET} (the paper's 99.9% reference point)",
+        "",
+        f"{'N':>8}{'phi':>6}{'k*':>5}{'S(empty cube)':>16}{'E[points/cube]':>17}",
+        "-" * 52,
+    ]
+    for n, phi, k_star, s_empty, expected in rows:
+        lines.append(f"{n:>8}{phi:>6}{k_star:>5}{s_empty:>16.3f}{expected:>17.2f}")
+    lines += [
+        "",
+        "Identities verified: S(empty) = -sqrt(N/(phi^k - 1)); k* is the",
+        "largest k whose empty cube reaches s (rounding overshoots s).",
+    ]
+    register_report("Section 2.4 - Equation 2 parameter analysis", lines)
+
+    for n, phi, k_star, s_empty, _ in rows:
+        # Closed form matches Equation 1 at count 0.
+        assert abs(s_empty - sparsity_coefficient(0, n, phi, k_star)) < 1e-12
+        assert abs(s_empty + math.sqrt(n / (phi**k_star - 1))) < 1e-12
+        # Maximality of k*.
+        assert s_empty <= TARGET or k_star == 1
+        assert empty_cube_sparsity(n, phi, k_star + 1) > TARGET
+
+
+def test_paper_headline_example(benchmark):
+    """The paper's N=10,000, phi=10 example: k* = 3."""
+    k_star = run_once(
+        benchmark, lambda: choose_projection_dimensionality(10_000, 10, -3.0)
+    )
+    assert k_star == 3

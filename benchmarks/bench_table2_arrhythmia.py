@@ -1,0 +1,184 @@
+"""Table 2 + §3.1: the arrhythmia rare-class experiment.
+
+Reproduces, on the arrhythmia stand-in (exact Table 2 class counts):
+
+1. **Table 2** — the class-code distribution: common classes
+   (01, 02, 06, 10, 16) = 85.4%, rare classes = 14.6%.
+2. **§3.1 protocol** — run the evolutionary search for *all*
+   projections with sparsity coefficient ≤ −3, report the covered
+   points, and count how many belong to a rare class.  The paper found
+   85 points, 43 rare-class; its kNN-distance comparator [25] managed
+   only 28 rare among its top 85 using the 1-nearest neighbor, and the
+   k-nearest variant "worsened slightly".
+
+The reproduced *shape*: the subspace method's flagged set is several
+times more rare-class-enriched than the same-size kNN set, for both
+1-NN and k-NN scoring.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.knn import KNNDistanceOutlierDetector
+from repro.core.detector import SubspaceOutlierDetector
+from repro.data.registry import load_dataset
+from repro.data.uci import ARRHYTHMIA_COMMON_CLASSES, ARRHYTHMIA_RARE_CLASSES
+from repro.eval.metrics import rare_class_report
+from repro.search.evolutionary.config import EvolutionaryConfig
+
+from conftest import register_report, run_once
+
+_STATE: dict[str, object] = {}
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return load_dataset("arrhythmia")
+
+
+def test_table2_class_distribution(benchmark, dataset):
+    """Table 2: the common/rare class marginals, to the digit."""
+    fractions = run_once(benchmark, dataset.label_fractions)
+    common = sum(fractions[c] for c in sorted(ARRHYTHMIA_COMMON_CLASSES))
+    rare = sum(fractions[c] for c in sorted(ARRHYTHMIA_RARE_CLASSES))
+    register_report(
+        "Table 2 - arrhythmia class distribution",
+        [
+            f"{'Case':<38}{'Class Codes':<34}{'Pct of Instances':>18}",
+            "-" * 90,
+            (
+                f"{'Commonly Occurring Classes (>=5%)':<38}"
+                f"{', '.join(f'{c:02d}' for c in sorted(ARRHYTHMIA_COMMON_CLASSES)):<34}"
+                f"{common:>17.1%}"
+            ),
+            (
+                f"{'Rare Classes (<5%)':<38}"
+                f"{', '.join(f'{c:02d}' for c in sorted(ARRHYTHMIA_RARE_CLASSES)):<34}"
+                f"{rare:>17.1%}"
+            ),
+            "",
+            "Paper: 85.4% / 14.6% (reproduced exactly).",
+        ],
+    )
+    assert common == pytest.approx(0.854, abs=0.001)
+    assert rare == pytest.approx(0.146, abs=0.001)
+
+
+def test_subspace_threshold_mining(benchmark, dataset):
+    """§3.1: evolutionary search for all projections with S <= -3."""
+    detector = SubspaceOutlierDetector(
+        dimensionality=2,
+        n_ranges=int(dataset.metadata["phi"]),
+        n_projections=None,
+        threshold=-3.0,
+        config=EvolutionaryConfig(
+            population_size=100, max_generations=60, restarts=10
+        ),
+        random_state=0,
+    )
+    result = run_once(benchmark, lambda: detector.detect(dataset.values))
+    _STATE["result"] = result
+    assert len(result.projections) > 0
+    assert all(p.coefficient <= -3.0 for p in result.projections)
+    assert result.n_outliers > 0
+
+
+def test_knn_comparison_and_report(benchmark, dataset):
+    """The paper's comparison: same-size kNN sets, 1-NN and k-NN."""
+    result = _STATE["result"]
+    n_flagged = result.n_outliers
+    rare = dataset.metadata["rare_classes"]
+
+    subspace_report = rare_class_report(
+        result.outlier_indices, dataset.labels, rare
+    )
+    knn1 = run_once(
+        benchmark,
+        lambda: KNNDistanceOutlierDetector(
+            n_neighbors=1, n_outliers=n_flagged
+        ).detect(dataset.values),
+    )
+    knn1_report = rare_class_report(knn1.outlier_indices, dataset.labels, rare)
+    knn5 = KNNDistanceOutlierDetector(n_neighbors=5, n_outliers=n_flagged).detect(
+        dataset.values
+    )
+    knn5_report = rare_class_report(knn5.outlier_indices, dataset.labels, rare)
+
+    register_report(
+        "Section 3.1 - arrhythmia rare-class experiment",
+        [
+            f"projections mined at S <= -3: {len(result.projections)} "
+            f"(k=2, phi={result.n_ranges}, GA with restarts)",
+            "",
+            f"{'method':<28}{'flagged':>9}{'rare hits':>11}{'precision':>11}{'lift':>7}",
+            "-" * 66,
+            (
+                f"{'subspace (Aggarwal-Yu)':<28}{subspace_report.n_flagged:>9}"
+                f"{subspace_report.n_rare_hits:>11}{subspace_report.precision:>11.3f}"
+                f"{subspace_report.lift:>7.2f}"
+            ),
+            (
+                f"{'kNN distance (1-NN) [25]':<28}{knn1_report.n_flagged:>9}"
+                f"{knn1_report.n_rare_hits:>11}{knn1_report.precision:>11.3f}"
+                f"{knn1_report.lift:>7.2f}"
+            ),
+            (
+                f"{'kNN distance (5-NN) [25]':<28}{knn5_report.n_flagged:>9}"
+                f"{knn5_report.n_rare_hits:>11}{knn5_report.precision:>11.3f}"
+                f"{knn5_report.lift:>7.2f}"
+            ),
+            "",
+            "Paper: 85 flagged; subspace 43 rare vs kNN 28 rare; k-NN "
+            "variant no better than 1-NN.",
+        ],
+    )
+
+    # Shape assertions: subspace beats both kNN variants on rare hits,
+    # and the k-NN variant does not rescue the baseline.
+    assert subspace_report.n_rare_hits > knn1_report.n_rare_hits
+    assert subspace_report.n_rare_hits > knn5_report.n_rare_hits
+    assert subspace_report.lift > 1.5
+
+
+def test_recording_error_explained(benchmark, dataset):
+    """§3.1 anecdote: the 780 cm / 6 kg record shows up as an outlier.
+
+    The paper highlights that examining mined projections exposed a
+    recording error.  We verify the planted error row sits in an
+    abnormally sparse height x weight cell.
+    """
+    from repro.core.subspace import Subspace
+    from repro.grid.counter import CubeCounter
+    from repro.grid.discretizer import EquiDepthDiscretizer
+    from repro.sparsity.coefficient import sparsity_coefficient
+
+    phi = int(dataset.metadata["phi"])
+    height = dataset.feature_names.index("height")
+    weight = dataset.feature_names.index("weight")
+    row = dataset.metadata["recording_error_row"]
+
+    def error_cell_sparsity():
+        cells = EquiDepthDiscretizer(phi).fit_transform(dataset.values)
+        counter = CubeCounter(cells)
+        cube = Subspace.from_pairs(
+            [
+                (height, int(cells.codes[row, height])),
+                (weight, int(cells.codes[row, weight])),
+            ]
+        )
+        return sparsity_coefficient(
+            counter.count(cube), counter.n_points, phi, 2
+        )
+
+    coefficient = run_once(benchmark, error_cell_sparsity)
+    register_report(
+        "Section 3.1 - recording-error anecdote",
+        [
+            f"record {row}: height=780cm, weight=6kg",
+            f"its (height, weight) grid cell has sparsity {coefficient:.3f}"
+            " — an abnormally sparse 2-d projection, exactly how the paper"
+            " surfaced the data-entry error.",
+        ],
+    )
+    assert coefficient <= -3.0

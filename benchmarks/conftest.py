@@ -1,0 +1,60 @@
+"""Shared infrastructure for the reproduction benchmarks.
+
+Each benchmark module times its workload through pytest-benchmark and
+registers the paper-style output rows here; a terminal-summary hook
+prints every registered table after the run, so
+
+    pytest benchmarks/ --benchmark-only
+
+reproduces the paper's tables and figures in one shot.  The rendered
+tables are also written to ``benchmarks/results/`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from pathlib import Path
+
+import pytest
+
+from repro.search.evolutionary.config import EvolutionaryConfig
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Experiment id -> list of rendered lines, in registration order.
+_REPORTS: "OrderedDict[str, list[str]]" = OrderedDict()
+
+
+def register_report(experiment: str, lines) -> None:
+    """Register rendered output lines for *experiment* (idempotent append)."""
+    block = _REPORTS.setdefault(experiment, [])
+    if isinstance(lines, str):
+        lines = lines.splitlines()
+    block.extend(lines)
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _REPORTS:
+        return
+    RESULTS_DIR.mkdir(exist_ok=True)
+    terminalreporter.write_sep("=", "paper reproduction outputs")
+    for experiment, lines in _REPORTS.items():
+        terminalreporter.write_line("")
+        terminalreporter.write_sep("-", experiment)
+        for line in lines:
+            terminalreporter.write_line(line)
+        out_path = RESULTS_DIR / f"{experiment.replace(' ', '_').replace('/', '-')}.txt"
+        out_path.write_text("\n".join(lines) + "\n")
+    terminalreporter.write_line("")
+    terminalreporter.write_line(f"(tables also written to {RESULTS_DIR})")
+
+
+@pytest.fixture(scope="session")
+def ga_config():
+    """The GA configuration used across Table 1 benchmarks."""
+    return EvolutionaryConfig(population_size=50, max_generations=80)
+
+
+def run_once(benchmark, fn):
+    """Time *fn* exactly once through pytest-benchmark and return its result."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,70 @@
+"""The paper's §3.1 arrhythmia experiment, end to end.
+
+Runs the exact protocol of the paper's quantitative evaluation on the
+arrhythmia stand-in (279 attributes, Table 2's class distribution):
+
+1. mine *all* projections with sparsity coefficient ≤ −3 using the
+   evolutionary algorithm;
+2. report the covered points and how many belong to a rare diagnosis
+   class;
+3. compare against the kNN-distance baseline [25] at the same set size
+   (1-NN and 5-NN);
+4. surface the recording-error record (height 780 cm, weight 6 kg) the
+   paper found by reading the projections.
+
+Run:  python examples/arrhythmia_screening.py
+"""
+
+from repro import EvolutionaryConfig, SubspaceOutlierDetector, explain_point
+from repro.baselines import KNNDistanceOutlierDetector
+from repro.data import load_dataset
+from repro.eval import rare_class_report
+
+
+def main() -> None:
+    dataset = load_dataset("arrhythmia")
+    rare = dataset.metadata["rare_classes"]
+    print(dataset.summary())
+    print(f"rare classes {rare}: "
+          f"{sum(dataset.label_fractions()[c] for c in rare):.1%} of records\n")
+
+    detector = SubspaceOutlierDetector(
+        dimensionality=2,
+        n_ranges=int(dataset.metadata["phi"]),
+        n_projections=None,          # unbounded: keep everything ...
+        threshold=-3.0,              # ... with coefficient <= -3
+        config=EvolutionaryConfig(
+            population_size=100, max_generations=60, restarts=8
+        ),
+        random_state=0,
+    )
+    result = detector.detect(dataset.values, feature_names=dataset.feature_names)
+
+    report = rare_class_report(result.outlier_indices, dataset.labels, rare)
+    print(f"subspace method: {report}")
+
+    knn = KNNDistanceOutlierDetector(
+        n_neighbors=1, n_outliers=result.n_outliers
+    ).detect(dataset.values)
+    print(f"kNN baseline:    "
+          f"{rare_class_report(knn.outlier_indices, dataset.labels, rare)}")
+
+    # The recording-error anecdote: check whether the planted
+    # 780cm/6kg record is covered, and read its explanation.
+    error_row = dataset.metadata["recording_error_row"]
+    if error_row in result.outlier_indices:
+        print(f"\nrecording error surfaced (row {error_row}):")
+        print(explain_point(
+            error_row, result, detector.cells_, dataset.values,
+            dataset.feature_names,
+        ))
+    else:
+        print(f"\nrecording error row {error_row} not covered in this run "
+              "(increase restarts to harvest more projections)")
+
+    print(f"\npaper reference: 85 points flagged, 43 rare-class, "
+          f"vs 28 for the kNN comparator.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,103 @@
+"""Credit-card fraud screening — the paper's motivating application.
+
+The introduction argues that in fraud detection "only the subset of the
+attributes which are actually affected by the abnormality of the
+activity are likely to be useful": a fraudster may match normal
+behaviour on almost every feature and deviate only on a small, a-priori
+unknown combination (e.g. many small online purchases *and* an unusual
+merchant category, while amounts and times stay typical).
+
+This example builds a synthetic transaction-profile dataset with two
+fraud patterns hidden in different 2-attribute subspaces, shows that
+full-dimensional kNN distance misses them, and that the subspace
+detector both finds them and *names the pattern* — the interpretability
+the paper's desiderata demand.
+
+Run:  python examples/credit_card_fraud.py
+"""
+
+import numpy as np
+
+from repro import EvolutionaryConfig, SubspaceOutlierDetector, explain_point
+from repro.baselines import KNNDistanceOutlierDetector
+
+FEATURES = [
+    "avg_amount",         # correlated with credit_limit
+    "credit_limit",
+    "txn_per_day",        # correlated with online_ratio
+    "online_ratio",
+    "merchant_variety",
+    "intl_ratio",
+    "night_ratio",
+    "cash_advance_ratio",
+    "days_since_open",
+    "avg_balance",
+    "payment_punctuality",
+    "disputes",
+]
+
+
+def make_profiles(seed: int = 3) -> tuple[np.ndarray, list[int]]:
+    """1,000 cardholder profiles with two planted fraud signatures."""
+    rng = np.random.default_rng(seed)
+    n = 1_000
+    data = rng.normal(size=(n, len(FEATURES)))
+
+    # Honest structure: spending scales with the credit limit, and
+    # heavy users transact online more.
+    spending = rng.normal(size=n)
+    data[:, 0] = spending + rng.normal(scale=0.15, size=n)
+    data[:, 1] = spending + rng.normal(scale=0.15, size=n)
+    activity = rng.normal(size=n)
+    data[:, 2] = activity + rng.normal(scale=0.15, size=n)
+    data[:, 3] = activity + rng.normal(scale=0.15, size=n)
+
+    # Fraud signature 1 (card testing): tiny average amounts on a very
+    # high credit limit — each value normal alone, the combo absurd.
+    fraud_a = 117
+    data[fraud_a, 0] = np.quantile(data[:, 0], 0.04)
+    data[fraud_a, 1] = np.quantile(data[:, 1], 0.96)
+
+    # Fraud signature 2 (account takeover): few transactions per day
+    # yet almost all of them online.
+    fraud_b = 804
+    data[fraud_b, 2] = np.quantile(data[:, 2], 0.04)
+    data[fraud_b, 3] = np.quantile(data[:, 3], 0.96)
+
+    return data, [fraud_a, fraud_b]
+
+
+def main() -> None:
+    data, fraud = make_profiles()
+
+    print("=== full-dimensional kNN baseline ===")
+    knn = KNNDistanceOutlierDetector(n_neighbors=1, n_outliers=10).detect(data)
+    hits = set(knn.outlier_indices.tolist()) & set(fraud)
+    print(f"top-10 kNN outliers contain {len(hits)} of {len(fraud)} fraud cases")
+
+    print("\n=== subspace detector (Aggarwal-Yu) ===")
+    detector = SubspaceOutlierDetector(
+        dimensionality=2,
+        n_ranges=5,
+        n_projections=10,
+        config=EvolutionaryConfig(
+            population_size=60, max_generations=60, restarts=3
+        ),
+        random_state=0,
+    )
+    result = detector.detect(data, feature_names=FEATURES)
+    ranked = [point for point, _ in result.ranked_outliers()]
+    found = [f for f in fraud if f in ranked[:6]]
+    print(f"top-6 subspace outliers contain {len(found)} of {len(fraud)} fraud cases")
+
+    for case in fraud:
+        print(f"\n--- fraud case {case} explained ---")
+        print(explain_point(case, result, detector.cells_, data, FEATURES))
+
+    if len(found) > len(hits):
+        print("\nsubspace projections expose fraud the full-dimensional "
+              "metric averages away — the paper's core claim.")
+
+
+if __name__ == "__main__":
+    main()

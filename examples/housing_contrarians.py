@@ -1,0 +1,59 @@
+"""The paper's §3.1 housing analysis: contrarian suburbs, explained.
+
+Mines 2-, 3- and 4-dimensional projections of the Boston-housing
+stand-in (binary CHAS attribute dropped, as in the paper) and prints
+the contrarian records with their mined patterns — the qualitative
+style of analysis the paper closes with, e.g. "high crime rate and high
+pupil-teacher ratio, but low distance to employment centers".
+
+Run:  python examples/housing_contrarians.py
+"""
+
+from repro import EvolutionaryConfig, SubspaceOutlierDetector, explain_point
+from repro.data import load_dataset
+from repro.data.preprocess import drop_low_variance_columns
+
+
+def main() -> None:
+    dataset = load_dataset("housing")
+    values, kept = drop_low_variance_columns(dataset.values, min_unique=3)
+    names = tuple(dataset.feature_names[i] for i in kept)
+    print(f"{dataset.summary()}  (using {len(names)} of "
+          f"{dataset.n_dims} attributes; binary CHAS dropped)\n")
+
+    # k = 2: exhaustive mining, every contrarian pair pattern.
+    detector = SubspaceOutlierDetector(
+        dimensionality=2,
+        n_ranges=int(dataset.metadata["phi"]),
+        n_projections=20,
+        method="brute_force",
+    )
+    result = detector.detect(values, feature_names=names)
+
+    print("contrarian suburbs (planted to match the paper's anecdotes):")
+    for row in dataset.planted_outliers.tolist():
+        print(f"\n--- suburb {row} ---")
+        explanation = explain_point(row, result, detector.cells_, values, names)
+        for line in explanation.findings[:3]:
+            print(f"  {line}")
+
+    # k = 3 and 4: the paper's actual projection dimensionalities,
+    # mined with the evolutionary algorithm.
+    for k in (3, 4):
+        ga = SubspaceOutlierDetector(
+            dimensionality=k,
+            n_ranges=int(dataset.metadata["phi"]),
+            n_projections=10,
+            config=EvolutionaryConfig(
+                population_size=60, max_generations=60, restarts=3
+            ),
+            random_state=k,
+        )
+        ga_result = ga.detect(values, feature_names=names)
+        print(f"\nmost abnormal {k}-dimensional projections:")
+        for projection in ga_result.projections[:3]:
+            print(f"  {projection.describe(names)}")
+
+
+if __name__ == "__main__":
+    main()

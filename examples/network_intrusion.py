@@ -1,0 +1,106 @@
+"""Network intrusion detection with interpretable subspace outliers.
+
+The paper lists network intrusion as a headline application: the
+attributes affected by an attack "may provide guidance in discovering
+the causalities of the abnormal behavior".  This example simulates
+connection-level flow summaries where an exfiltration host sends huge
+outbound volume over very few connections, and a scanning host touches
+many ports with tiny payloads — both invisible to full-dimensional
+distance under dozens of routine counters, both named precisely by the
+mined projections.
+
+It also demonstrates §1.2's missing-data tolerance: a slice of the
+telemetry is dropped (sensor gaps) and the detector still works,
+because cube counting simply skips missing coordinates.
+
+Run:  python examples/network_intrusion.py
+"""
+
+import numpy as np
+
+from repro import EvolutionaryConfig, SubspaceOutlierDetector, render_report
+from repro.data.preprocess import inject_missing_values
+
+FEATURES = [
+    "bytes_out",        # correlated with conn_count for normal hosts
+    "conn_count",
+    "distinct_ports",   # correlated with bytes_in
+    "bytes_in",
+    "avg_duration",
+    "syn_ratio",
+    "dns_queries",
+    "http_ratio",
+    "tls_ratio",
+    "retransmits",
+    "icmp_ratio",
+    "failed_logins",
+    "weekend_ratio",
+    "night_ratio",
+]
+
+
+def make_telemetry(seed: int = 11) -> tuple[np.ndarray, dict[str, int]]:
+    """800 host profiles with two planted attack signatures."""
+    rng = np.random.default_rng(seed)
+    n = 800
+    data = rng.normal(size=(n, len(FEATURES)))
+
+    volume = rng.normal(size=n)
+    data[:, 0] = volume + rng.normal(scale=0.12, size=n)   # bytes_out
+    data[:, 1] = volume + rng.normal(scale=0.12, size=n)   # conn_count
+    fanout = rng.normal(size=n)
+    data[:, 2] = fanout + rng.normal(scale=0.12, size=n)   # distinct_ports
+    data[:, 3] = fanout + rng.normal(scale=0.12, size=n)   # bytes_in
+
+    # Exfiltration: massive outbound volume over very few connections.
+    exfil = 256
+    data[exfil, 0] = np.quantile(data[:, 0], 0.96)
+    data[exfil, 1] = np.quantile(data[:, 1], 0.04)
+
+    # Port scan: many distinct ports but almost no inbound payload.
+    scan = 603
+    data[scan, 2] = np.quantile(data[:, 2], 0.96)
+    data[scan, 3] = np.quantile(data[:, 3], 0.04)
+
+    return data, {"exfiltration_host": exfil, "port_scanner": scan}
+
+
+def main() -> None:
+    data, attacks = make_telemetry()
+
+    # Sensor gaps: 8% of telemetry cells are missing, but keep the
+    # planted attack coordinates observable.
+    telemetry = inject_missing_values(data, 0.08, random_state=1)
+    for host in attacks.values():
+        telemetry[host] = data[host]
+
+    detector = SubspaceOutlierDetector(
+        dimensionality=2,
+        n_ranges=5,
+        n_projections=16,
+        config=EvolutionaryConfig(
+            population_size=60, max_generations=60, restarts=6
+        ),
+        random_state=0,
+    )
+    result = detector.detect(telemetry, feature_names=FEATURES)
+
+    print(render_report(result, detector.cells_, telemetry, top=5,
+                        feature_names=FEATURES))
+
+    ranked = [point for point, _ in result.ranked_outliers()]
+    print("\nattack hosts:")
+    for label, host in attacks.items():
+        position = ranked.index(host) if host in ranked else None
+        status = f"rank {position}" if position is not None else "missed"
+        print(f"  {label} (host {host}): {status}")
+
+    recovered = sum(
+        1 for host in attacks.values() if host in ranked[:6]
+    )
+    print(f"\n{recovered} of {len(attacks)} attack hosts in the top-6, "
+          f"despite {np.isnan(telemetry).mean():.0%} missing telemetry.")
+
+
+if __name__ == "__main__":
+    main()

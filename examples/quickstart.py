@@ -1,0 +1,61 @@
+"""Quickstart: find subspace outliers in 60 seconds.
+
+Generates a small high-dimensional dataset with one planted anomaly —
+a record whose attributes are each individually normal but whose
+*combination* is nearly impossible — and walks through the full
+pipeline: detect, rank, explain.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import EvolutionaryConfig, SubspaceOutlierDetector, explain_point
+
+
+def make_data(seed: int = 7) -> np.ndarray:
+    """300 points, 12 dims; dims 0-1 strongly correlated, rest noise."""
+    rng = np.random.default_rng(seed)
+    n = 300
+    data = rng.normal(size=(n, 12))
+    latent = rng.normal(size=n)
+    data[:, 0] = latent + rng.normal(scale=0.1, size=n)
+    data[:, 1] = latent + rng.normal(scale=0.1, size=n)
+    # The anomaly: low on dim 0, high on dim 1 — a combination the
+    # correlation makes nearly impossible, while each value alone is
+    # utterly ordinary.
+    data[42, 0] = np.quantile(data[:, 0], 0.05)
+    data[42, 1] = np.quantile(data[:, 1], 0.95)
+    return data
+
+
+def main() -> None:
+    data = make_data()
+
+    detector = SubspaceOutlierDetector(
+        dimensionality=2,      # mine 2-d projections (k)
+        n_ranges=5,            # 5 equi-depth ranges per attribute (phi)
+        n_projections=10,      # keep the 10 most abnormal cubes (m)
+        config=EvolutionaryConfig(population_size=40, max_generations=50),
+        random_state=0,
+    )
+    result = detector.detect(data)
+
+    print(f"flagged {result.n_outliers} outliers "
+          f"(best sparsity coefficient {result.best_coefficient:.2f})\n")
+
+    print("top 5 outliers (most abnormal first):")
+    for point, score in result.ranked_outliers()[:5]:
+        print(f"  point {point:>3}  score {score:.3f}")
+
+    print("\nwhy is the top outlier abnormal?")
+    top_point = result.ranked_outliers()[0][0]
+    explanation = explain_point(top_point, result, detector.cells_, data)
+    print(explanation)
+
+    assert 42 == top_point, "the planted anomaly should rank first"
+    print("\nthe planted anomaly (point 42) was recovered — quickstart OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Kept so ``pip install -e . --no-build-isolation --no-use-pep517`` works
+on environments whose setuptools predates built-in ``bdist_wheel``
+support (all metadata lives in pyproject.toml).
+"""
+
+from setuptools import setup
+
+setup()

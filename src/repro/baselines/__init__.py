@@ -1,0 +1,36 @@
+"""Full-dimensional baseline detectors the paper compares against.
+
+These are the "proximity in full dimensional space" methods whose
+failure at high dimensionality motivates the paper:
+
+* :class:`KNNDistanceOutlierDetector` — Ramaswamy, Rastogi & Shim
+  (SIGMOD 2000) [25]: rank points by the distance to their kth nearest
+  neighbor, report the top n.
+* :class:`DBOutlierDetector` — Knorr & Ng (VLDB 1998) [22]: a point is
+  an outlier if no more than k points lie within distance λ of it.
+* :class:`LOFOutlierDetector` — Breunig et al. (SIGMOD 2000) [10]:
+  local outlier factor from local reachability densities.
+"""
+
+from .result import BaselineResult
+from .neighbors import (
+    kth_neighbor_distances,
+    neighbor_counts_within,
+    nearest_neighbors,
+)
+from .knn import KNNDistanceOutlierDetector
+from .distance_threshold import DBOutlierDetector, suggest_radius
+from .lof import LOFOutlierDetector
+from .deviation import SequentialDeviationDetector
+
+__all__ = [
+    "BaselineResult",
+    "kth_neighbor_distances",
+    "neighbor_counts_within",
+    "nearest_neighbors",
+    "KNNDistanceOutlierDetector",
+    "DBOutlierDetector",
+    "suggest_radius",
+    "LOFOutlierDetector",
+    "SequentialDeviationDetector",
+]

@@ -1,0 +1,66 @@
+"""Result container shared by all baseline detectors."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+from ..exceptions import ValidationError
+
+__all__ = ["BaselineResult"]
+
+
+@dataclass(frozen=True)
+class BaselineResult:
+    """Outliers reported by a full-dimensional baseline.
+
+    Attributes
+    ----------
+    outlier_indices:
+        Flagged points, most outlying first.
+    scores:
+        Per-point outlyingness, length N (semantics depend on the
+        detector: kth-NN distance, LOF value, or negated neighbor
+        count — always *larger = more outlying*).
+    method:
+        Detector name for reporting.
+    params:
+        The parameters that produced the result.
+    """
+
+    outlier_indices: np.ndarray
+    scores: np.ndarray
+    method: str
+    params: Mapping[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        indices = np.asarray(self.outlier_indices, dtype=np.intp)
+        scores = np.asarray(self.scores, dtype=np.float64)
+        if indices.ndim != 1 or scores.ndim != 1:
+            raise ValidationError("outlier_indices and scores must be 1-dimensional")
+        if indices.size and (indices.min() < 0 or indices.max() >= scores.size):
+            raise ValidationError("outlier_indices out of range for scores")
+        object.__setattr__(self, "outlier_indices", indices)
+        object.__setattr__(self, "scores", scores)
+
+    @property
+    def n_outliers(self) -> int:
+        """Number of flagged points."""
+        return int(self.outlier_indices.size)
+
+    @property
+    def n_points(self) -> int:
+        """Dataset size N."""
+        return int(self.scores.size)
+
+    def outlier_mask(self) -> np.ndarray:
+        """Length-N boolean mask of flagged points."""
+        mask = np.zeros(self.n_points, dtype=bool)
+        mask[self.outlier_indices] = True
+        return mask
+
+    def top(self, n: int) -> np.ndarray:
+        """The *n* most outlying flagged points."""
+        return self.outlier_indices[:n]

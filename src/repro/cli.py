@@ -1,0 +1,364 @@
+"""Command-line interface: ``repro-outliers`` / ``python -m repro``.
+
+Subcommands
+-----------
+``detect``
+    Run the subspace detector on a CSV file or a built-in dataset and
+    print the report (projections, outliers, explanations).  Supports
+    ``--output json`` for machine-readable results and ``--save`` to
+    persist the fitted model.
+``score``
+    Score new data against a model saved by ``detect --save``.
+``explain``
+    Explain a single point of a dataset.
+``table1``
+    Regenerate the paper's Table 1 comparison on the built-in
+    stand-ins (a lighter-weight version of the full benchmark suite).
+``datasets``
+    List the built-in datasets.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+import numpy as np
+
+from .core.detector import SubspaceOutlierDetector
+from .core.explain import explain_point, render_report
+from .data.loaders import load_csv
+from .data.registry import DATASETS, load_dataset
+from .eval.comparison import build_table1, render_table
+from .exceptions import ReproError
+from .persist import load_model, result_to_dict, save_model
+from .search.evolutionary.config import EvolutionaryConfig
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-outliers",
+        description=(
+            "Subspace outlier detection for high dimensional data "
+            "(Aggarwal & Yu, SIGMOD 2001)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    detect = sub.add_parser("detect", help="run the detector and print a report")
+    _add_data_arguments(detect)
+    _add_detector_arguments(detect)
+    detect.add_argument(
+        "--top", type=int, default=10, help="outliers/projections to print"
+    )
+    detect.add_argument(
+        "--output",
+        choices=["report", "json"],
+        default="report",
+        help="report (human-readable) or json (machine-readable result)",
+    )
+    detect.add_argument(
+        "--save", metavar="MODEL.json", default=None,
+        help="persist the fitted model for later `score` runs",
+    )
+
+    score = sub.add_parser("score", help="score new data with a saved model")
+    _add_data_arguments(score)
+    score.add_argument(
+        "--model", required=True, metavar="MODEL.json",
+        help="model file written by `detect --save`",
+    )
+    score.add_argument(
+        "--top", type=int, default=10, help="most abnormal points to print"
+    )
+
+    explain = sub.add_parser("explain", help="explain one point of a dataset")
+    _add_data_arguments(explain)
+    _add_detector_arguments(explain)
+    explain.add_argument("--point", type=int, required=True, help="row index")
+    explain.add_argument(
+        "--output",
+        choices=["report", "json"],
+        default="report",
+        help="report (human-readable) or json",
+    )
+
+    experiment = sub.add_parser(
+        "experiment", help="run one of the paper's evaluation protocols"
+    )
+    experiment.add_argument(
+        "protocol", choices=["arrhythmia", "figure1", "housing"]
+    )
+    experiment.add_argument("--seed", type=int, default=0)
+    experiment.add_argument(
+        "--restarts", type=int, default=None,
+        help="GA restarts (protocol default if omitted)",
+    )
+
+    table1 = sub.add_parser("table1", help="regenerate the paper's Table 1")
+    table1.add_argument(
+        "--datasets",
+        nargs="+",
+        default=["breast_cancer", "ionosphere", "segmentation", "musk", "machine"],
+        help="built-in dataset names",
+    )
+    table1.add_argument(
+        "--brute-budget",
+        type=float,
+        default=60.0,
+        help="seconds before a brute-force run is reported as '-'",
+    )
+    table1.add_argument(
+        "--skip-brute-above",
+        type=int,
+        default=100,
+        help="skip brute force above this dimensionality",
+    )
+    table1.add_argument("--seed", type=int, default=0)
+
+    sweep = sub.add_parser(
+        "sweep", help="sweep one detector parameter over a dataset"
+    )
+    _add_data_arguments(sweep)
+    sweep.add_argument(
+        "--parameter", required=True,
+        choices=["dimensionality", "n_ranges", "n_projections"],
+    )
+    sweep.add_argument(
+        "--values", required=True, nargs="+", type=int, help="settings to sweep"
+    )
+    sweep.add_argument("-k", "--dimensionality", type=int, default=None)
+    sweep.add_argument("--phi", type=int, default=None)
+    sweep.add_argument("-m", "--projections", type=int, default=20)
+    sweep.add_argument(
+        "--method", choices=["evolutionary", "brute_force"], default="brute_force"
+    )
+    sweep.add_argument("--seed", type=int, default=0)
+
+    export = sub.add_parser(
+        "export", help="materialize a built-in dataset as CSV or ARFF"
+    )
+    export.add_argument("--dataset", choices=sorted(DATASETS), required=True)
+    export.add_argument("--format", choices=["csv", "arff"], default="csv")
+    export.add_argument("--out", required=True, help="output file path")
+
+    sub.add_parser("datasets", help="list built-in datasets")
+    return parser
+
+
+def _add_data_arguments(parser: argparse.ArgumentParser) -> None:
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument("--csv", help="path to a headered CSV file")
+    source.add_argument(
+        "--dataset", choices=sorted(DATASETS), help="built-in dataset name"
+    )
+    parser.add_argument(
+        "--label-column", default=None, help="CSV column holding class labels"
+    )
+
+
+def _add_detector_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("-k", "--dimensionality", type=int, default=None)
+    parser.add_argument("--phi", type=int, default=None, help="grid ranges per dim")
+    parser.add_argument("-m", "--projections", type=int, default=20)
+    parser.add_argument(
+        "--method", choices=["evolutionary", "brute_force"], default="evolutionary"
+    )
+    parser.add_argument("--threshold", type=float, default=None)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--population", type=int, default=50)
+    parser.add_argument("--generations", type=int, default=100)
+
+
+def _load(args) -> tuple:
+    if args.csv:
+        dataset = load_csv(args.csv, label_column=args.label_column)
+    else:
+        dataset = load_dataset(args.dataset)
+    return dataset
+
+
+def _detector(args, dataset) -> SubspaceOutlierDetector:
+    phi = args.phi or int(dataset.metadata.get("phi", 10))
+    config = EvolutionaryConfig(
+        population_size=args.population, max_generations=args.generations
+    )
+    return SubspaceOutlierDetector(
+        dimensionality=args.dimensionality,
+        n_ranges=phi,
+        n_projections=args.projections,
+        method=args.method,
+        threshold=args.threshold,
+        config=config,
+        random_state=args.seed,
+    )
+
+
+def _cmd_detect(args) -> int:
+    dataset = _load(args)
+    detector = _detector(args, dataset)
+    result = detector.detect(dataset.values, feature_names=dataset.feature_names)
+    if args.output == "json":
+        print(json.dumps(result_to_dict(result), indent=2))
+    else:
+        print(
+            render_report(
+                result, detector.cells_, dataset.values, top=args.top,
+                feature_names=dataset.feature_names,
+            )
+        )
+    if args.save:
+        path = save_model(detector, args.save)
+        print(f"model saved to {path}", file=sys.stderr)
+    return 0
+
+
+def _cmd_score(args) -> int:
+    dataset = _load(args)
+    model = load_model(args.model)
+    scores = model.score(dataset.values)
+    flagged = [
+        (int(i), float(scores[i]))
+        for i in np.argsort(scores)
+        if not np.isnan(scores[i])
+    ]
+    print(
+        f"{len(flagged)} of {dataset.n_points} points covered by the "
+        f"model's {len(model.projections)} projections"
+    )
+    for point, value in flagged[: args.top]:
+        print(f"  point {point:>6}  score {value:.3f}")
+    return 0
+
+
+def _cmd_explain(args) -> int:
+    dataset = _load(args)
+    detector = _detector(args, dataset)
+    result = detector.detect(dataset.values, feature_names=dataset.feature_names)
+    explanation = explain_point(
+        args.point, result, detector.cells_, dataset.values, dataset.feature_names
+    )
+    if args.output == "json":
+        print(json.dumps(explanation.to_dict(), indent=2))
+    else:
+        print(explanation)
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    from .eval.protocols import (
+        run_arrhythmia_protocol,
+        run_figure1_protocol,
+        run_housing_protocol,
+    )
+
+    if args.protocol == "arrhythmia":
+        dataset = load_dataset("arrhythmia")
+        config = EvolutionaryConfig(
+            population_size=100,
+            max_generations=60,
+            restarts=args.restarts or 10,
+        )
+        outcome = run_arrhythmia_protocol(
+            dataset, config=config, random_state=args.seed
+        )
+    elif args.protocol == "figure1":
+        dataset = load_dataset("figure1_views")
+        config = EvolutionaryConfig(
+            population_size=60,
+            max_generations=60,
+            restarts=args.restarts or 4,
+        )
+        outcome = run_figure1_protocol(
+            dataset, config=config, random_state=args.seed
+        )
+    else:
+        dataset = load_dataset("housing")
+        outcome = run_housing_protocol(dataset, random_state=args.seed)
+    print(f"protocol: {args.protocol}  ({dataset.summary()})")
+    for line in outcome.summary_lines():
+        print(line)
+    return 0
+
+
+def _cmd_table1(args) -> int:
+    datasets = [load_dataset(name) for name in args.datasets]
+    rows = build_table1(
+        datasets,
+        brute_max_seconds=args.brute_budget,
+        skip_brute_above_dims=args.skip_brute_above,
+        random_state=args.seed,
+    )
+    print(render_table(rows))
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    from .eval.sweeps import render_sweep, sweep_detector_parameter
+
+    dataset = _load(args)
+    base = {
+        "n_projections": args.projections,
+        "method": args.method,
+        "random_state": args.seed,
+    }
+    if args.parameter != "n_ranges":
+        base["n_ranges"] = args.phi or int(dataset.metadata.get("phi", 10))
+    if args.parameter != "dimensionality" and args.dimensionality is not None:
+        base["dimensionality"] = args.dimensionality
+    if args.parameter == "n_projections":
+        base.pop("n_projections")
+    rows = sweep_detector_parameter(
+        dataset.values, args.parameter, args.values, base_kwargs=base
+    )
+    print(f"dataset: {dataset.summary()}")
+    print(render_sweep(rows, args.parameter))
+    return 0
+
+
+def _cmd_export(args) -> int:
+    from .data.export import write_arff, write_csv
+
+    dataset = load_dataset(args.dataset)
+    writer = write_csv if args.format == "csv" else write_arff
+    path = writer(dataset, args.out)
+    print(f"wrote {dataset.summary()} to {path}")
+    return 0
+
+
+def _cmd_datasets(_args) -> int:
+    for name in sorted(DATASETS):
+        dataset = load_dataset(name)
+        print(f"{name:<16} {dataset.summary()}")
+    return 0
+
+
+_COMMANDS = {
+    "detect": _cmd_detect,
+    "score": _cmd_score,
+    "explain": _cmd_explain,
+    "experiment": _cmd_experiment,
+    "table1": _cmd_table1,
+    "sweep": _cmd_sweep,
+    "export": _cmd_export,
+    "datasets": _cmd_datasets,
+}
+
+
+def main(argv=None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

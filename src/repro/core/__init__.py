@@ -1,0 +1,31 @@
+"""Core public objects: subspaces, detector facade, results, parameters."""
+
+from .subspace import Subspace
+from .params import (
+    choose_projection_dimensionality,
+    empty_cube_sparsity,
+    expected_cube_count,
+    ParameterAdvisor,
+)
+from .results import DetectionResult, ScoredProjection
+from .detector import SubspaceOutlierDetector
+from .explain import OutlierExplanation, explain_point, render_report
+from .intensional import minimal_abnormal_subspaces
+from .multik import MultiKResult, detect_across_dimensionalities
+
+__all__ = [
+    "Subspace",
+    "choose_projection_dimensionality",
+    "empty_cube_sparsity",
+    "expected_cube_count",
+    "ParameterAdvisor",
+    "DetectionResult",
+    "ScoredProjection",
+    "SubspaceOutlierDetector",
+    "OutlierExplanation",
+    "explain_point",
+    "render_report",
+    "minimal_abnormal_subspaces",
+    "MultiKResult",
+    "detect_across_dimensionalities",
+]

@@ -1,0 +1,121 @@
+"""Multi-dimensionality mining: one run per k, as the paper's housing analysis.
+
+§3.1's housing experiment mines "interesting 3- and 4-dimensional
+projections"; §2.4 notes every k ≤ k* is informative at its own
+significance scale.  This helper runs the detector once per requested
+dimensionality and aggregates the per-k results — keeping them
+*separate*, because sparsity coefficients at different k are not
+comparable (§1.1's explicit desideratum).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from .._validation import check_matrix
+from ..exceptions import ValidationError
+from .detector import SubspaceOutlierDetector
+from .params import choose_projection_dimensionality
+from .results import DetectionResult
+
+__all__ = ["MultiKResult", "detect_across_dimensionalities"]
+
+
+@dataclass(frozen=True)
+class MultiKResult:
+    """Per-dimensionality detection results plus a merged outlier view."""
+
+    results: Mapping[int, DetectionResult]
+
+    def __post_init__(self) -> None:
+        if not self.results:
+            raise ValidationError("MultiKResult needs at least one k")
+        object.__setattr__(self, "results", dict(self.results))
+
+    @property
+    def dimensionalities(self) -> list[int]:
+        """The mined k values, ascending."""
+        return sorted(self.results)
+
+    def outlier_union(self) -> np.ndarray:
+        """Points flagged at *any* dimensionality, ascending."""
+        union: set[int] = set()
+        for result in self.results.values():
+            union.update(int(i) for i in result.outlier_indices)
+        return np.array(sorted(union), dtype=np.intp)
+
+    def outlier_intersection(self) -> np.ndarray:
+        """Points flagged at *every* dimensionality, ascending."""
+        iterator = iter(self.results.values())
+        common = set(int(i) for i in next(iterator).outlier_indices)
+        for result in iterator:
+            common &= set(int(i) for i in result.outlier_indices)
+        return np.array(sorted(common), dtype=np.intp)
+
+    def flagging_dimensionalities(self, point_index: int) -> list[int]:
+        """Which k values flag *point_index* (interpretability aid)."""
+        return [
+            k
+            for k in self.dimensionalities
+            if int(point_index) in set(self.results[k].outlier_indices.tolist())
+        ]
+
+    def summary_lines(self) -> list[str]:
+        """One line per k plus the union/intersection counts."""
+        lines = []
+        for k in self.dimensionalities:
+            result = self.results[k]
+            lines.append(
+                f"k={k}: {len(result.projections)} projections "
+                f"(best {result.best_coefficient:.3f}), "
+                f"{result.n_outliers} outliers"
+            )
+        lines.append(
+            f"union {self.outlier_union().size} outliers, "
+            f"intersection {self.outlier_intersection().size}"
+        )
+        return lines
+
+
+def detect_across_dimensionalities(
+    data,
+    dimensionalities: Sequence[int] | None = None,
+    *,
+    feature_names=None,
+    detector_kwargs: Mapping | None = None,
+) -> MultiKResult:
+    """Run the detector once per k and aggregate.
+
+    Parameters
+    ----------
+    data:
+        ``(N, d)`` matrix; NaN = missing.
+    dimensionalities:
+        The k values to mine; ``None`` mines every k in ``[1, k*]``
+        (Equation 2's feasible range for the configured φ).
+    detector_kwargs:
+        Forwarded to every :class:`SubspaceOutlierDetector` (must not
+        contain ``dimensionality``).
+    """
+    array = check_matrix(data, "data")
+    kwargs = dict(detector_kwargs or {})
+    if "dimensionality" in kwargs:
+        raise ValidationError(
+            "pass dimensionalities positionally, not in detector_kwargs"
+        )
+    if dimensionalities is None:
+        phi = int(kwargs.get("n_ranges", 10))
+        target = float(kwargs.get("target_sparsity", -3.0))
+        k_star = choose_projection_dimensionality(array.shape[0], phi, target)
+        dimensionalities = range(1, min(k_star, array.shape[1]) + 1)
+    ks = sorted({int(k) for k in dimensionalities})
+    if not ks:
+        raise ValidationError("no dimensionalities to mine")
+    results = {}
+    for k in ks:
+        detector = SubspaceOutlierDetector(dimensionality=k, **kwargs)
+        results[k] = detector.detect(array, feature_names=feature_names)
+    return MultiKResult(results=results)

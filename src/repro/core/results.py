@@ -1,0 +1,174 @@
+"""Result containers: scored projections and full detection results.
+
+The searchers return :class:`ScoredProjection` records (a cube plus its
+count and sparsity coefficient).  The detector facade aggregates them —
+together with the §2.3 postprocessing that maps cubes back to the data
+points covering them — into a :class:`DetectionResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping, Sequence
+
+import numpy as np
+
+from ..exceptions import ValidationError
+from ..sparsity.statistics import significance_of_coefficient
+from .subspace import Subspace
+
+__all__ = ["ScoredProjection", "DetectionResult"]
+
+
+@dataclass(frozen=True, slots=True)
+class ScoredProjection:
+    """A subspace cube together with its evaluation.
+
+    Attributes
+    ----------
+    subspace:
+        The cube (fixed dimensions + grid ranges).
+    count:
+        ``n(D)`` — points inside the cube.
+    coefficient:
+        The sparsity coefficient ``S(D)`` (Equation 1).
+    """
+
+    subspace: Subspace
+    count: int
+    coefficient: float
+
+    def __post_init__(self) -> None:
+        if self.count < 0:
+            raise ValidationError(f"count must be >= 0, got {self.count}")
+
+    @property
+    def dimensionality(self) -> int:
+        """k — number of fixed dimensions of the cube."""
+        return self.subspace.dimensionality
+
+    @property
+    def is_empty(self) -> bool:
+        """True if the cube covers no points (useless for outliers)."""
+        return self.count == 0
+
+    @property
+    def significance(self) -> float:
+        """Confidence (0..1) that the cube is abnormally sparse."""
+        return significance_of_coefficient(self.coefficient)
+
+    def describe(self, feature_names: Sequence[str] | None = None) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.subspace.describe(feature_names)}  "
+            f"[n={self.count}, S={self.coefficient:.3f}, "
+            f"significance={self.significance:.4f}]"
+        )
+
+
+@dataclass(frozen=True)
+class DetectionResult:
+    """Everything a detection run produced.
+
+    Attributes
+    ----------
+    projections:
+        The mined abnormal projections, most negative coefficient
+        first.
+    outlier_indices:
+        Ascending indices of the points covered by at least one mined
+        projection (§2.3 postprocessing) — the paper's set ``O``.
+    n_points, n_dims, n_ranges, dimensionality:
+        The run's N, d, φ and k.
+    coverage:
+        Mapping from outlier point index to the indices (into
+        ``projections``) of the cubes covering it.  This is the raw
+        material of interpretability (§1.1).
+    stats:
+        Search metadata (elapsed seconds, evaluations, generations...).
+    """
+
+    projections: tuple[ScoredProjection, ...]
+    outlier_indices: np.ndarray
+    n_points: int
+    n_dims: int
+    n_ranges: int
+    dimensionality: int
+    coverage: Mapping[int, tuple[int, ...]] = field(default_factory=dict)
+    stats: Mapping[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "projections", tuple(self.projections))
+        indices = np.asarray(self.outlier_indices, dtype=np.intp)
+        if indices.ndim != 1:
+            raise ValidationError("outlier_indices must be 1-dimensional")
+        if indices.size and (indices.min() < 0 or indices.max() >= self.n_points):
+            raise ValidationError("outlier_indices out of range")
+        object.__setattr__(self, "outlier_indices", np.sort(indices))
+
+    # ------------------------------------------------------------------
+    @property
+    def n_outliers(self) -> int:
+        """Number of points flagged as outliers."""
+        return int(self.outlier_indices.size)
+
+    @property
+    def best_coefficient(self) -> float:
+        """Most negative sparsity coefficient among mined projections."""
+        if not self.projections:
+            return float("nan")
+        return self.projections[0].coefficient
+
+    def mean_coefficient(self, top: int | None = None) -> float:
+        """Mean coefficient of the best *top* projections (Table 1 "quality").
+
+        With ``top=None`` averages over all mined projections.
+        """
+        chosen = self.projections if top is None else self.projections[:top]
+        if not chosen:
+            return float("nan")
+        return float(np.mean([p.coefficient for p in chosen]))
+
+    def outlier_mask(self) -> np.ndarray:
+        """Length-N boolean mask of flagged points."""
+        mask = np.zeros(self.n_points, dtype=bool)
+        mask[self.outlier_indices] = True
+        return mask
+
+    def point_score(self, point_index: int) -> float:
+        """Deviation score of a point: its best covering coefficient.
+
+        More negative = more abnormal; ``nan`` if the point is covered
+        by no mined projection.
+        """
+        covering = self.coverage.get(int(point_index), ())
+        if not covering:
+            return float("nan")
+        return min(self.projections[i].coefficient for i in covering)
+
+    def ranked_outliers(self) -> list[tuple[int, float]]:
+        """Outliers as ``(point_index, score)``, most abnormal first.
+
+        Ties on score break by coverage multiplicity (covered by more
+        abnormal cubes first) and then by index for determinism.
+        """
+
+        def sort_key(point: int) -> tuple[float, int, int]:
+            return (self.point_score(point), -len(self.coverage.get(point, ())), point)
+
+        ordered = sorted((int(i) for i in self.outlier_indices), key=sort_key)
+        return [(i, self.point_score(i)) for i in ordered]
+
+    def projections_covering(self, point_index: int) -> list[ScoredProjection]:
+        """All mined projections that cover *point_index*."""
+        return [self.projections[i] for i in self.coverage.get(int(point_index), ())]
+
+    def __iter__(self) -> Iterator[ScoredProjection]:
+        return iter(self.projections)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DetectionResult(projections={len(self.projections)}, "
+            f"outliers={self.n_outliers}, k={self.dimensionality}, "
+            f"phi={self.n_ranges})"
+        )

@@ -1,0 +1,52 @@
+"""Data substrate: loaders, preprocessing, synthetic generators, UCI stand-ins."""
+
+from .loaders import Dataset, load_csv
+from .arff import load_arff
+from .export import write_arff, write_csv
+from .preprocess import (
+    drop_low_variance_columns,
+    inject_missing_values,
+    standardize,
+)
+from .synthetic import (
+    AnomalyPlan,
+    correlated_block_data,
+    figure1_views,
+    plant_rare_combinations,
+    uniform_noise,
+)
+from .uci import (
+    arrhythmia,
+    breast_cancer,
+    housing,
+    ionosphere,
+    machine,
+    musk,
+    segmentation,
+)
+from .registry import DATASETS, load_dataset
+
+__all__ = [
+    "Dataset",
+    "load_csv",
+    "load_arff",
+    "write_csv",
+    "write_arff",
+    "standardize",
+    "inject_missing_values",
+    "drop_low_variance_columns",
+    "AnomalyPlan",
+    "correlated_block_data",
+    "plant_rare_combinations",
+    "uniform_noise",
+    "figure1_views",
+    "breast_cancer",
+    "ionosphere",
+    "segmentation",
+    "musk",
+    "machine",
+    "arrhythmia",
+    "housing",
+    "DATASETS",
+    "load_dataset",
+]

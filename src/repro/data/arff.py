@@ -1,0 +1,190 @@
+"""Minimal ARFF loader — the UCI repository's native format.
+
+The paper's datasets ship from the UCI machine-learning repository,
+historically as ARFF (attribute-relation file format).  This loader
+covers the subset those files use:
+
+* ``@relation <name>``
+* ``@attribute <name> numeric|real|integer`` — numeric columns
+* ``@attribute <name> {a,b,c}`` — nominal columns (factorized to
+  0-based codes in declaration order)
+* ``@data`` followed by comma-separated rows; ``?`` = missing
+* ``%`` comments and blank lines anywhere
+
+Sparse ARFF, strings, dates and weights are out of scope and rejected
+loudly.  A nominal attribute may be designated the class column, which
+lands in ``Dataset.labels`` (matching the arrhythmia protocol).
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+import numpy as np
+
+from ..exceptions import DatasetError
+from .loaders import Dataset
+
+__all__ = ["load_arff"]
+
+_NUMERIC_TYPES = {"numeric", "real", "integer"}
+
+
+def _split_attribute(line: str) -> tuple[str, str]:
+    """Split an ``@attribute`` line into (name, type-spec)."""
+    body = line[len("@attribute") :].strip()
+    if not body:
+        raise DatasetError(f"malformed @attribute line: {line!r}")
+    if body[0] in "'\"":
+        quote = body[0]
+        end = body.find(quote, 1)
+        if end < 0:
+            raise DatasetError(f"unterminated attribute name: {line!r}")
+        return body[1:end], body[end + 1 :].strip()
+    parts = body.split(None, 1)
+    if len(parts) != 2:
+        raise DatasetError(f"malformed @attribute line: {line!r}")
+    return parts[0], parts[1].strip()
+
+
+def load_arff(
+    source,
+    *,
+    name: str | None = None,
+    label_attribute: str | None = None,
+) -> Dataset:
+    """Load an ARFF file (path, file-like, or inline text) into a Dataset.
+
+    Parameters
+    ----------
+    source:
+        Path to a ``.arff`` file, a file-like object, or the ARFF text
+        itself (auto-detected by the presence of newlines).
+    name:
+        Dataset name override (defaults to the ``@relation`` name).
+    label_attribute:
+        Name of the attribute to split out as class labels; must be a
+        nominal attribute.
+    """
+    if isinstance(source, (str, Path)) and "\n" not in str(source):
+        path = Path(source)
+        if not path.exists():
+            raise DatasetError(f"ARFF file not found: {path}")
+        text = path.read_text()
+    elif isinstance(source, str):
+        text = source
+    else:
+        text = source.read()
+
+    relation: str | None = None
+    attributes: list[tuple[str, dict[str, int] | None]] = []
+    data_rows: list[list[str]] = []
+    in_data = False
+    for raw_line in io.StringIO(text):
+        line = raw_line.strip()
+        if not line or line.startswith("%"):
+            continue
+        lowered = line.lower()
+        if in_data:
+            if line.startswith("{"):
+                raise DatasetError("sparse ARFF data is not supported")
+            data_rows.append([token.strip() for token in line.split(",")])
+        elif lowered.startswith("@relation"):
+            relation = line.split(None, 1)[1].strip("'\"") if " " in line else "arff"
+        elif lowered.startswith("@attribute"):
+            attr_name, spec = _split_attribute(line)
+            spec_lower = spec.lower()
+            if spec_lower in _NUMERIC_TYPES:
+                attributes.append((attr_name, None))
+            elif spec.startswith("{") and spec.endswith("}"):
+                levels = [
+                    token.strip().strip("'\"")
+                    for token in spec[1:-1].split(",")
+                ]
+                attributes.append(
+                    (attr_name, {level: i for i, level in enumerate(levels)})
+                )
+            else:
+                raise DatasetError(
+                    f"unsupported attribute type {spec!r} for "
+                    f"{attr_name!r} (only numeric and nominal are supported)"
+                )
+        elif lowered.startswith("@data"):
+            if not attributes:
+                raise DatasetError("@data before any @attribute declaration")
+            in_data = True
+        else:
+            raise DatasetError(f"unrecognized ARFF directive: {line!r}")
+
+    if not in_data:
+        raise DatasetError("ARFF input has no @data section")
+    if not data_rows:
+        raise DatasetError("ARFF @data section is empty")
+
+    label_index: int | None = None
+    if label_attribute is not None:
+        names = [attr_name for attr_name, _ in attributes]
+        try:
+            label_index = names.index(label_attribute)
+        except ValueError:
+            raise DatasetError(
+                f"label attribute {label_attribute!r} not declared; "
+                f"attributes: {names}"
+            ) from None
+        if attributes[label_index][1] is None:
+            raise DatasetError(
+                f"label attribute {label_attribute!r} must be nominal"
+            )
+
+    n_attrs = len(attributes)
+    feature_slots = [i for i in range(n_attrs) if i != label_index]
+    values = np.full((len(data_rows), len(feature_slots)), np.nan)
+    labels = (
+        np.empty(len(data_rows), dtype=np.int64) if label_index is not None else None
+    )
+    for r, row in enumerate(data_rows):
+        if len(row) != n_attrs:
+            raise DatasetError(
+                f"data row {r} has {len(row)} values for {n_attrs} attributes"
+            )
+        for out_col, src in enumerate(feature_slots):
+            token = row[src].strip().strip("'\"")
+            _, levels = attributes[src]
+            if token == "?":
+                continue
+            if levels is None:
+                try:
+                    values[r, out_col] = float(token)
+                except ValueError:
+                    raise DatasetError(
+                        f"row {r}: {token!r} is not numeric for attribute "
+                        f"{attributes[src][0]!r}"
+                    ) from None
+            else:
+                try:
+                    values[r, out_col] = levels[token]
+                except KeyError:
+                    raise DatasetError(
+                        f"row {r}: {token!r} is not a declared level of "
+                        f"{attributes[src][0]!r}"
+                    ) from None
+        if label_index is not None:
+            token = row[label_index].strip().strip("'\"")
+            levels = attributes[label_index][1]
+            if token == "?":
+                raise DatasetError(f"row {r}: missing class label")
+            try:
+                labels[r] = levels[token]
+            except KeyError:
+                raise DatasetError(
+                    f"row {r}: {token!r} is not a declared class level"
+                ) from None
+
+    return Dataset(
+        name=name or relation or "arff",
+        values=values,
+        feature_names=tuple(attributes[i][0] for i in feature_slots),
+        labels=labels,
+        metadata={"source": "arff"},
+    )

@@ -1,0 +1,100 @@
+"""Dataset writers: CSV and ARFF output (round-trips with the loaders).
+
+Useful for materializing the synthetic stand-ins (so other tools can
+consume the exact data a benchmark ran on) and for saving cleaned /
+preprocessed matrices.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from ..exceptions import DatasetError
+from .loaders import Dataset
+
+__all__ = ["write_csv", "write_arff"]
+
+
+def _label_column_name(dataset: Dataset, label_column: str) -> str:
+    if label_column in dataset.feature_names:
+        raise DatasetError(
+            f"label column name {label_column!r} collides with a feature"
+        )
+    return label_column
+
+
+def write_csv(
+    dataset: Dataset,
+    path,
+    *,
+    label_column: str = "class",
+    missing_token: str = "?",
+    float_format: str = "{:.10g}",
+) -> Path:
+    """Write *dataset* as a headered CSV (NaN → *missing_token*).
+
+    Labels, when present, are appended as the last column under
+    *label_column*.  The output round-trips through
+    :func:`repro.data.loaders.load_csv` with the matching
+    ``label_column`` argument.
+    """
+    path = Path(path)
+    header = list(dataset.feature_names)
+    if dataset.labels is not None:
+        header.append(_label_column_name(dataset, label_column))
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        for i in range(dataset.n_points):
+            row = [
+                missing_token if np.isnan(v) else float_format.format(v)
+                for v in dataset.values[i]
+            ]
+            if dataset.labels is not None:
+                row.append(str(int(dataset.labels[i])))
+            writer.writerow(row)
+    return path
+
+
+def write_arff(
+    dataset: Dataset,
+    path,
+    *,
+    label_column: str = "class",
+    float_format: str = "{:.10g}",
+) -> Path:
+    """Write *dataset* as ARFF (all features numeric; labels nominal).
+
+    Round-trips through :func:`repro.data.arff.load_arff` with
+    ``label_attribute=label_column`` — class codes are emitted as the
+    nominal levels ``c<code>`` in ascending code order, so factorization
+    recovers the original integer codes up to that order-preserving
+    relabelling.
+    """
+    path = Path(path)
+    lines = [f"@relation {dataset.name or 'repro'}"]
+    for name in dataset.feature_names:
+        safe = f"'{name}'" if any(c.isspace() for c in name) else name
+        lines.append(f"@attribute {safe} numeric")
+    level_of: dict[int, str] = {}
+    if dataset.labels is not None:
+        codes = sorted(set(int(c) for c in dataset.labels))
+        level_of = {code: f"c{code}" for code in codes}
+        levels = ",".join(level_of[code] for code in codes)
+        lines.append(
+            f"@attribute {_label_column_name(dataset, label_column)} {{{levels}}}"
+        )
+    lines.append("@data")
+    for i in range(dataset.n_points):
+        row = [
+            "?" if np.isnan(v) else float_format.format(v)
+            for v in dataset.values[i]
+        ]
+        if dataset.labels is not None:
+            row.append(level_of[int(dataset.labels[i])])
+        lines.append(",".join(row))
+    path.write_text("\n".join(lines) + "\n")
+    return path

@@ -1,0 +1,52 @@
+"""Name → dataset registry used by the CLI and benchmarks."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..exceptions import DatasetError
+from .loaders import Dataset
+from .synthetic import figure1_views
+from .uci import (
+    arrhythmia,
+    breast_cancer,
+    housing,
+    ionosphere,
+    machine,
+    musk,
+    segmentation,
+)
+
+__all__ = ["DATASETS", "load_dataset"]
+
+#: All built-in datasets by name.  Every entry is a zero-argument-callable
+#: (seeded internally) returning a :class:`~repro.data.loaders.Dataset`.
+DATASETS: dict[str, Callable[[], Dataset]] = {
+    "breast_cancer": breast_cancer,
+    "ionosphere": ionosphere,
+    "segmentation": segmentation,
+    "musk": musk,
+    "machine": machine,
+    "arrhythmia": arrhythmia,
+    "housing": housing,
+    "figure1_views": figure1_views,
+}
+
+
+def load_dataset(name: str, random_state=None) -> Dataset:
+    """Load a built-in dataset by name.
+
+    Raises
+    ------
+    DatasetError
+        For unknown names (the message lists what is available).
+    """
+    try:
+        factory = DATASETS[name]
+    except KeyError:
+        raise DatasetError(
+            f"unknown dataset {name!r}; available: {sorted(DATASETS)}"
+        ) from None
+    if random_state is None:
+        return factory()
+    return factory(random_state=random_state)

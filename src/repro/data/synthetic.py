@@ -1,0 +1,251 @@
+"""Synthetic data with planted subspace anomalies.
+
+The paper's entire premise (Figure 1) is that real high-dimensional
+data contains *structured* low-dimensional cross-sections — correlated
+attribute pairs, clusters — embedded among noisy ones, and that the
+interesting outliers break the structure of some cross-section while
+staying unremarkable on every marginal.  The generators here produce
+exactly that geometry:
+
+* :func:`correlated_block_data` — disjoint blocks of strongly
+  correlated attributes (the structured views) padded with independent
+  noise attributes (the noisy views);
+* :func:`plant_rare_combinations` — the "person below 20 with
+  diabetes" construction (§1.4): a planted point takes a *low* marginal
+  range on one attribute of a block and a *high* marginal range on a
+  correlated partner.  Each coordinate is individually inside the data
+  range, so full-dimensional distances barely notice, but the joint
+  grid cell is nearly empty;
+* :func:`figure1_views` — the 4-view example of Figure 1 with outliers
+  A and B, each visible in exactly one structured view.
+
+Everything is seeded and deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._validation import check_positive_int, check_rng
+from ..exceptions import DatasetError, ValidationError
+from .loaders import Dataset
+
+__all__ = [
+    "AnomalyPlan",
+    "uniform_noise",
+    "correlated_block_data",
+    "plant_rare_combinations",
+    "figure1_views",
+]
+
+
+@dataclass(frozen=True)
+class AnomalyPlan:
+    """Ground truth about planted anomalies.
+
+    Attributes
+    ----------
+    indices:
+        Row indices of the planted points, in planting order.
+    subspaces:
+        For each planted point (aligned with ``indices``), the tuple of
+        dimensions whose joint combination was made rare.
+    """
+
+    indices: np.ndarray
+    subspaces: tuple[tuple[int, ...], ...]
+
+    def __post_init__(self) -> None:
+        indices = np.asarray(self.indices, dtype=np.intp)
+        object.__setattr__(self, "indices", indices)
+        object.__setattr__(
+            self, "subspaces", tuple(tuple(int(d) for d in s) for s in self.subspaces)
+        )
+
+    @property
+    def n_anomalies(self) -> int:
+        """Number of planted points."""
+        return int(self.indices.size)
+
+
+def uniform_noise(n_points: int, n_dims: int, random_state=None) -> np.ndarray:
+    """Uniform [0, 1) noise matrix — the fully unstructured control."""
+    rng = check_rng(random_state)
+    return rng.random(
+        (
+            check_positive_int(n_points, "n_points"),
+            check_positive_int(n_dims, "n_dims"),
+        )
+    )
+
+
+def correlated_block_data(
+    n_points: int,
+    n_dims: int,
+    n_blocks: int,
+    *,
+    block_size: int = 2,
+    correlation_noise: float = 0.25,
+    n_clusters: int = 2,
+    cluster_spread: float = 2.5,
+    random_state=None,
+) -> tuple[np.ndarray, tuple[tuple[int, ...], ...]]:
+    """Gaussian data with correlated attribute blocks plus noise dims.
+
+    The first ``n_blocks * block_size`` dimensions are grouped into
+    blocks; within a block every attribute equals a shared latent
+    variable plus small independent noise, so the block's attributes
+    are strongly correlated.  Latents are drawn from an ``n_clusters``
+    mixture, giving each structured cross-section visible cluster
+    structure (Figure 1's views 1 and 4).  The remaining dimensions are
+    independent standard normal noise (views 2 and 3).
+
+    Returns
+    -------
+    (data, blocks):
+        The ``(n_points, n_dims)`` matrix and the tuple of blocks, each
+        a tuple of the dimension indices it spans.
+    """
+    n_points = check_positive_int(n_points, "n_points")
+    n_dims = check_positive_int(n_dims, "n_dims")
+    n_blocks = check_positive_int(n_blocks, "n_blocks", minimum=0)
+    block_size = check_positive_int(block_size, "block_size", minimum=2)
+    n_clusters = check_positive_int(n_clusters, "n_clusters")
+    if n_blocks * block_size > n_dims:
+        raise ValidationError(
+            f"{n_blocks} blocks of size {block_size} do not fit in "
+            f"{n_dims} dimensions"
+        )
+    rng = check_rng(random_state)
+    data = rng.normal(size=(n_points, n_dims))
+    blocks = []
+    for b in range(n_blocks):
+        dims = tuple(range(b * block_size, (b + 1) * block_size))
+        centers = rng.normal(scale=cluster_spread, size=n_clusters)
+        assignment = rng.integers(0, n_clusters, size=n_points)
+        latent = centers[assignment] + rng.normal(scale=1.0, size=n_points)
+        for dim in dims:
+            data[:, dim] = latent + rng.normal(
+                scale=correlation_noise, size=n_points
+            )
+        blocks.append(dims)
+    return data, tuple(blocks)
+
+
+def plant_rare_combinations(
+    data: np.ndarray,
+    blocks: tuple[tuple[int, ...], ...],
+    n_anomalies: int | None = None,
+    *,
+    indices=None,
+    low_quantile: float = 0.08,
+    high_quantile: float = 0.92,
+    random_state=None,
+) -> AnomalyPlan:
+    """Plant §1.4-style rare combinations into *data* (mutated in place).
+
+    Each planted point is assigned a block and gets the block's first
+    attribute moved to a **low** marginal quantile and its second to a
+    **high** marginal quantile.  Because the block's attributes are
+    strongly positively correlated, the low+high combination is almost
+    unpopulated — a near-empty grid cell in the 2-dimensional
+    projection — while both coordinates stay well inside the observed
+    marginal ranges, leaving full-dimensional distances unremarkable.
+
+    Points are drawn without replacement (or taken from *indices* when
+    given, in which case *n_anomalies* is ignored); blocks are used
+    round-robin.
+    """
+    if not blocks:
+        raise DatasetError("plant_rare_combinations needs at least one block")
+    rng = check_rng(random_state)
+    if indices is not None:
+        chosen = np.asarray(indices, dtype=np.intp)
+        if chosen.size == 0:
+            return AnomalyPlan(indices=chosen, subspaces=())
+        if chosen.min() < 0 or chosen.max() >= data.shape[0]:
+            raise ValidationError("planting indices out of range")
+    else:
+        n_anomalies = check_positive_int(n_anomalies, "n_anomalies")
+        if n_anomalies > data.shape[0]:
+            raise ValidationError(
+                f"cannot plant {n_anomalies} anomalies in {data.shape[0]} points"
+            )
+        chosen = rng.choice(data.shape[0], size=n_anomalies, replace=False)
+    subspaces = []
+    for i, point in enumerate(chosen):
+        dims = blocks[i % len(blocks)][:2]
+        low_dim, high_dim = dims
+        low_value = np.quantile(data[:, low_dim], low_quantile)
+        high_value = np.quantile(data[:, high_dim], high_quantile)
+        jitter = rng.normal(scale=0.02, size=2)
+        data[point, low_dim] = low_value + jitter[0]
+        data[point, high_dim] = high_value + jitter[1]
+        subspaces.append(dims)
+    return AnomalyPlan(indices=chosen, subspaces=tuple(subspaces))
+
+
+def figure1_views(
+    n_points: int = 500,
+    n_noise_dims: int = 76,
+    *,
+    random_state=None,
+) -> Dataset:
+    """The Figure 1 scenario: 4 two-dimensional views + outliers A and B.
+
+    Views 1 and 4 (dimension pairs ``(0, 1)`` and ``(2, 3)``) carry
+    tight correlation structure; the remaining dimensions — including
+    the pairs one might call views 2 and 3 — are independent noise.
+    Outlier **A** (last-but-one row) breaks view 1's correlation,
+    outlier **B** (last row) breaks view 4's; both look average in
+    every other view and — because the many noise dimensions dominate
+    the metric, exactly the paper's point — in full-dimensional
+    distance.
+
+    Returns a :class:`Dataset` with ``planted_outliers`` set and the
+    view layout in ``metadata``.
+    """
+    n_points = check_positive_int(n_points, "n_points", minimum=10)
+    n_noise_dims = check_positive_int(n_noise_dims, "n_noise_dims", minimum=0)
+    rng = check_rng(108 if random_state is None else random_state)
+    data, blocks = correlated_block_data(
+        n_points,
+        4 + n_noise_dims,
+        n_blocks=2,
+        block_size=2,
+        correlation_noise=0.2,
+        n_clusters=1,
+        random_state=rng,
+    )
+    point_a = n_points - 2
+    point_b = n_points - 1
+    # Outlier A: low on dim 0, high on dim 1 (breaks view 1).
+    data[point_a, 0] = np.quantile(data[:, 0], 0.06)
+    data[point_a, 1] = np.quantile(data[:, 1], 0.94)
+    # Outlier B: high on dim 2, low on dim 3 (breaks view 4).
+    data[point_b, 2] = np.quantile(data[:, 2], 0.94)
+    data[point_b, 3] = np.quantile(data[:, 3], 0.06)
+    names = tuple(
+        ["view1_x", "view1_y", "view4_x", "view4_y"]
+        + [f"noise{i}" for i in range(n_noise_dims)]
+    )
+    return Dataset(
+        name="figure1_views",
+        values=data,
+        feature_names=names,
+        planted_outliers=np.array([point_a, point_b]),
+        metadata={
+            "phi": 5,
+            "views": {
+                "view1": (0, 1),
+                "view2": (4, 5) if n_noise_dims >= 2 else None,
+                "view3": (6, 7) if n_noise_dims >= 4 else None,
+                "view4": (2, 3),
+            },
+            "outlier_A": point_a,
+            "outlier_B": point_b,
+            "paper_figure": "Figure 1",
+        },
+    )

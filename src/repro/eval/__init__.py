@@ -1,0 +1,55 @@
+"""Evaluation harness: metrics, timed runs, and paper-style tables."""
+
+from .metrics import (
+    enrichment_lift,
+    jaccard_overlap,
+    rare_class_report,
+    recall_of_planted,
+)
+from .harness import ExperimentResult, timed_detection
+from .comparison import ComparisonRow, build_table1, render_table
+from .calibration import (
+    column_permuted,
+    empirical_p_value,
+    permutation_null_best_coefficients,
+)
+from .ranking import (
+    outlyingness_from_subspace_scores,
+    precision_at,
+    roc_auc,
+)
+from .sweeps import render_sweep, sweep_detector_parameter
+from .protocols import (
+    ArrhythmiaProtocolResult,
+    Figure1ProtocolResult,
+    HousingProtocolResult,
+    run_arrhythmia_protocol,
+    run_figure1_protocol,
+    run_housing_protocol,
+)
+
+__all__ = [
+    "rare_class_report",
+    "enrichment_lift",
+    "recall_of_planted",
+    "jaccard_overlap",
+    "ExperimentResult",
+    "timed_detection",
+    "ComparisonRow",
+    "build_table1",
+    "render_table",
+    "ArrhythmiaProtocolResult",
+    "Figure1ProtocolResult",
+    "HousingProtocolResult",
+    "run_arrhythmia_protocol",
+    "run_figure1_protocol",
+    "run_housing_protocol",
+    "column_permuted",
+    "permutation_null_best_coefficients",
+    "empirical_p_value",
+    "sweep_detector_parameter",
+    "render_sweep",
+    "roc_auc",
+    "precision_at",
+    "outlyingness_from_subspace_scores",
+]

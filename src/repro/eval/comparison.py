@@ -1,0 +1,141 @@
+"""Paper-style comparison tables (Table 1 reconstruction).
+
+Builds the brute / gen / gen° grid over a list of datasets and renders
+it as fixed-width text the way the paper lays it out: one row per
+dataset, time and quality per algorithm, ``-`` for runs that did not
+complete (the paper's musk brute-force cell), and ``(*)`` marking
+datasets where the evolutionary search matched the brute-force optimum
+quality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..data.loaders import Dataset
+from ..search.evolutionary.config import EvolutionaryConfig
+from .harness import ExperimentResult, timed_detection
+
+__all__ = ["ComparisonRow", "build_table1", "render_table"]
+
+_QUALITY_MATCH_TOLERANCE = 1e-6
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """One Table 1 row: a dataset measured under all three algorithms."""
+
+    dataset: str
+    n_dims: int
+    brute: ExperimentResult | None
+    gen: ExperimentResult
+    gen_opt: ExperimentResult
+
+    @property
+    def gen_opt_matches_brute(self) -> bool:
+        """True when Gen° reaches brute-force quality (the paper's ``*``)."""
+        if self.brute is None or not self.brute.completed:
+            return False
+        return abs(self.gen_opt.quality - self.brute.quality) <= max(
+            _QUALITY_MATCH_TOLERANCE, 1e-3 * abs(self.brute.quality)
+        )
+
+
+def build_table1(
+    datasets: Sequence[Dataset],
+    *,
+    n_projections: int = 20,
+    config: EvolutionaryConfig | None = None,
+    brute_max_seconds: float | None = None,
+    skip_brute_above_dims: int | None = None,
+    random_state: int = 0,
+) -> list[ComparisonRow]:
+    """Run the full Table 1 protocol over *datasets*.
+
+    Parameters
+    ----------
+    brute_max_seconds:
+        Budget after which a brute-force run is declared not completed
+        (reported as ``-``, like the paper's musk row).
+    skip_brute_above_dims:
+        Skip brute force entirely above this dimensionality (the
+        paper could not even start it on 160-dimensional musk for
+        k = 3).
+    """
+    rows = []
+    for dataset in datasets:
+        brute: ExperimentResult | None = None
+        skip = (
+            skip_brute_above_dims is not None
+            and dataset.n_dims > skip_brute_above_dims
+        )
+        if not skip:
+            brute = timed_detection(
+                dataset,
+                "brute",
+                n_projections=n_projections,
+                max_seconds=brute_max_seconds,
+            )
+        gen = timed_detection(
+            dataset,
+            "gen",
+            n_projections=n_projections,
+            config=config,
+            random_state=random_state,
+        )
+        gen_opt = timed_detection(
+            dataset,
+            "gen_opt",
+            n_projections=n_projections,
+            config=config,
+            random_state=random_state,
+        )
+        rows.append(
+            ComparisonRow(
+                dataset=dataset.name,
+                n_dims=dataset.n_dims,
+                brute=brute,
+                gen=gen,
+                gen_opt=gen_opt,
+            )
+        )
+    return rows
+
+
+def _fmt_time(cell: ExperimentResult | None) -> str:
+    if cell is None or not cell.completed:
+        return "-"
+    return f"{cell.elapsed_seconds:.3f}"
+
+
+def _fmt_quality(cell: ExperimentResult | None, star: bool = False) -> str:
+    if cell is None or not cell.completed or cell.quality != cell.quality:
+        return "-"
+    text = f"{cell.quality:.2f}"
+    return f"{text} (*)" if star else text
+
+
+def render_table(rows: Sequence[ComparisonRow]) -> str:
+    """Fixed-width text table in the paper's Table 1 layout."""
+    header = (
+        f"{'Data Set':<22}{'Brute':>10}{'Gen':>10}{'Gen^o':>10}"
+        f"{'Brute':>12}{'Gen':>12}{'Gen^o':>14}"
+    )
+    subheader = (
+        f"{'':<22}{'(time s)':>10}{'(time s)':>10}{'(time s)':>10}"
+        f"{'(quality)':>12}{'(quality)':>12}{'(quality)':>14}"
+    )
+    lines = [header, subheader, "-" * len(header)]
+    for row in rows:
+        name = f"{row.dataset} ({row.n_dims})"
+        lines.append(
+            f"{name:<22}"
+            f"{_fmt_time(row.brute):>10}"
+            f"{_fmt_time(row.gen):>10}"
+            f"{_fmt_time(row.gen_opt):>10}"
+            f"{_fmt_quality(row.brute):>12}"
+            f"{_fmt_quality(row.gen):>12}"
+            f"{_fmt_quality(row.gen_opt, star=row.gen_opt_matches_brute):>14}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,46 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch library failures with a single
+``except`` clause while still letting programming errors (``TypeError``
+from misuse of numpy, etc.) propagate unchanged.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ValidationError",
+    "NotFittedError",
+    "DiscretizationError",
+    "SearchError",
+    "DatasetError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An argument failed validation (wrong range, shape, or type).
+
+    Subclasses ``ValueError`` so that idiomatic ``except ValueError``
+    handlers written against the public API keep working.
+    """
+
+
+class NotFittedError(ReproError, RuntimeError):
+    """A component was used before ``fit`` (or equivalent) was called."""
+
+
+class DiscretizationError(ReproError):
+    """The grid discretizer could not build valid equi-depth ranges."""
+
+
+class SearchError(ReproError):
+    """A projection search (brute-force or evolutionary) failed."""
+
+
+class DatasetError(ReproError):
+    """A dataset could not be loaded, parsed, or generated."""

@@ -1,0 +1,16 @@
+"""Grid discretization substrate: equi-depth ranges and cube counting."""
+
+from .cells import CellAssignment, MISSING_CELL
+from .discretizer import EquiDepthDiscretizer, EquiWidthDiscretizer, GridDiscretizer
+from .counter import CubeCounter
+from .packed_counter import PackedCubeCounter
+
+__all__ = [
+    "CellAssignment",
+    "MISSING_CELL",
+    "GridDiscretizer",
+    "EquiDepthDiscretizer",
+    "EquiWidthDiscretizer",
+    "CubeCounter",
+    "PackedCubeCounter",
+]

@@ -1,0 +1,84 @@
+"""Bit-packed cube counting: 8x less mask memory, popcount counting.
+
+:class:`~repro.grid.counter.CubeCounter` stores one boolean byte per
+point per (dimension, range) pair — ``d·φ·N`` bytes.  At the paper's
+scale that is nothing, but the same system applied to millions of rows
+and hundreds of attributes pays real memory (1 GB at N = 10⁶, d = 100,
+φ = 10).  :class:`PackedCubeCounter` packs each membership mask into
+bits (``numpy.packbits``) and counts cubes with AND + popcount over
+``uint8`` words, cutting mask storage by 8x while returning *exactly*
+the same counts (equivalence is property-tested).
+
+It is a drop-in subclass: every public method of ``CubeCounter`` —
+``count``, ``mask``, ``extension_counts``, ``covered_points`` — behaves
+identically, so the searchers accept it unchanged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.subspace import Subspace
+from .counter import CubeCounter
+
+__all__ = ["PackedCubeCounter"]
+
+
+class PackedCubeCounter(CubeCounter):
+    """A :class:`CubeCounter` with bit-packed membership masks.
+
+    Same constructor, same behaviour; the only observable differences
+    are memory footprint (masks shrink 8x) and the per-count cost
+    profile (AND + popcount over packed words instead of boolean
+    reduction).
+    """
+
+    def _build_masks(self) -> None:
+        codes = self.cells.codes
+        phi = self.cells.n_ranges
+        n = self.cells.n_points
+        self._n_words = (n + 7) // 8
+        # packed[dim] is a (phi, n_words) uint8 array: bit j of word w
+        # marks point 8*w + j (big-endian bit order, numpy default).
+        self._masks: list[np.ndarray] = []
+        for j in range(self.cells.n_dims):
+            col = codes[:, j]
+            dense = np.zeros((phi, n), dtype=bool)
+            observed = col >= 0
+            dense[col[observed], np.nonzero(observed)[0]] = True
+            self._masks.append(np.packbits(dense, axis=1))
+
+    # ------------------------------------------------------------------
+    def _packed_cube(self, subspace: Subspace) -> np.ndarray:
+        """AND of the cube's packed masks (all-ones for the empty cube)."""
+        if not subspace.dims:
+            out = np.full(self._n_words, 0xFF, dtype=np.uint8)
+            # Mask off the padding bits past N.
+            tail = self.cells.n_points % 8
+            if tail:
+                out[-1] = (0xFF << (8 - tail)) & 0xFF
+            return out
+        dim0, rng0 = subspace.dims[0], subspace.ranges[0]
+        out = self._masks[dim0][rng0].copy()
+        for dim, rng in list(subspace)[1:]:
+            np.bitwise_and(out, self._masks[dim][rng], out=out)
+        return out
+
+    def _count_uncached(self, subspace: Subspace) -> int:
+        return int(np.bitwise_count(self._packed_cube(subspace)).sum())
+
+    def mask(self, subspace: Subspace) -> np.ndarray:
+        """Boolean membership mask (unpacked from the bit representation)."""
+        self._check_subspace(subspace)
+        packed = self._packed_cube(subspace)
+        return np.unpackbits(packed, count=self.cells.n_points).view(bool)
+
+    def mask_memory_bytes(self) -> int:
+        """Total bytes held by the packed per-range masks."""
+        return sum(mask.nbytes for mask in self._masks)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PackedCubeCounter(N={self.n_points}, d={self.n_dims}, "
+            f"phi={self.n_ranges}, masks={self.mask_memory_bytes()}B)"
+        )

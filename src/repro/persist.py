@@ -1,0 +1,227 @@
+"""Persistence: JSON round-trips for results and fitted models.
+
+Two levels of persistence:
+
+* **results** — :func:`result_to_dict` / :func:`result_from_dict`
+  serialize a :class:`~repro.core.results.DetectionResult` (and the
+  subspaces/projections inside it) to plain JSON-compatible data, e.g.
+  for the CLI's ``--output json``;
+* **models** — :func:`save_model` captures everything needed to score
+  *new* data later — the fitted grid boundaries and the mined
+  projections — and :func:`load_model` restores it as a
+  :class:`SavedModel` with ``score``/``predict`` identical to the
+  live detector's.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ._validation import check_matrix
+from .core.results import DetectionResult, ScoredProjection
+from .core.subspace import Subspace
+from .exceptions import NotFittedError, ValidationError
+from .grid.discretizer import EquiDepthDiscretizer
+
+__all__ = [
+    "subspace_to_dict",
+    "subspace_from_dict",
+    "projection_to_dict",
+    "projection_from_dict",
+    "result_to_dict",
+    "result_from_dict",
+    "SavedModel",
+    "save_model",
+    "load_model",
+]
+
+_FORMAT_VERSION = 1
+
+
+def _check_format_version(payload: Mapping, what: str) -> None:
+    """Refuse payloads written by a newer library version."""
+    version = payload.get("format_version", 1)
+    if not isinstance(version, int) or version > _FORMAT_VERSION:
+        raise ValidationError(
+            f"{what} was written with format version {version!r}; this "
+            f"library reads up to version {_FORMAT_VERSION} — upgrade repro"
+        )
+
+
+def subspace_to_dict(subspace: Subspace) -> dict:
+    """JSON-compatible representation of a cube."""
+    return {"dims": list(subspace.dims), "ranges": list(subspace.ranges)}
+
+
+def subspace_from_dict(payload: Mapping) -> Subspace:
+    """Inverse of :func:`subspace_to_dict`."""
+    try:
+        return Subspace(tuple(payload["dims"]), tuple(payload["ranges"]))
+    except (KeyError, TypeError) as exc:
+        raise ValidationError(f"malformed subspace payload: {exc}") from None
+
+
+def projection_to_dict(projection: ScoredProjection) -> dict:
+    """JSON-compatible representation of a scored projection."""
+    return {
+        "subspace": subspace_to_dict(projection.subspace),
+        "count": projection.count,
+        "coefficient": projection.coefficient,
+    }
+
+
+def projection_from_dict(payload: Mapping) -> ScoredProjection:
+    """Inverse of :func:`projection_to_dict`."""
+    try:
+        return ScoredProjection(
+            subspace=subspace_from_dict(payload["subspace"]),
+            count=int(payload["count"]),
+            coefficient=float(payload["coefficient"]),
+        )
+    except (KeyError, TypeError) as exc:
+        raise ValidationError(f"malformed projection payload: {exc}") from None
+
+
+def result_to_dict(result: DetectionResult) -> dict:
+    """JSON-compatible representation of a full detection result."""
+    return {
+        "format_version": _FORMAT_VERSION,
+        "projections": [projection_to_dict(p) for p in result.projections],
+        "outlier_indices": result.outlier_indices.tolist(),
+        "n_points": result.n_points,
+        "n_dims": result.n_dims,
+        "n_ranges": result.n_ranges,
+        "dimensionality": result.dimensionality,
+        "coverage": {str(k): list(v) for k, v in result.coverage.items()},
+        "stats": {k: v for k, v in result.stats.items()},
+    }
+
+
+def result_from_dict(payload: Mapping) -> DetectionResult:
+    """Inverse of :func:`result_to_dict`."""
+    _check_format_version(payload, "result payload")
+    try:
+        return DetectionResult(
+            projections=tuple(
+                projection_from_dict(p) for p in payload["projections"]
+            ),
+            outlier_indices=np.asarray(payload["outlier_indices"], dtype=np.intp),
+            n_points=int(payload["n_points"]),
+            n_dims=int(payload["n_dims"]),
+            n_ranges=int(payload["n_ranges"]),
+            dimensionality=int(payload["dimensionality"]),
+            coverage={
+                int(k): tuple(v) for k, v in payload.get("coverage", {}).items()
+            },
+            stats=dict(payload.get("stats", {})),
+        )
+    except (KeyError, TypeError) as exc:
+        raise ValidationError(f"malformed result payload: {exc}") from None
+
+
+@dataclass(frozen=True)
+class SavedModel:
+    """A fitted detector, reduced to what scoring new data needs.
+
+    Attributes
+    ----------
+    boundaries:
+        Per-attribute grid cut points (φ−1 values each).
+    n_ranges:
+        Grid resolution φ.
+    projections:
+        The mined abnormal projections.
+    feature_names:
+        Optional attribute names.
+    """
+
+    boundaries: tuple[np.ndarray, ...]
+    n_ranges: int
+    projections: tuple[ScoredProjection, ...]
+    feature_names: tuple[str, ...] | None = None
+
+    # ------------------------------------------------------------------
+    def score(self, data) -> np.ndarray:
+        """Deviation scores of new points (see ``SubspaceOutlierDetector.score``)."""
+        array = check_matrix(data, "data")
+        discretizer = EquiDepthDiscretizer.from_cut_points(
+            self.boundaries, self.feature_names
+        )
+        cells = discretizer.transform(array)
+        scores = np.full(array.shape[0], np.nan)
+        for projection in self.projections:
+            covered = projection.subspace.covers(cells.codes)
+            scores[covered] = np.fmin(scores[covered], projection.coefficient)
+        return scores
+
+    def predict(self, data) -> np.ndarray:
+        """Boolean outlier mask for new points."""
+        return ~np.isnan(self.score(data))
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-compatible representation."""
+        return {
+            "format_version": _FORMAT_VERSION,
+            "n_ranges": self.n_ranges,
+            "boundaries": [cuts.tolist() for cuts in self.boundaries],
+            "feature_names": (
+                list(self.feature_names) if self.feature_names else None
+            ),
+            "projections": [projection_to_dict(p) for p in self.projections],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "SavedModel":
+        """Inverse of :meth:`to_dict`."""
+        _check_format_version(payload, "model payload")
+        try:
+            names = payload.get("feature_names")
+            return cls(
+                boundaries=tuple(
+                    np.asarray(cuts, dtype=np.float64)
+                    for cuts in payload["boundaries"]
+                ),
+                n_ranges=int(payload["n_ranges"]),
+                projections=tuple(
+                    projection_from_dict(p) for p in payload["projections"]
+                ),
+                feature_names=tuple(names) if names else None,
+            )
+        except (KeyError, TypeError) as exc:
+            raise ValidationError(f"malformed model payload: {exc}") from None
+
+
+def save_model(detector, path) -> Path:
+    """Persist a fitted :class:`SubspaceOutlierDetector` to JSON.
+
+    Requires :meth:`detect` to have run.  Returns the written path.
+    """
+    if getattr(detector, "result_", None) is None or detector.discretizer_ is None:
+        raise NotFittedError("call detect() before save_model()")
+    model = SavedModel(
+        boundaries=detector.discretizer_.boundaries,
+        n_ranges=detector.cells_.n_ranges,
+        projections=detector.result_.projections,
+        feature_names=detector.cells_.feature_names,
+    )
+    path = Path(path)
+    path.write_text(json.dumps(model.to_dict(), indent=2))
+    return path
+
+
+def load_model(path) -> SavedModel:
+    """Load a model written by :func:`save_model`."""
+    path = Path(path)
+    if not path.exists():
+        raise ValidationError(f"model file not found: {path}")
+    try:
+        payload = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ValidationError(f"model file is not valid JSON: {exc}") from None
+    return SavedModel.from_dict(payload)

@@ -1,0 +1,13 @@
+"""Projection search algorithms: brute force (Fig. 2) and evolutionary (Fig. 3)."""
+
+from .best_set import BestProjectionSet
+from .brute_force import BruteForceSearch
+from .local import HillClimbingSearch, RandomSearch, SimulatedAnnealingSearch
+
+__all__ = [
+    "BestProjectionSet",
+    "BruteForceSearch",
+    "RandomSearch",
+    "HillClimbingSearch",
+    "SimulatedAnnealingSearch",
+]

@@ -1,0 +1,40 @@
+"""Evolutionary projection search (Figures 3-6 of the paper)."""
+
+from .config import EvolutionaryConfig
+from .encoding import Solution, random_solution, WILDCARD_GENE
+from .population import FitnessEvaluator, INFEASIBLE_FITNESS
+from .selection import (
+    RankRouletteSelection,
+    SelectionOperator,
+    TournamentSelection,
+    UniformSelection,
+)
+from .crossover import (
+    CrossoverOperator,
+    OptimizedCrossover,
+    TwoPointCrossover,
+    pair_population,
+)
+from .mutation import BalancedMutation
+from .convergence import DeJongConvergence
+from .engine import EvolutionarySearch
+
+__all__ = [
+    "EvolutionaryConfig",
+    "Solution",
+    "random_solution",
+    "WILDCARD_GENE",
+    "FitnessEvaluator",
+    "INFEASIBLE_FITNESS",
+    "SelectionOperator",
+    "RankRouletteSelection",
+    "TournamentSelection",
+    "UniformSelection",
+    "CrossoverOperator",
+    "OptimizedCrossover",
+    "TwoPointCrossover",
+    "pair_population",
+    "BalancedMutation",
+    "DeJongConvergence",
+    "EvolutionarySearch",
+]

@@ -1,0 +1,288 @@
+"""Figure 3: the evolutionary outlier-search main loop.
+
+Seed a population of ``p`` random feasible strings, then iterate
+selection → crossover → mutation, folding every feasible solution ever
+evaluated into the running ``BestSet`` of the ``m`` most negative
+sparsity coefficients.  Terminate on De Jong convergence (or the
+generation / wall-clock / stall caps from the config) and report the
+best set; §2.3's postprocessing to data points happens in the detector
+facade.
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+from collections import Counter
+
+from ..._validation import check_positive_int, check_rng
+from ...exceptions import ValidationError
+from ...grid.counter import CubeCounter
+from ..best_set import BestProjectionSet
+from ..outcome import GenerationRecord, SearchOutcome
+from .config import EvolutionaryConfig
+from .convergence import DeJongConvergence
+from .crossover import CrossoverOperator, OptimizedCrossover, TwoPointCrossover
+from .encoding import Solution, seed_population
+from .mutation import BalancedMutation
+from .population import FitnessEvaluator
+from .selection import RankRouletteSelection, SelectionOperator
+
+__all__ = ["EvolutionarySearch"]
+
+logger = logging.getLogger(__name__)
+
+_CROSSOVER_ALIASES = {
+    "optimized": lambda cfg: OptimizedCrossover(cfg.max_exact_positions),
+    "two_point": lambda cfg: TwoPointCrossover(),
+}
+
+
+class EvolutionarySearch:
+    """Algorithm *EvolutionaryOutlierSearch* (Figure 3).
+
+    Parameters
+    ----------
+    counter:
+        Cube counting engine over the discretized data.
+    dimensionality:
+        k — dimensionality of mined projections.
+    n_projections:
+        m — size of the best set to maintain (None allowed only with a
+        *threshold*).
+    config:
+        GA hyper-parameters; defaults are sensible at paper scale.
+    crossover:
+        ``"optimized"`` (Figure 5, the paper's contribution),
+        ``"two_point"`` (the baseline), or any
+        :class:`~repro.search.evolutionary.crossover.CrossoverOperator`.
+    selection:
+        Defaults to the paper's rank-roulette (Figure 4).
+    require_nonempty / threshold:
+        Best-set policy, see
+        :class:`~repro.search.best_set.BestProjectionSet`.
+    random_state:
+        Seed or numpy Generator for full determinism.
+    """
+
+    def __init__(
+        self,
+        counter: CubeCounter,
+        dimensionality: int,
+        n_projections: int | None = 20,
+        *,
+        config: EvolutionaryConfig | None = None,
+        crossover: str | CrossoverOperator = "optimized",
+        selection: SelectionOperator | None = None,
+        require_nonempty: bool = True,
+        threshold: float | None = None,
+        random_state=None,
+    ):
+        if not isinstance(counter, CubeCounter):
+            raise ValidationError(
+                f"counter must be a CubeCounter, got {type(counter).__name__}"
+            )
+        self.counter = counter
+        self.dimensionality = check_positive_int(dimensionality, "dimensionality")
+        if self.dimensionality > counter.n_dims:
+            raise ValidationError(
+                f"dimensionality ({self.dimensionality}) exceeds data "
+                f"dimensionality ({counter.n_dims})"
+            )
+        self.n_projections = n_projections
+        self.config = config or EvolutionaryConfig()
+        if isinstance(crossover, str):
+            try:
+                self.crossover: CrossoverOperator = _CROSSOVER_ALIASES[crossover](
+                    self.config
+                )
+            except KeyError:
+                raise ValidationError(
+                    f"unknown crossover {crossover!r}; expected one of "
+                    f"{sorted(_CROSSOVER_ALIASES)} or a CrossoverOperator"
+                ) from None
+        elif isinstance(crossover, CrossoverOperator):
+            self.crossover = crossover
+        else:
+            raise ValidationError(
+                f"crossover must be a name or CrossoverOperator, got "
+                f"{type(crossover).__name__}"
+            )
+        self.selection = selection or RankRouletteSelection()
+        self.require_nonempty = require_nonempty
+        self.threshold = threshold
+        self.random_state = random_state
+
+    # ------------------------------------------------------------------
+    def run(self) -> SearchOutcome:
+        """Execute the GA (all restarts) and return the mined best set."""
+        rng = check_rng(self.random_state)
+        cfg = self.config
+        evaluator = FitnessEvaluator(self.counter, self.dimensionality)
+        mutation = BalancedMutation(
+            cfg.mutation_swap_probability,
+            cfg.mutation_flip_probability,
+            self.counter.n_ranges,
+        )
+        convergence = DeJongConvergence(
+            cfg.convergence_threshold, mode=cfg.convergence_mode
+        )
+        best = BestProjectionSet(
+            self.n_projections,
+            require_nonempty=self.require_nonempty,
+            threshold=self.threshold,
+        )
+
+        start = time.perf_counter()
+        deadline = None if cfg.max_seconds is None else start + cfg.max_seconds
+
+        total_generations = 0
+        n_converged = 0
+        timed_out = False
+        history: list[GenerationRecord] = []
+        for restart in range(cfg.restarts):
+            generations, converged, timed_out = self._run_population(
+                rng, evaluator, mutation, convergence, best, deadline,
+                restart, history,
+            )
+            total_generations += generations
+            n_converged += int(converged)
+            logger.debug(
+                "restart %d/%d: %d generations, converged=%s, best set %d "
+                "entries (best %.3f)",
+                restart + 1, cfg.restarts, generations, converged,
+                len(best), best.best().coefficient if len(best) else float("nan"),
+            )
+            if timed_out:
+                logger.warning("evolutionary search hit its time budget")
+                break
+
+        elapsed = time.perf_counter() - start
+        return SearchOutcome(
+            projections=tuple(best.entries()),
+            completed=not timed_out,
+            stats={
+                "elapsed_seconds": elapsed,
+                "generations": total_generations,
+                "converged": n_converged / cfg.restarts,
+                "restarts": cfg.restarts,
+                "evaluations": evaluator.n_evaluations,
+                "population_size": cfg.population_size,
+                "algorithm": f"evolutionary/{type(self.crossover).__name__}",
+            },
+            history=tuple(history),
+        )
+
+    def _run_population(
+        self,
+        rng,
+        evaluator: FitnessEvaluator,
+        mutation: BalancedMutation,
+        convergence: DeJongConvergence,
+        best: BestProjectionSet,
+        deadline: float | None,
+        restart: int = 0,
+        history: list | None = None,
+    ) -> tuple[int, bool, bool]:
+        """One population until convergence/caps; feeds the shared best set.
+
+        Returns ``(generations, converged, timed_out)``.
+        """
+        cfg = self.config
+        population = seed_population(
+            self.counter.n_dims,
+            self.dimensionality,
+            self.counter.n_ranges,
+            cfg.population_size,
+            rng,
+        )
+        fitnesses = self._evaluate_and_track(population, evaluator, best)
+        if cfg.track_history and history is not None:
+            history.append(
+                self._snapshot(restart, 0, population, fitnesses, best)
+            )
+
+        generation = 0
+        converged = False
+        timed_out = False
+        stall = 0
+        # `n_accepted` grows whenever the best set improves — both in
+        # bounded top-m mode and in unbounded threshold mode.
+        accepted_seen = best.n_accepted
+        while generation < cfg.max_generations:
+            if deadline is not None and time.perf_counter() >= deadline:
+                timed_out = True
+                break
+            if convergence.has_converged(population):
+                converged = True
+                break
+            elites: list[Solution] = []
+            if cfg.elitism:
+                order = sorted(range(len(population)), key=lambda i: fitnesses[i])
+                elites = [population[i] for i in order[: cfg.elitism]]
+            population = self.selection.select(population, fitnesses, rng)
+            population = self.crossover.apply(
+                population, evaluator, rng, cfg.crossover_rate
+            )
+            population = mutation.apply(population, rng)
+            if elites:
+                # Elites replace the tail of the new population verbatim,
+                # shielding the best solutions from crossover/mutation.
+                population[-len(elites):] = elites
+            fitnesses = self._evaluate_and_track(population, evaluator, best)
+            generation += 1
+            if cfg.track_history and history is not None:
+                history.append(
+                    self._snapshot(restart, generation, population, fitnesses, best)
+                )
+            if cfg.stall_generations is not None:
+                if best.n_accepted > accepted_seen:
+                    accepted_seen = best.n_accepted
+                    stall = 0
+                else:
+                    stall += 1
+                    if stall >= cfg.stall_generations:
+                        break
+        return generation, converged, timed_out
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _snapshot(
+        restart: int,
+        generation: int,
+        population: list[Solution],
+        fitnesses: list[float],
+        best: BestProjectionSet,
+    ) -> GenerationRecord:
+        """One history record (only built when track_history is on)."""
+        counts = Counter(population)
+        best_entry = best.best()
+        finite = [f for f in fitnesses if f != float("inf")]
+        return GenerationRecord(
+            restart=restart,
+            generation=generation,
+            best_coefficient=(
+                best_entry.coefficient if best_entry is not None else float("nan")
+            ),
+            best_set_size=len(best),
+            population_best=min(finite) if finite else float("inf"),
+            n_feasible=len(finite),
+            convergence=counts.most_common(1)[0][1] / len(population),
+        )
+
+    @staticmethod
+    def _evaluate_and_track(
+        population: list[Solution],
+        evaluator: FitnessEvaluator,
+        best: BestProjectionSet,
+    ) -> list[float]:
+        """Fitness of every string; feasible ones feed the best set."""
+        fitnesses = []
+        for solution in population:
+            scored = evaluator.score(solution)
+            if scored is None:
+                fitnesses.append(float("inf"))
+            else:
+                fitnesses.append(scored.coefficient)
+                best.offer(scored)
+        return fitnesses

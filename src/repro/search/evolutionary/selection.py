@@ -1,0 +1,147 @@
+"""Selection operators (Figure 4 and ablation variants).
+
+The paper uses **rank selection** with a roulette wheel: solutions are
+ranked by sparsity coefficient (most negative first, rank 1) and the
+wheel gives the i-th ranked solution a slice proportional to ``p − r(i)``
+where ``p`` is the population size.  Rank selection is preferred over
+fitness-proportional sampling because it is "often more stable" — the
+coefficient's scale varies wildly across datasets and generations, and
+rank selection is invariant to it.
+
+Three extra operators are provided for the selection ablation benchmark:
+tournament, fitness-proportional (on shifted coefficients), and uniform
+(a no-pressure control).
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from ..._validation import check_positive_int, check_rng
+from .encoding import Solution
+
+__all__ = [
+    "SelectionOperator",
+    "RankRouletteSelection",
+    "TournamentSelection",
+    "FitnessProportionalSelection",
+    "UniformSelection",
+]
+
+
+def _ranks_most_negative_first(fitnesses: list[float]) -> np.ndarray:
+    """1-based ranks; the most negative fitness gets rank 1.
+
+    Ties break by population position, which keeps runs deterministic
+    for a fixed seed.
+    """
+    order = np.argsort(np.asarray(fitnesses), kind="stable")
+    ranks = np.empty(len(fitnesses), dtype=np.int64)
+    ranks[order] = np.arange(1, len(fitnesses) + 1)
+    return ranks
+
+
+class SelectionOperator(abc.ABC):
+    """Resamples a population of p solutions into a new one of size p."""
+
+    @abc.abstractmethod
+    def select(
+        self,
+        solutions: list[Solution],
+        fitnesses: list[float],
+        random_state,
+    ) -> list[Solution]:
+        """Return the selected population (with replacement)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class RankRouletteSelection(SelectionOperator):
+    """Figure 4: roulette wheel with slice ∝ ``p − r(i)``.
+
+    The worst-ranked solution gets weight 0 and is never selected —
+    a literal reading of the paper's die.  With a single-solution
+    population the solution passes through unchanged.
+    """
+
+    def select(self, solutions, fitnesses, random_state):
+        rng = check_rng(random_state)
+        p = len(solutions)
+        if p <= 1:
+            return list(solutions)
+        ranks = _ranks_most_negative_first(fitnesses)
+        weights = (p - ranks).astype(np.float64)
+        total = weights.sum()
+        if total <= 0:  # degenerate: p == 1 handled above, so p - r >= 0 sums > 0
+            probabilities = np.full(p, 1.0 / p)
+        else:
+            probabilities = weights / total
+        chosen = rng.choice(p, size=p, replace=True, p=probabilities)
+        return [solutions[i] for i in chosen]
+
+
+class TournamentSelection(SelectionOperator):
+    """Pick the best of *size* uniformly drawn contenders, p times."""
+
+    def __init__(self, size: int = 2):
+        self.size = check_positive_int(size, "size", minimum=2)
+
+    def select(self, solutions, fitnesses, random_state):
+        rng = check_rng(random_state)
+        p = len(solutions)
+        if p <= 1:
+            return list(solutions)
+        out = []
+        fit = np.asarray(fitnesses)
+        for _ in range(p):
+            contenders = rng.integers(0, p, size=self.size)
+            winner = contenders[np.argmin(fit[contenders])]
+            out.append(solutions[winner])
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TournamentSelection(size={self.size})"
+
+
+class FitnessProportionalSelection(SelectionOperator):
+    """Classic roulette on shifted fitness (ablation only).
+
+    Sparsity coefficients are negative-is-better and unbounded, so raw
+    proportional sampling is ill-defined; weights are taken as
+    ``max_fitness − fitness`` (non-negative, best gets the largest
+    slice).  This exhibits exactly the instability the paper cites as
+    the reason to prefer rank selection.
+    """
+
+    def select(self, solutions, fitnesses, random_state):
+        rng = check_rng(random_state)
+        p = len(solutions)
+        if p <= 1:
+            return list(solutions)
+        fit = np.asarray(fitnesses, dtype=np.float64)
+        finite = np.isfinite(fit)
+        if not finite.any():
+            chosen = rng.integers(0, p, size=p)
+            return [solutions[i] for i in chosen]
+        ceiling = fit[finite].max()
+        weights = np.where(finite, ceiling - fit, 0.0)
+        total = weights.sum()
+        if total <= 0:
+            # All finite solutions tie: sample uniformly among them.
+            weights = finite.astype(np.float64)
+            total = weights.sum()
+        chosen = rng.choice(p, size=p, replace=True, p=weights / total)
+        return [solutions[i] for i in chosen]
+
+
+class UniformSelection(SelectionOperator):
+    """No selection pressure at all — the ablation control."""
+
+    def select(self, solutions, fitnesses, random_state):
+        rng = check_rng(random_state)
+        p = len(solutions)
+        chosen = rng.integers(0, p, size=p)
+        return [solutions[i] for i in chosen]

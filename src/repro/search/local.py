@@ -1,0 +1,224 @@
+"""Alternative searchers: random search, hill climbing, simulated annealing.
+
+§2.1 motivates the evolutionary algorithm by contrast: "unlike other
+optimization methods such as hill climbing or simulated annealing
+[Kirkpatrick et al. 1983], they work with an entire population of
+current solutions", combining the strengths of "hill-climbing, random
+search [and] simulated annealing ... in conjunction with recombination".
+These three methods are implemented here over the *same* solution
+encoding (fixed-k don't-care strings) and the same move set (the GA's
+Type I dimension swaps and Type II range flips), so the search-method
+ablation isolates exactly what recombination adds.
+
+All three maintain the same ``BestProjectionSet`` as the other
+searchers and return a ``SearchOutcome``, so they are drop-in
+comparable in the benchmarks.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+from .._validation import check_in_range, check_positive_int, check_rng
+from ..exceptions import ValidationError
+from ..grid.counter import CubeCounter
+from .best_set import BestProjectionSet
+from .evolutionary.encoding import Solution, WILDCARD_GENE, random_solution
+from .evolutionary.population import FitnessEvaluator
+from .outcome import SearchOutcome
+
+__all__ = ["RandomSearch", "HillClimbingSearch", "SimulatedAnnealingSearch"]
+
+
+def _neighbor(solution: Solution, n_ranges: int, rng) -> Solution:
+    """One random move: a Type I dimension swap or a Type II range flip.
+
+    Mirrors the GA's mutation moves so all searchers share a
+    neighborhood structure.
+    """
+    genes = list(solution.genes)
+    fixed = [i for i, g in enumerate(genes) if g != WILDCARD_GENE]
+    wildcards = [i for i, g in enumerate(genes) if g == WILDCARD_GENE]
+    move_swap = wildcards and fixed and rng.random() < 0.5
+    if move_swap:
+        gain = wildcards[int(rng.integers(len(wildcards)))]
+        lose = fixed[int(rng.integers(len(fixed)))]
+        genes[gain] = int(rng.integers(n_ranges))
+        genes[lose] = WILDCARD_GENE
+    elif fixed and n_ranges > 1:
+        pos = fixed[int(rng.integers(len(fixed)))]
+        offset = int(rng.integers(1, n_ranges))
+        genes[pos] = (genes[pos] + offset) % n_ranges
+    return Solution(genes)
+
+
+class _SingleSolutionSearch:
+    """Shared plumbing for the non-population searchers."""
+
+    def __init__(
+        self,
+        counter: CubeCounter,
+        dimensionality: int,
+        n_projections: int | None = 20,
+        *,
+        max_evaluations: int = 10_000,
+        require_nonempty: bool = True,
+        threshold: float | None = None,
+        random_state=None,
+    ):
+        if not isinstance(counter, CubeCounter):
+            raise ValidationError(
+                f"counter must be a CubeCounter, got {type(counter).__name__}"
+            )
+        self.counter = counter
+        self.dimensionality = check_positive_int(dimensionality, "dimensionality")
+        if self.dimensionality > counter.n_dims:
+            raise ValidationError(
+                f"dimensionality ({self.dimensionality}) exceeds data "
+                f"dimensionality ({counter.n_dims})"
+            )
+        self.n_projections = n_projections
+        self.max_evaluations = check_positive_int(max_evaluations, "max_evaluations")
+        self.require_nonempty = require_nonempty
+        self.threshold = threshold
+        self.random_state = random_state
+
+    def _setup(self):
+        rng = check_rng(self.random_state)
+        evaluator = FitnessEvaluator(self.counter, self.dimensionality)
+        best = BestProjectionSet(
+            self.n_projections,
+            require_nonempty=self.require_nonempty,
+            threshold=self.threshold,
+        )
+        return rng, evaluator, best
+
+    def _evaluate(self, solution: Solution, evaluator, best) -> float:
+        scored = evaluator.score(solution)
+        if scored is None:
+            return float("inf")
+        best.offer(scored)
+        return scored.coefficient
+
+    def _outcome(self, best, evaluator, start: float, **extra) -> SearchOutcome:
+        stats = {
+            "elapsed_seconds": time.perf_counter() - start,
+            "evaluations": evaluator.n_evaluations,
+            "algorithm": type(self).__name__,
+        }
+        stats.update(extra)
+        return SearchOutcome(projections=tuple(best.entries()), stats=stats)
+
+
+class RandomSearch(_SingleSolutionSearch):
+    """Uniformly random cubes — the no-structure control of §2.1."""
+
+    def run(self) -> SearchOutcome:
+        """Evaluate ``max_evaluations`` random feasible solutions."""
+        rng, evaluator, best = self._setup()
+        start = time.perf_counter()
+        for _ in range(self.max_evaluations):
+            solution = random_solution(
+                self.counter.n_dims,
+                self.dimensionality,
+                self.counter.n_ranges,
+                rng,
+            )
+            self._evaluate(solution, evaluator, best)
+        return self._outcome(best, evaluator, start)
+
+
+class HillClimbingSearch(_SingleSolutionSearch):
+    """First-improvement hill climbing with random restarts.
+
+    From a random start, propose neighbor moves (the GA's mutation
+    moves); accept any improvement, restart after *patience*
+    consecutive rejections.  This is the "hill climbing" §2.1 contrasts
+    the GA against: strong local descent, no recombination, prone to
+    local optima.
+    """
+
+    def __init__(self, *args, patience: int = 50, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.patience = check_positive_int(patience, "patience")
+
+    def run(self) -> SearchOutcome:
+        rng, evaluator, best = self._setup()
+        start = time.perf_counter()
+        restarts = 0
+        current = random_solution(
+            self.counter.n_dims, self.dimensionality, self.counter.n_ranges, rng
+        )
+        current_fitness = self._evaluate(current, evaluator, best)
+        rejected = 0
+        while evaluator.n_evaluations < self.max_evaluations:
+            candidate = _neighbor(current, self.counter.n_ranges, rng)
+            fitness = self._evaluate(candidate, evaluator, best)
+            if fitness < current_fitness:
+                current, current_fitness = candidate, fitness
+                rejected = 0
+            else:
+                rejected += 1
+                if rejected >= self.patience:
+                    restarts += 1
+                    current = random_solution(
+                        self.counter.n_dims,
+                        self.dimensionality,
+                        self.counter.n_ranges,
+                        rng,
+                    )
+                    current_fitness = self._evaluate(current, evaluator, best)
+                    rejected = 0
+        return self._outcome(best, evaluator, start, restarts=restarts)
+
+
+class SimulatedAnnealingSearch(_SingleSolutionSearch):
+    """Simulated annealing (Kirkpatrick, Gelatt & Vecchi 1983; ref [21]).
+
+    Metropolis acceptance over the shared move set with a geometric
+    cooling schedule: worse moves are accepted with probability
+    ``exp(−Δ/T)``, ``T`` decaying from *initial_temperature* by
+    *cooling* per step.
+    """
+
+    def __init__(
+        self,
+        *args,
+        initial_temperature: float = 1.0,
+        cooling: float = 0.999,
+        **kwargs,
+    ):
+        super().__init__(*args, **kwargs)
+        self.initial_temperature = check_in_range(
+            initial_temperature, "initial_temperature", low=1e-9
+        )
+        self.cooling = check_in_range(cooling, "cooling", low=0.5, high=1.0)
+
+    def run(self) -> SearchOutcome:
+        rng, evaluator, best = self._setup()
+        start = time.perf_counter()
+        current = random_solution(
+            self.counter.n_dims, self.dimensionality, self.counter.n_ranges, rng
+        )
+        current_fitness = self._evaluate(current, evaluator, best)
+        temperature = self.initial_temperature
+        accepted_worse = 0
+        while evaluator.n_evaluations < self.max_evaluations:
+            candidate = _neighbor(current, self.counter.n_ranges, rng)
+            fitness = self._evaluate(candidate, evaluator, best)
+            delta = fitness - current_fitness
+            if delta < 0:
+                current, current_fitness = candidate, fitness
+            elif math.isfinite(delta) and temperature > 0:
+                if rng.random() < math.exp(-delta / temperature):
+                    current, current_fitness = candidate, fitness
+                    accepted_worse += 1
+            temperature *= self.cooling
+        return self._outcome(
+            best,
+            evaluator,
+            start,
+            accepted_worse=accepted_worse,
+            final_temperature=temperature,
+        )

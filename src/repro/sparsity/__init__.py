@@ -1,0 +1,27 @@
+"""Sparsity coefficient (Equation 1) and its significance machinery."""
+
+from .coefficient import (
+    cube_count_std,
+    expected_count,
+    sparsity_coefficient,
+    sparsity_coefficients,
+)
+from .statistics import (
+    binomial_tail_probability,
+    bonferroni_significance,
+    expected_abnormal_cubes,
+    normal_tail_probability,
+    significance_of_coefficient,
+)
+
+__all__ = [
+    "sparsity_coefficient",
+    "sparsity_coefficients",
+    "expected_count",
+    "cube_count_std",
+    "normal_tail_probability",
+    "binomial_tail_probability",
+    "significance_of_coefficient",
+    "bonferroni_significance",
+    "expected_abnormal_cubes",
+]

@@ -1,0 +1,156 @@
+"""Tests for the kNN-distance, DB(k, λ), and LOF baseline detectors."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.distance_threshold import DBOutlierDetector, suggest_radius
+from repro.baselines.knn import KNNDistanceOutlierDetector
+from repro.baselines.lof import LOFOutlierDetector
+from repro.baselines.result import BaselineResult
+from repro.exceptions import ValidationError
+
+
+@pytest.fixture
+def blob_with_outlier(rng):
+    """A tight Gaussian blob plus one far-away point (last row)."""
+    data = rng.normal(size=(100, 3))
+    data = np.vstack([data, [[25.0, 25.0, 25.0]]])
+    return data
+
+
+class TestBaselineResult:
+    def test_mask_and_top(self):
+        result = BaselineResult(
+            outlier_indices=np.array([3, 1]),
+            scores=np.array([0.0, 5.0, 0.0, 9.0]),
+            method="test",
+        )
+        assert result.n_outliers == 2
+        assert result.n_points == 4
+        mask = result.outlier_mask()
+        assert mask[1] and mask[3]
+        np.testing.assert_array_equal(result.top(1), [3])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValidationError):
+            BaselineResult(np.array([5]), np.array([1.0]), "test")
+
+
+class TestKNNDetector:
+    def test_finds_global_outlier(self, blob_with_outlier):
+        result = KNNDistanceOutlierDetector(n_neighbors=1, n_outliers=1).detect(
+            blob_with_outlier
+        )
+        assert result.outlier_indices[0] == 100
+
+    def test_scores_are_knn_distances(self, blob_with_outlier):
+        detector = KNNDistanceOutlierDetector(n_neighbors=2, n_outliers=5)
+        result = detector.detect(blob_with_outlier)
+        np.testing.assert_allclose(
+            result.scores, detector.scores(blob_with_outlier)
+        )
+
+    def test_outliers_sorted_by_score(self, blob_with_outlier):
+        result = KNNDistanceOutlierDetector(n_neighbors=1, n_outliers=10).detect(
+            blob_with_outlier
+        )
+        flagged_scores = result.scores[result.outlier_indices]
+        assert (np.diff(flagged_scores) <= 0).all()
+
+    def test_deterministic_tie_break(self):
+        data = np.array([[0.0], [1.0], [3.0], [4.0]])
+        result = KNNDistanceOutlierDetector(n_neighbors=1, n_outliers=4).detect(data)
+        # All kth-NN distances equal 1; ties break by ascending index.
+        np.testing.assert_array_equal(result.outlier_indices, [0, 1, 2, 3])
+
+    def test_n_outliers_exceeds_points(self, rng):
+        with pytest.raises(ValidationError):
+            KNNDistanceOutlierDetector(n_outliers=10).detect(rng.normal(size=(5, 2)))
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValidationError):
+            KNNDistanceOutlierDetector().detect([[np.nan, 1.0], [0.0, 1.0]])
+
+
+class TestDBDetector:
+    def test_explicit_radius(self, blob_with_outlier):
+        result = DBOutlierDetector(max_neighbors=2, radius=3.0).detect(
+            blob_with_outlier
+        )
+        assert 100 in result.outlier_indices
+
+    def test_tiny_radius_flags_everything(self, blob_with_outlier):
+        result = DBOutlierDetector(max_neighbors=0, radius=1e-9).detect(
+            blob_with_outlier
+        )
+        assert result.n_outliers == len(blob_with_outlier)
+
+    def test_huge_radius_flags_nothing(self, blob_with_outlier):
+        result = DBOutlierDetector(max_neighbors=0, radius=1e6).detect(
+            blob_with_outlier
+        )
+        assert result.n_outliers == 0
+
+    def test_auto_radius(self, blob_with_outlier):
+        detector = DBOutlierDetector(max_neighbors=1, random_state=0)
+        radius = detector.resolve_radius(blob_with_outlier)
+        assert radius > 0
+        result = detector.detect(blob_with_outlier)
+        assert result.params["radius"] == pytest.approx(radius, rel=0.5)
+
+    def test_flagged_sorted_fewest_neighbors_first(self, blob_with_outlier):
+        result = DBOutlierDetector(max_neighbors=5, radius=2.0).detect(
+            blob_with_outlier
+        )
+        counts = -result.scores[result.outlier_indices]
+        assert (np.diff(counts) >= 0).all()
+
+    def test_invalid_radius(self):
+        with pytest.raises(ValidationError):
+            DBOutlierDetector(radius=-1.0)
+
+
+class TestSuggestRadius:
+    def test_quantile_semantics(self, rng):
+        data = rng.normal(size=(60, 2))
+        small = suggest_radius(data, 0.01, random_state=0)
+        large = suggest_radius(data, 0.5, random_state=0)
+        assert 0 < small < large
+
+    def test_sampling_deterministic(self, rng):
+        data = rng.normal(size=(1000, 2))
+        a = suggest_radius(data, 0.05, max_sample=50, random_state=3)
+        b = suggest_radius(data, 0.05, max_sample=50, random_state=3)
+        assert a == b
+
+
+class TestLOF:
+    def test_finds_local_outlier(self, rng):
+        # Two clusters of different density + a point just outside the
+        # dense cluster: classic LOF-beats-global-distance setup.
+        dense = rng.normal(scale=0.1, size=(50, 2))
+        sparse = rng.normal(scale=2.0, size=(50, 2)) + 20.0
+        local_outlier = np.array([[0.9, 0.9]])
+        data = np.vstack([dense, sparse, local_outlier])
+        result = LOFOutlierDetector(n_neighbors=10, n_outliers=3).detect(data)
+        assert 100 in result.outlier_indices
+
+    def test_uniform_data_scores_near_one(self, rng):
+        data = rng.random((300, 2))
+        scores = LOFOutlierDetector(n_neighbors=15).scores(data)
+        assert np.median(np.abs(scores - 1.0)) < 0.2
+
+    def test_handles_duplicates(self):
+        data = np.vstack([np.zeros((20, 2)), [[5.0, 5.0]]])
+        scores = LOFOutlierDetector(n_neighbors=3).scores(data)
+        assert np.isfinite(scores).all()
+
+    def test_n_neighbors_too_large(self, rng):
+        with pytest.raises(ValidationError):
+            LOFOutlierDetector(n_neighbors=10).scores(rng.normal(size=(5, 2)))
+
+    def test_detect_orders_by_score(self, rng):
+        data = rng.normal(size=(80, 3))
+        result = LOFOutlierDetector(n_neighbors=8, n_outliers=10).detect(data)
+        flagged = result.scores[result.outlier_indices]
+        assert (np.diff(flagged) <= 0).all()

@@ -1,0 +1,142 @@
+"""Tests for the chunked nearest-neighbor substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.neighbors import (
+    kth_neighbor_distances,
+    nearest_neighbors,
+    neighbor_counts_within,
+    pairwise_distance_chunks,
+)
+from repro.exceptions import ValidationError
+
+
+def brute_distances(data, metric="euclidean"):
+    n = len(data)
+    out = np.zeros((n, n))
+    for i in range(n):
+        for j in range(n):
+            diff = data[i] - data[j]
+            if metric == "euclidean":
+                out[i, j] = np.sqrt((diff**2).sum())
+            else:
+                out[i, j] = np.abs(diff).sum()
+    np.fill_diagonal(out, np.inf)
+    return out
+
+
+class TestPairwiseChunks:
+    @pytest.mark.parametrize("metric", ["euclidean", "manhattan"])
+    @pytest.mark.parametrize("chunk_size", [1, 3, 100])
+    def test_matches_brute_force(self, rng, metric, chunk_size):
+        data = rng.normal(size=(17, 4))
+        reference = brute_distances(data, metric)
+        assembled = np.zeros_like(reference)
+        for start, block in pairwise_distance_chunks(
+            data, metric=metric, chunk_size=chunk_size
+        ):
+            assembled[start : start + block.shape[0]] = block
+        np.testing.assert_allclose(assembled, reference, atol=1e-8)
+
+    def test_self_distance_infinite(self, rng):
+        data = rng.normal(size=(5, 2))
+        for start, block in pairwise_distance_chunks(data, chunk_size=2):
+            for i in range(block.shape[0]):
+                assert block[i, start + i] == np.inf
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValidationError):
+            list(pairwise_distance_chunks(np.array([[np.nan, 1.0], [0.0, 1.0]])))
+
+    def test_unknown_metric(self, rng):
+        with pytest.raises(ValidationError):
+            list(pairwise_distance_chunks(rng.normal(size=(3, 2)), metric="cosine"))
+
+
+class TestKthNeighborDistances:
+    def test_k1_matches_brute(self, rng):
+        data = rng.normal(size=(30, 3))
+        got = kth_neighbor_distances(data, 1)
+        want = brute_distances(data).min(axis=1)
+        np.testing.assert_allclose(got, want)
+
+    def test_k3_matches_brute(self, rng):
+        data = rng.normal(size=(30, 3))
+        got = kth_neighbor_distances(data, 3)
+        want = np.sort(brute_distances(data), axis=1)[:, 2]
+        np.testing.assert_allclose(got, want)
+
+    def test_monotone_in_k(self, rng):
+        data = rng.normal(size=(25, 3))
+        d1 = kth_neighbor_distances(data, 1)
+        d5 = kth_neighbor_distances(data, 5)
+        assert (d5 >= d1).all()
+
+    def test_k_too_large(self, rng):
+        with pytest.raises(ValidationError):
+            kth_neighbor_distances(rng.normal(size=(5, 2)), 5)
+
+    def test_duplicates_zero_distance(self):
+        data = np.array([[1.0, 1.0], [1.0, 1.0], [5.0, 5.0]])
+        distances = kth_neighbor_distances(data, 1)
+        assert distances[0] == 0.0
+        assert distances[1] == 0.0
+        assert distances[2] > 0
+
+
+class TestNearestNeighbors:
+    def test_indices_and_distances_consistent(self, rng):
+        data = rng.normal(size=(20, 3))
+        indices, distances = nearest_neighbors(data, 4)
+        reference = brute_distances(data)
+        for i in range(20):
+            np.testing.assert_allclose(
+                distances[i], np.sort(reference[i])[:4], atol=1e-9
+            )
+            np.testing.assert_allclose(
+                reference[i, indices[i]], distances[i], atol=1e-9
+            )
+
+    def test_sorted_ascending(self, rng):
+        data = rng.normal(size=(15, 2))
+        _, distances = nearest_neighbors(data, 5)
+        assert (np.diff(distances, axis=1) >= 0).all()
+
+    def test_never_self(self, rng):
+        data = rng.normal(size=(10, 2))
+        indices, _ = nearest_neighbors(data, 3)
+        for i in range(10):
+            assert i not in indices[i]
+
+
+class TestNeighborCounts:
+    def test_matches_brute(self, rng):
+        data = rng.normal(size=(25, 3))
+        radius = 1.5
+        got = neighbor_counts_within(data, radius)
+        want = (brute_distances(data) <= radius).sum(axis=1)
+        np.testing.assert_array_equal(got, want)
+
+    def test_radius_validation(self, rng):
+        data = rng.normal(size=(5, 2))
+        with pytest.raises(ValidationError):
+            neighbor_counts_within(data, 0.0)
+        with pytest.raises(ValidationError):
+            neighbor_counts_within(data, -1.0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    n=st.integers(3, 40),
+    d=st.integers(1, 6),
+    chunk=st.integers(1, 50),
+)
+def test_property_chunking_invariant(seed, n, d, chunk):
+    """Results are independent of the chunk size."""
+    data = np.random.default_rng(seed).normal(size=(n, d))
+    a = kth_neighbor_distances(data, 1, chunk_size=chunk)
+    b = kth_neighbor_distances(data, 1, chunk_size=n + 10)
+    np.testing.assert_allclose(a, b)

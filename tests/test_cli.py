@@ -1,0 +1,184 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_detect_requires_source(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["detect"])
+
+    def test_detect_sources_mutually_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["detect", "--csv", "x.csv", "--dataset", "machine"]
+            )
+
+
+class TestDatasetsCommand:
+    def test_lists_builtin(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "machine" in out
+        assert "arrhythmia" in out
+
+
+class TestDetectCommand:
+    def test_builtin_dataset(self, capsys):
+        code = main(
+            [
+                "detect",
+                "--dataset",
+                "machine",
+                "--method",
+                "brute_force",
+                "--top",
+                "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Subspace outlier detection report" in out
+        assert "Top 3 outliers" in out
+
+    def test_csv_input(self, tmp_path, capsys, rng):
+        path = tmp_path / "data.csv"
+        rows = ["a,b,c"]
+        for row in rng.normal(size=(80, 3)):
+            rows.append(",".join(f"{v:.4f}" for v in row))
+        path.write_text("\n".join(rows) + "\n")
+        code = main(
+            [
+                "detect",
+                "--csv",
+                str(path),
+                "--method",
+                "brute_force",
+                "--phi",
+                "4",
+                "-k",
+                "2",
+            ]
+        )
+        assert code == 0
+        assert "report" in capsys.readouterr().out
+
+    def test_evolutionary_options(self, capsys):
+        code = main(
+            [
+                "detect",
+                "--dataset",
+                "machine",
+                "--population",
+                "16",
+                "--generations",
+                "10",
+                "--seed",
+                "1",
+            ]
+        )
+        assert code == 0
+
+    def test_missing_csv_is_graceful_error(self, capsys):
+        code = main(["detect", "--csv", "/nonexistent.csv"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestExplainCommand:
+    def test_explains_point(self, capsys):
+        code = main(
+            [
+                "explain",
+                "--dataset",
+                "machine",
+                "--method",
+                "brute_force",
+                "--point",
+                "0",
+            ]
+        )
+        assert code == 0
+        assert "point 0" in capsys.readouterr().out
+
+
+class TestSweepCommand:
+    def test_phi_sweep(self, capsys):
+        code = main(
+            [
+                "sweep",
+                "--dataset",
+                "machine",
+                "--parameter",
+                "n_ranges",
+                "--values",
+                "3",
+                "4",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "n_ranges" in out
+        assert "quality" in out
+
+    def test_m_sweep(self, capsys):
+        code = main(
+            [
+                "sweep",
+                "--dataset",
+                "machine",
+                "--parameter",
+                "n_projections",
+                "--values",
+                "5",
+                "10",
+                "-k",
+                "2",
+            ]
+        )
+        assert code == 0
+
+
+class TestExportCommand:
+    def test_csv_roundtrip(self, tmp_path, capsys):
+        out_path = tmp_path / "machine.csv"
+        code = main(
+            ["export", "--dataset", "machine", "--format", "csv", "--out", str(out_path)]
+        )
+        assert code == 0
+        assert out_path.exists()
+        from repro.data import load_csv
+
+        back = load_csv(out_path)
+        assert back.n_points == 209
+
+    def test_arff(self, tmp_path):
+        out_path = tmp_path / "machine.arff"
+        code = main(
+            ["export", "--dataset", "machine", "--format", "arff", "--out", str(out_path)]
+        )
+        assert code == 0
+        assert out_path.read_text().startswith("@relation")
+
+
+class TestTable1Command:
+    def test_single_dataset(self, capsys):
+        code = main(
+            [
+                "table1",
+                "--datasets",
+                "machine",
+                "--brute-budget",
+                "30",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "machine (8)" in out
+        assert "Gen^o" in out

@@ -1,0 +1,158 @@
+"""Tests for the SubspaceOutlierDetector facade."""
+
+import numpy as np
+import pytest
+
+from repro.core.detector import SubspaceOutlierDetector
+from repro.exceptions import ValidationError
+from repro.grid.discretizer import EquiWidthDiscretizer
+from repro.search.evolutionary.config import EvolutionaryConfig
+
+
+def quick_config():
+    return EvolutionaryConfig(population_size=24, max_generations=30)
+
+
+@pytest.fixture
+def planted(rng):
+    """Correlated pair + noise dims with one planted rare combination."""
+    n = 400
+    latent = rng.normal(size=n)
+    data = rng.normal(size=(n, 8))
+    data[:, 0] = latent + rng.normal(scale=0.1, size=n)
+    data[:, 1] = latent + rng.normal(scale=0.1, size=n)
+    # Planted: low on dim 0, high on dim 1.
+    data[42, 0] = np.quantile(data[:, 0], 0.05)
+    data[42, 1] = np.quantile(data[:, 1], 0.95)
+    return data
+
+
+class TestDetectPipeline:
+    def test_finds_planted_rare_combination(self, planted):
+        detector = SubspaceOutlierDetector(
+            dimensionality=2,
+            n_ranges=5,
+            n_projections=10,
+            config=quick_config(),
+            random_state=0,
+        )
+        result = detector.detect(planted)
+        assert 42 in result.outlier_indices
+        # And the covering projection pins the right dimensions.
+        covering = result.projections_covering(42)
+        assert any(p.subspace.dims == (0, 1) for p in covering)
+
+    def test_brute_force_method(self, planted):
+        detector = SubspaceOutlierDetector(
+            dimensionality=2, n_ranges=5, n_projections=10, method="brute_force"
+        )
+        result = detector.detect(planted)
+        assert 42 in result.outlier_indices
+
+    def test_attributes_populated(self, planted):
+        detector = SubspaceOutlierDetector(
+            dimensionality=2, n_ranges=5, config=quick_config(), random_state=0
+        )
+        result = detector.detect(planted)
+        assert detector.cells_ is not None
+        assert detector.counter_ is not None
+        assert detector.outcome_ is not None
+        assert detector.result_ is result
+
+    def test_coverage_consistent_with_counter(self, planted):
+        detector = SubspaceOutlierDetector(
+            dimensionality=2, n_ranges=5, config=quick_config(), random_state=0
+        )
+        result = detector.detect(planted)
+        for point, proj_ids in result.coverage.items():
+            for pid in proj_ids:
+                cube = result.projections[pid].subspace
+                assert cube.covers(detector.cells_.codes)[point]
+
+    def test_outliers_equal_union_of_covered(self, planted):
+        detector = SubspaceOutlierDetector(
+            dimensionality=2, n_ranges=5, config=quick_config(), random_state=0
+        )
+        result = detector.detect(planted)
+        union = set()
+        for p in result.projections:
+            union.update(
+                detector.counter_.covered_points(p.subspace).tolist()
+            )
+        assert set(result.outlier_indices.tolist()) == union
+
+    def test_feature_names_flow_to_cells(self, planted):
+        names = [f"f{i}" for i in range(planted.shape[1])]
+        detector = SubspaceOutlierDetector(
+            dimensionality=1, n_ranges=5, config=quick_config(), random_state=0
+        )
+        detector.detect(planted, feature_names=names)
+        assert detector.cells_.feature_names == tuple(names)
+
+    def test_custom_discretizer(self, planted):
+        detector = SubspaceOutlierDetector(
+            dimensionality=2,
+            n_ranges=5,
+            method="brute_force",
+            discretizer=EquiWidthDiscretizer(5),
+        )
+        result = detector.detect(planted)
+        assert result.n_ranges == 5
+
+    def test_threshold_mode(self, planted):
+        detector = SubspaceOutlierDetector(
+            dimensionality=2,
+            n_ranges=5,
+            n_projections=None,
+            threshold=-2.5,
+            method="brute_force",
+        )
+        result = detector.detect(planted)
+        assert all(p.coefficient <= -2.5 for p in result.projections)
+
+    def test_missing_values_supported(self, planted, rng):
+        data = planted.copy()
+        data[rng.random(data.shape) < 0.1] = np.nan
+        detector = SubspaceOutlierDetector(
+            dimensionality=2, n_ranges=5, config=quick_config(), random_state=0
+        )
+        result = detector.detect(data)
+        assert result.n_points == data.shape[0]
+
+
+class TestDimensionalityResolution:
+    def test_equation_two_applied_by_default(self):
+        detector = SubspaceOutlierDetector(n_ranges=10)
+        assert detector.resolve_dimensionality(10_000, 50) == 3
+
+    def test_capped_at_data_dims(self):
+        detector = SubspaceOutlierDetector(n_ranges=2)
+        assert detector.resolve_dimensionality(10**6, 3) == 3
+
+    def test_explicit_k_wins(self):
+        detector = SubspaceOutlierDetector(dimensionality=2, n_ranges=10)
+        assert detector.resolve_dimensionality(10_000, 50) == 2
+
+    def test_explicit_k_exceeding_dims_rejected(self):
+        detector = SubspaceOutlierDetector(dimensionality=9)
+        with pytest.raises(ValidationError):
+            detector.resolve_dimensionality(100, 4)
+
+
+class TestValidation:
+    def test_unknown_method(self):
+        with pytest.raises(ValidationError):
+            SubspaceOutlierDetector(method="magic")
+
+    def test_unbounded_without_threshold(self):
+        with pytest.raises(ValidationError):
+            SubspaceOutlierDetector(n_projections=None)
+
+    def test_phi_minimum(self):
+        with pytest.raises(ValidationError):
+            SubspaceOutlierDetector(n_ranges=1)
+
+    def test_rejects_1d_data(self):
+        detector = SubspaceOutlierDetector(dimensionality=1, config=quick_config())
+        with pytest.raises(ValidationError):
+            detector.detect(np.arange(10.0))

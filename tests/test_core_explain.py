@@ -1,0 +1,100 @@
+"""Tests for outlier explanations and report rendering."""
+
+import numpy as np
+import pytest
+
+from repro.core.detector import SubspaceOutlierDetector
+from repro.core.explain import explain_point, render_report
+from repro.exceptions import ValidationError
+from repro.search.evolutionary.config import EvolutionaryConfig
+
+
+@pytest.fixture
+def detection(rng):
+    n = 300
+    latent = rng.normal(size=n)
+    data = rng.normal(size=(n, 6))
+    data[:, 0] = latent + rng.normal(scale=0.1, size=n)
+    data[:, 1] = latent + rng.normal(scale=0.1, size=n)
+    data[7, 0] = np.quantile(data[:, 0], 0.05)
+    data[7, 1] = np.quantile(data[:, 1], 0.95)
+    names = ["alpha", "beta", "gamma", "delta", "epsilon", "zeta"]
+    detector = SubspaceOutlierDetector(
+        dimensionality=2,
+        n_ranges=5,
+        n_projections=10,
+        method="brute_force",
+    )
+    result = detector.detect(data, feature_names=names)
+    return detector, result, data, names
+
+
+class TestExplainPoint:
+    def test_flagged_point_has_findings(self, detection):
+        detector, result, data, names = detection
+        explanation = explain_point(7, result, detector.cells_, data, names)
+        assert explanation.point_index == 7
+        assert explanation.findings
+        assert explanation.score <= 0
+
+    def test_findings_name_features_and_values(self, detection):
+        detector, result, data, names = detection
+        explanation = explain_point(7, result, detector.cells_, data, names)
+        text = "\n".join(explanation.findings)
+        assert "alpha" in text or "beta" in text
+        assert "value" in text
+        assert "sparsity" in text
+
+    def test_uncovered_point_empty(self, detection):
+        detector, result, data, names = detection
+        uncovered = next(
+            i for i in range(result.n_points) if i not in result.coverage
+        )
+        explanation = explain_point(uncovered, result, detector.cells_)
+        assert not explanation.findings
+        assert "not covered" in str(explanation)
+
+    def test_findings_sorted_most_negative_first(self, detection):
+        detector, result, data, names = detection
+        covered_by_many = max(
+            result.coverage, key=lambda p: len(result.coverage[p])
+        )
+        explanation = explain_point(covered_by_many, result, detector.cells_)
+        coefficients = [p.coefficient for p in explanation.projections]
+        assert coefficients == sorted(coefficients)
+
+    def test_without_raw_data_no_values(self, detection):
+        detector, result, _data, _names = detection
+        explanation = explain_point(7, result, detector.cells_)
+        assert all("value" not in line for line in explanation.findings)
+
+    def test_out_of_range_point(self, detection):
+        detector, result, data, names = detection
+        with pytest.raises(ValidationError):
+            explain_point(10_000, result, detector.cells_)
+
+    def test_missing_value_rendered(self, detection, rng):
+        detector, result, data, names = detection
+        data = data.copy()
+        flagged = int(result.outlier_indices[0])
+        dims = result.projections_covering(flagged)[0].subspace.dims
+        data[flagged, dims[0]] = np.nan
+        explanation = explain_point(flagged, result, detector.cells_, data)
+        assert "missing" in "\n".join(explanation.findings)
+
+
+class TestRenderReport:
+    def test_report_structure(self, detection):
+        detector, result, data, names = detection
+        report = render_report(result, detector.cells_, data, top=5)
+        assert "Subspace outlier detection report" in report
+        assert "Most abnormal projections:" in report
+        assert "Top 5 outliers:" in report
+        assert f"N={result.n_points}" in report
+
+    def test_report_uses_feature_names(self, detection):
+        detector, result, data, names = detection
+        report = render_report(
+            result, detector.cells_, data, top=3, feature_names=names
+        )
+        assert any(name in report for name in names)

@@ -1,0 +1,113 @@
+"""Tests for Equation 2 and the parameter advisor (§2.4)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.params import (
+    ParameterAdvisor,
+    choose_projection_dimensionality,
+    empty_cube_sparsity,
+    expected_cube_count,
+)
+from repro.exceptions import ValidationError
+from repro.sparsity.coefficient import sparsity_coefficient
+
+
+class TestEmptyCubeSparsity:
+    def test_closed_form_matches_equation_one(self):
+        for n_points, phi, k in [(10_000, 10, 3), (452, 5, 2), (351, 3, 3)]:
+            assert empty_cube_sparsity(n_points, phi, k) == pytest.approx(
+                sparsity_coefficient(0, n_points, phi, k)
+            )
+
+    def test_more_negative_for_larger_n(self):
+        assert empty_cube_sparsity(10_000, 10, 3) < empty_cube_sparsity(1_000, 10, 3)
+
+    def test_less_negative_for_larger_k(self):
+        # Higher dimensionality -> empty cubes are expected -> less signal.
+        assert empty_cube_sparsity(10_000, 10, 3) < empty_cube_sparsity(10_000, 10, 4)
+
+    def test_phi_one_rejected(self):
+        with pytest.raises(ValidationError):
+            empty_cube_sparsity(100, 1, 2)
+
+
+class TestEquationTwo:
+    def test_paper_scale_example(self):
+        # N=10,000, phi=10, s=-3: k* = floor(log10(10000/9 + 1)) = 3.
+        assert choose_projection_dimensionality(10_000, 10, -3.0) == 3
+
+    def test_formula_verbatim(self):
+        for n_points, phi, s in [(699, 4, -3.0), (452, 5, -3.0), (2310, 4, -3.0)]:
+            expected = max(1, math.floor(math.log(n_points / s**2 + 1.0, phi)))
+            assert choose_projection_dimensionality(n_points, phi, s) == expected
+
+    def test_at_least_one(self):
+        assert choose_projection_dimensionality(10, 10, -3.0) == 1
+
+    def test_empty_cube_at_k_star_at_least_as_significant_as_target(self):
+        # §2.4: rounding makes the effective sparsity *more* negative
+        # than the chosen s.
+        for n_points, phi in [(699, 4), (452, 5), (2310, 4), (10_000, 10)]:
+            k_star = choose_projection_dimensionality(n_points, phi, -3.0)
+            assert empty_cube_sparsity(n_points, phi, k_star) <= -3.0
+
+    def test_monotone_in_n(self):
+        ks = [
+            choose_projection_dimensionality(n, 5, -3.0)
+            for n in (100, 1_000, 10_000, 100_000)
+        ]
+        assert ks == sorted(ks)
+
+    def test_zero_target_rejected(self):
+        with pytest.raises(ValidationError):
+            choose_projection_dimensionality(100, 10, 0.0)
+
+    def test_positive_target_rejected(self):
+        with pytest.raises(ValidationError):
+            choose_projection_dimensionality(100, 10, 3.0)
+
+    @given(
+        n_points=st.integers(10, 10**6),
+        phi=st.integers(2, 20),
+        s=st.floats(-10.0, -0.5),
+    )
+    def test_property_k_star_maximal(self, n_points, phi, s):
+        """k* is the largest k whose empty cube reaches the target s."""
+        k_star = choose_projection_dimensionality(n_points, phi, s)
+        assert (
+            empty_cube_sparsity(n_points, phi, k_star) <= s
+            or k_star == 1  # clamped floor
+        )
+        # k*+1 must fail the target.
+        assert empty_cube_sparsity(n_points, phi, k_star + 1) > s
+
+
+class TestExpectedCubeCount:
+    def test_value(self):
+        assert expected_cube_count(10_000, 10, 4) == pytest.approx(1.0)
+
+    def test_decreasing_in_k(self):
+        assert expected_cube_count(1000, 5, 3) < expected_cube_count(1000, 5, 2)
+
+
+class TestAdvisor:
+    def test_recommended_k(self):
+        advisor = ParameterAdvisor(n_points=10_000, n_ranges=10)
+        assert advisor.recommended_k() == 3
+
+    def test_feasible_dimensionalities(self):
+        advisor = ParameterAdvisor(n_points=10_000, n_ranges=10)
+        assert advisor.feasible_dimensionalities() == [1, 2, 3]
+
+    def test_summary_mentions_key_numbers(self):
+        advisor = ParameterAdvisor(n_points=452, n_ranges=5)
+        text = advisor.summary()
+        assert "452" in text
+        assert "k*=" in text
+
+    def test_invalid_target(self):
+        with pytest.raises(ValidationError):
+            ParameterAdvisor(n_points=100, n_ranges=5, target_sparsity=0.0)

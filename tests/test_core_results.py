@@ -1,0 +1,118 @@
+"""Tests for ScoredProjection and DetectionResult."""
+
+import numpy as np
+import pytest
+
+from repro.core.results import DetectionResult, ScoredProjection
+from repro.core.subspace import Subspace
+from repro.exceptions import ValidationError
+
+
+def projection(coefficient, count=1, dim=0, rng_=0):
+    return ScoredProjection(Subspace((dim,), (rng_,)), count, coefficient)
+
+
+class TestScoredProjection:
+    def test_properties(self):
+        p = projection(-2.5, count=3)
+        assert p.dimensionality == 1
+        assert not p.is_empty
+        assert p.significance == pytest.approx(0.99379, abs=1e-3)
+
+    def test_empty_flag(self):
+        assert projection(-4.0, count=0).is_empty
+
+    def test_positive_coefficient_zero_significance(self):
+        assert projection(1.0).significance == 0.0
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValidationError):
+            projection(-1.0, count=-1)
+
+    def test_describe(self):
+        text = projection(-2.0, count=4).describe(["age"])
+        assert "age" in text
+        assert "n=4" in text
+        assert "S=-2.000" in text
+
+
+def make_result(**overrides):
+    projections = (
+        projection(-3.0, count=1, dim=0, rng_=0),
+        projection(-2.0, count=2, dim=1, rng_=1),
+    )
+    defaults = dict(
+        projections=projections,
+        outlier_indices=np.array([5, 2]),
+        n_points=10,
+        n_dims=4,
+        n_ranges=5,
+        dimensionality=1,
+        coverage={2: (0,), 5: (0, 1)},
+        stats={"elapsed_seconds": 0.1},
+    )
+    defaults.update(overrides)
+    return DetectionResult(**defaults)
+
+
+class TestDetectionResult:
+    def test_indices_sorted(self):
+        result = make_result()
+        np.testing.assert_array_equal(result.outlier_indices, [2, 5])
+
+    def test_n_outliers(self):
+        assert make_result().n_outliers == 2
+
+    def test_best_coefficient(self):
+        assert make_result().best_coefficient == -3.0
+
+    def test_mean_coefficient(self):
+        assert make_result().mean_coefficient() == pytest.approx(-2.5)
+        assert make_result().mean_coefficient(top=1) == pytest.approx(-3.0)
+
+    def test_mean_of_empty_is_nan(self):
+        result = make_result(projections=(), outlier_indices=np.array([]), coverage={})
+        assert result.mean_coefficient() != result.mean_coefficient()
+        assert result.best_coefficient != result.best_coefficient
+
+    def test_outlier_mask(self):
+        mask = make_result().outlier_mask()
+        assert mask.sum() == 2
+        assert mask[2] and mask[5]
+
+    def test_point_score_is_min_covering(self):
+        result = make_result()
+        assert result.point_score(5) == -3.0
+        assert result.point_score(2) == -3.0
+
+    def test_point_score_uncovered_nan(self):
+        score = make_result().point_score(9)
+        assert score != score
+
+    def test_ranked_outliers_order(self):
+        result = make_result(coverage={2: (1,), 5: (0, 1)})
+        ranked = result.ranked_outliers()
+        assert ranked[0][0] == 5  # -3.0 beats -2.0
+        assert ranked[0][1] == -3.0
+
+    def test_ranked_ties_break_by_coverage_then_index(self):
+        result = make_result(coverage={2: (0,), 5: (0, 1)})
+        ranked = result.ranked_outliers()
+        # Both have score -3.0, point 5 covered by more projections.
+        assert [p for p, _ in ranked] == [5, 2]
+
+    def test_projections_covering(self):
+        result = make_result()
+        covering = result.projections_covering(5)
+        assert len(covering) == 2
+
+    def test_iteration(self):
+        assert len(list(make_result())) == 2
+
+    def test_out_of_range_indices_rejected(self):
+        with pytest.raises(ValidationError):
+            make_result(outlier_indices=np.array([99]))
+
+    def test_2d_indices_rejected(self):
+        with pytest.raises(ValidationError):
+            make_result(outlier_indices=np.array([[1]]))

@@ -1,0 +1,193 @@
+"""Tests for repro.core.subspace (cube representation and codec)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.subspace import Subspace
+from repro.exceptions import ValidationError
+
+
+class TestConstruction:
+    def test_basic(self):
+        cube = Subspace((1, 3), (2, 8))
+        assert cube.dims == (1, 3)
+        assert cube.ranges == (2, 8)
+        assert cube.dimensionality == 2
+
+    def test_empty(self):
+        cube = Subspace.empty()
+        assert cube.dimensionality == 0
+        assert len(cube) == 0
+
+    def test_from_pairs_sorts(self):
+        cube = Subspace.from_pairs([(3, 8), (1, 2)])
+        assert cube.dims == (1, 3)
+        assert cube.ranges == (2, 8)
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValidationError, match="equal length"):
+            Subspace((1, 2), (0,))
+
+    def test_rejects_unsorted_dims(self):
+        with pytest.raises(ValidationError, match="ascending"):
+            Subspace((3, 1), (0, 0))
+
+    def test_rejects_duplicate_dims(self):
+        with pytest.raises(ValidationError, match="ascending"):
+            Subspace((1, 1), (0, 0))
+
+    def test_rejects_negative_dims(self):
+        with pytest.raises(ValidationError):
+            Subspace((-1,), (0,))
+
+    def test_rejects_negative_ranges(self):
+        with pytest.raises(ValidationError):
+            Subspace((0,), (-2,))
+
+    def test_hashable_and_equal(self):
+        a = Subspace((0, 2), (1, 1))
+        b = Subspace.from_pairs([(2, 1), (0, 1)])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+
+class TestStringCodec:
+    def test_paper_example_roundtrip(self):
+        # "*3*9": second dim fixed to range 3, fourth to range 9 (1-based).
+        cube = Subspace.from_string("*3*9")
+        assert cube.dims == (1, 3)
+        assert cube.ranges == (2, 8)
+        assert cube.to_string(4) == "*3*9"
+
+    def test_delimited_dialect(self):
+        cube = Subspace.from_string("*,12,*,3")
+        assert cube.dims == (1, 3)
+        assert cube.ranges == (11, 2)
+        assert cube.to_string(4, compact=False) == "*,12,*,3"
+
+    def test_to_string_auto_switches_to_delimited(self):
+        cube = Subspace((0,), (10,))
+        assert cube.to_string(2) == "11,*"
+
+    def test_compact_forced_raises_on_wide_range(self):
+        cube = Subspace((0,), (12,))
+        with pytest.raises(ValidationError, match="compact"):
+            cube.to_string(1, compact=True)
+
+    def test_rejects_empty_string(self):
+        with pytest.raises(ValidationError):
+            Subspace.from_string("")
+
+    def test_rejects_zero_range(self):
+        with pytest.raises(ValidationError, match="1-based"):
+            Subspace.from_string("*0")
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValidationError):
+            Subspace.from_string("*x")
+
+    def test_to_string_rejects_short_n_dims(self):
+        cube = Subspace((5,), (0,))
+        with pytest.raises(ValidationError):
+            cube.to_string(3)
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 15), st.integers(0, 8)),
+            max_size=8,
+            unique_by=lambda p: p[0],
+        )
+    )
+    def test_roundtrip_property(self, pairs):
+        cube = Subspace.from_pairs(pairs)
+        text = cube.to_string(16)
+        assert Subspace.from_string(text) == cube
+
+
+class TestAlgebra:
+    def test_extended_adds_pair(self):
+        cube = Subspace((1,), (4,))
+        bigger = cube.extended(0, 2)
+        assert bigger.dims == (0, 1)
+        assert bigger.ranges == (2, 4)
+
+    def test_extended_rejects_existing_dim(self):
+        cube = Subspace((1,), (4,))
+        with pytest.raises(ValidationError, match="already fixed"):
+            cube.extended(1, 0)
+
+    def test_restricted_to(self):
+        cube = Subspace((0, 2, 5), (1, 2, 3))
+        assert cube.restricted_to([2, 5]) == Subspace((2, 5), (2, 3))
+        assert cube.restricted_to([]) == Subspace.empty()
+
+    def test_is_subspace_of(self):
+        small = Subspace((1,), (2,))
+        big = Subspace((0, 1), (0, 2))
+        assert small.is_subspace_of(big)
+        assert not big.is_subspace_of(small)
+        assert Subspace.empty().is_subspace_of(big)
+
+    def test_is_subspace_of_range_mismatch(self):
+        small = Subspace((1,), (3,))
+        big = Subspace((0, 1), (0, 2))
+        assert not small.is_subspace_of(big)
+
+    def test_range_for(self):
+        cube = Subspace((1, 4), (7, 0))
+        assert cube.range_for(1) == 7
+        assert cube.range_for(4) == 0
+        assert cube.range_for(0) is None
+
+    def test_uses_dimension(self):
+        cube = Subspace((2,), (0,))
+        assert cube.uses_dimension(2)
+        assert not cube.uses_dimension(0)
+
+
+class TestCoverage:
+    def test_covers_matches_rows(self):
+        cells = np.array([[0, 1], [2, 1], [0, 3]], dtype=np.int16)
+        cube = Subspace((1,), (1,))
+        np.testing.assert_array_equal(cube.covers(cells), [True, True, False])
+
+    def test_covers_conjunction(self):
+        cells = np.array([[0, 1], [0, 2], [1, 1]], dtype=np.int16)
+        cube = Subspace((0, 1), (0, 1))
+        np.testing.assert_array_equal(cube.covers(cells), [True, False, False])
+
+    def test_missing_never_matches(self):
+        cells = np.array([[-1], [0]], dtype=np.int16)
+        cube = Subspace((0,), (0,))
+        np.testing.assert_array_equal(cube.covers(cells), [False, True])
+
+    def test_empty_subspace_covers_everything(self):
+        cells = np.zeros((4, 2), dtype=np.int16)
+        np.testing.assert_array_equal(
+            Subspace.empty().covers(cells), [True] * 4
+        )
+
+    def test_covers_validates_dimensions(self):
+        cells = np.zeros((2, 2), dtype=np.int16)
+        with pytest.raises(ValidationError):
+            Subspace((5,), (0,)).covers(cells)
+
+    def test_covers_rejects_1d_cells(self):
+        with pytest.raises(ValidationError):
+            Subspace((0,), (0,)).covers(np.zeros(3, dtype=np.int16))
+
+
+class TestDescribe:
+    def test_with_names(self):
+        cube = Subspace((0, 2), (1, 4))
+        text = cube.describe(["crime", "tax", "age"])
+        assert "crime∈range 2" in text
+        assert "age∈range 5" in text
+
+    def test_without_names(self):
+        assert "dim1" in Subspace((1,), (0,)).describe()
+
+    def test_empty(self):
+        assert Subspace.empty().describe() == "(empty subspace)"

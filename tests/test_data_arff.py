@@ -1,0 +1,136 @@
+"""Tests for the ARFF loader."""
+
+import numpy as np
+import pytest
+
+from repro.data.arff import load_arff
+from repro.exceptions import DatasetError
+
+
+GOOD = """\
+% UCI-style comment
+@relation toy
+
+@attribute age numeric
+@attribute pressure REAL
+@attribute diagnosis {healthy, sick, unknown}
+
+@data
+63, 120.5, healthy
+17, ?, sick
+% inline comment row
+45, 180.0, unknown
+"""
+
+
+class TestBasicLoading:
+    def test_numeric_parsing(self):
+        dataset = load_arff(GOOD)
+        assert dataset.name == "toy"
+        assert dataset.feature_names == ("age", "pressure", "diagnosis")
+        np.testing.assert_allclose(dataset.values[:, 0], [63, 17, 45])
+
+    def test_missing_becomes_nan(self):
+        dataset = load_arff(GOOD)
+        assert np.isnan(dataset.values[1, 1])
+
+    def test_nominal_factorized_in_declaration_order(self):
+        dataset = load_arff(GOOD)
+        np.testing.assert_array_equal(dataset.values[:, 2], [0, 1, 2])
+
+    def test_label_attribute(self):
+        dataset = load_arff(GOOD, label_attribute="diagnosis")
+        assert dataset.feature_names == ("age", "pressure")
+        np.testing.assert_array_equal(dataset.labels, [0, 1, 2])
+
+    def test_file_loading(self, tmp_path):
+        path = tmp_path / "toy.arff"
+        path.write_text(GOOD)
+        dataset = load_arff(path)
+        assert dataset.n_points == 3
+
+    def test_quoted_attribute_names(self):
+        text = "@relation q\n@attribute 'my attr' numeric\n@data\n1\n2\n"
+        dataset = load_arff(text)
+        assert dataset.feature_names == ("my attr",)
+
+    def test_name_override(self):
+        assert load_arff(GOOD, name="renamed").name == "renamed"
+
+
+class TestErrors:
+    def test_missing_file(self):
+        with pytest.raises(DatasetError, match="not found"):
+            load_arff("/nonexistent.arff")
+
+    def test_no_data_section(self):
+        with pytest.raises(DatasetError, match="@data"):
+            load_arff("@relation x\n@attribute a numeric\n")
+
+    def test_empty_data(self):
+        with pytest.raises(DatasetError, match="empty"):
+            load_arff("@relation x\n@attribute a numeric\n@data\n")
+
+    def test_unsupported_type(self):
+        with pytest.raises(DatasetError, match="unsupported"):
+            load_arff("@relation x\n@attribute a string\n@data\nfoo\n")
+
+    def test_sparse_rejected(self):
+        text = "@relation x\n@attribute a numeric\n@data\n{0 1}\n"
+        with pytest.raises(DatasetError, match="sparse"):
+            load_arff(text)
+
+    def test_row_width_mismatch(self):
+        text = "@relation x\n@attribute a numeric\n@attribute b numeric\n@data\n1\n"
+        with pytest.raises(DatasetError, match="has 1 values"):
+            load_arff(text)
+
+    def test_bad_numeric_token(self):
+        text = "@relation x\n@attribute a numeric\n@data\nabc\n"
+        with pytest.raises(DatasetError, match="not numeric"):
+            load_arff(text)
+
+    def test_undeclared_nominal_level(self):
+        text = "@relation x\n@attribute a {u,v}\n@data\nw\n"
+        with pytest.raises(DatasetError, match="declared level"):
+            load_arff(text)
+
+    def test_label_must_be_nominal(self):
+        with pytest.raises(DatasetError, match="nominal"):
+            load_arff(GOOD, label_attribute="age")
+
+    def test_label_must_exist(self):
+        with pytest.raises(DatasetError, match="not declared"):
+            load_arff(GOOD, label_attribute="nope")
+
+    def test_missing_class_label_rejected(self):
+        text = "@relation x\n@attribute a numeric\n@attribute c {u,v}\n@data\n1,?\n"
+        with pytest.raises(DatasetError, match="missing class"):
+            load_arff(text, label_attribute="c")
+
+    def test_unknown_directive(self):
+        with pytest.raises(DatasetError, match="unrecognized"):
+            load_arff("@bogus x\n@data\n1\n")
+
+
+class TestPipelineIntegration:
+    def test_arff_through_detector(self):
+        # An ARFF dataset flows through the whole pipeline.
+        import io as _io
+
+        rows = ["@relation pipe", "@attribute x numeric", "@attribute y numeric", "@data"]
+        rng = np.random.default_rng(0)
+        latent = rng.normal(size=120)
+        xs = latent + rng.normal(scale=0.1, size=120)
+        ys = latent + rng.normal(scale=0.1, size=120)
+        xs[3], ys[3] = np.quantile(xs, 0.05), np.quantile(ys, 0.95)
+        rows += [f"{a:.5f},{b:.5f}" for a, b in zip(xs, ys)]
+        dataset = load_arff(_io.StringIO("\n".join(rows) + "\n"))
+
+        from repro import SubspaceOutlierDetector
+
+        detector = SubspaceOutlierDetector(
+            dimensionality=2, n_ranges=4, n_projections=5, method="brute_force"
+        )
+        result = detector.detect(dataset.values)
+        assert 3 in result.outlier_indices

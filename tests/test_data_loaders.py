@@ -1,0 +1,150 @@
+"""Tests for the Dataset container and CSV loading."""
+
+import numpy as np
+import pytest
+
+from repro.data.loaders import Dataset, load_csv
+from repro.exceptions import DatasetError
+
+
+def make_dataset(**overrides):
+    defaults = dict(
+        name="toy",
+        values=np.arange(12.0).reshape(4, 3),
+        feature_names=("a", "b", "c"),
+    )
+    defaults.update(overrides)
+    return Dataset(**defaults)
+
+
+class TestDataset:
+    def test_basic_properties(self):
+        dataset = make_dataset()
+        assert dataset.n_points == 4
+        assert dataset.n_dims == 3
+
+    def test_name_mismatch_rejected(self):
+        with pytest.raises(DatasetError):
+            make_dataset(feature_names=("a",))
+
+    def test_labels_shape_checked(self):
+        with pytest.raises(DatasetError):
+            make_dataset(labels=np.array([1, 2]))
+
+    def test_planted_out_of_range_rejected(self):
+        with pytest.raises(DatasetError):
+            make_dataset(planted_outliers=np.array([99]))
+
+    def test_planted_sorted(self):
+        dataset = make_dataset(planted_outliers=np.array([3, 0]))
+        np.testing.assert_array_equal(dataset.planted_outliers, [0, 3])
+
+    def test_label_fractions(self):
+        dataset = make_dataset(labels=np.array([1, 1, 1, 2]))
+        fractions = dataset.label_fractions()
+        assert fractions[1] == pytest.approx(0.75)
+        assert fractions[2] == pytest.approx(0.25)
+
+    def test_rare_labels(self):
+        labels = np.array([1] * 97 + [2, 2, 3])
+        dataset = Dataset(
+            name="x",
+            values=np.zeros((100, 1)),
+            feature_names=("f",),
+            labels=labels,
+        )
+        assert dataset.rare_labels(0.05) == {2, 3}
+
+    def test_rare_labels_requires_labels(self):
+        with pytest.raises(DatasetError):
+            make_dataset().rare_labels()
+
+    def test_summary(self):
+        text = make_dataset(labels=np.array([0, 0, 1, 1])).summary()
+        assert "N=4" in text
+        assert "2 classes" in text
+
+
+class TestLoadCsv:
+    def test_inline_text(self):
+        dataset = load_csv("a,b\n1,2\n3,4\n", name="inline_test")
+        assert dataset.name == "inline_test"
+        np.testing.assert_allclose(dataset.values, [[1, 2], [3, 4]])
+        assert dataset.feature_names == ("a", "b")
+
+    def test_missing_tokens_become_nan(self):
+        dataset = load_csv("a,b\n1,?\nNA,4\n")
+        assert np.isnan(dataset.values[0, 1])
+        assert np.isnan(dataset.values[1, 0])
+
+    def test_non_numeric_becomes_nan(self):
+        dataset = load_csv("a,b\nfoo,2\n1,bar\n")
+        assert np.isnan(dataset.values[0, 0])
+        assert np.isnan(dataset.values[1, 1])
+
+    def test_label_column_by_name(self):
+        dataset = load_csv("x,y,cls\n1,2,7\n3,4,9\n", label_column="cls")
+        assert dataset.feature_names == ("x", "y")
+        np.testing.assert_array_equal(dataset.labels, [7, 9])
+
+    def test_label_column_by_index(self):
+        dataset = load_csv("cls,x\nA,1\nB,2\nA,3\n", label_column=0)
+        np.testing.assert_array_equal(dataset.labels, [0, 1, 0])
+
+    def test_label_column_missing(self):
+        with pytest.raises(DatasetError, match="label column"):
+            load_csv("a,b\n1,2\n", label_column="nope")
+
+    def test_file_loading(self, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text("p,q\n1,2\n3,4\n")
+        dataset = load_csv(path)
+        assert dataset.name == "data"
+        assert dataset.n_points == 2
+
+    def test_missing_file(self):
+        with pytest.raises(DatasetError, match="not found"):
+            load_csv("/nonexistent/file.csv")
+
+    def test_header_only_rejected(self):
+        with pytest.raises(DatasetError):
+            load_csv("a,b\n")
+
+    def test_custom_delimiter(self):
+        dataset = load_csv("a;b\n1;2\n", delimiter=";")
+        assert dataset.n_dims == 2
+
+
+class TestCategoricalMode:
+    CSV = "color,x\nred,1\nblue,2\nred,3\ngreen,4\n"
+
+    def test_default_nan(self):
+        dataset = load_csv(self.CSV)
+        assert np.isnan(dataset.values[:, 0]).all()
+
+    def test_ordinal_factorizes(self):
+        dataset = load_csv(self.CSV, categorical_mode="ordinal")
+        np.testing.assert_array_equal(dataset.values[:, 0], [0, 1, 0, 2])
+
+    def test_ordinal_keeps_numeric_columns(self):
+        dataset = load_csv(self.CSV, categorical_mode="ordinal")
+        np.testing.assert_array_equal(dataset.values[:, 1], [1, 2, 3, 4])
+
+    def test_ordinal_respects_missing_tokens(self):
+        dataset = load_csv(
+            "color,x\nred,1\n?,2\nblue,3\n", categorical_mode="ordinal"
+        )
+        assert np.isnan(dataset.values[1, 0])
+        np.testing.assert_array_equal(dataset.values[[0, 2], 0], [0, 1])
+
+    def test_stray_tokens_in_numeric_column_stay_nan(self):
+        # A mostly-numeric column with one bad token is NOT factorized.
+        dataset = load_csv(
+            "x,y\n1,1\n2,2\noops,3\n4,4\n", categorical_mode="ordinal"
+        )
+        assert np.isnan(dataset.values[2, 0])
+        np.testing.assert_array_equal(dataset.values[[0, 1, 3], 0], [1, 2, 4])
+
+    def test_invalid_mode(self):
+        with pytest.raises(DatasetError):
+            load_csv(self.CSV, categorical_mode="onehot")

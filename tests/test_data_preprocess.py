@@ -1,0 +1,99 @@
+"""Tests for preprocessing utilities."""
+
+import numpy as np
+import pytest
+
+from repro.data.preprocess import (
+    drop_low_variance_columns,
+    inject_missing_values,
+    mean_impute,
+    standardize,
+)
+from repro.exceptions import DatasetError
+
+
+class TestStandardize:
+    def test_zero_mean_unit_variance(self, rng):
+        data = rng.normal(loc=5.0, scale=3.0, size=(500, 4))
+        out = standardize(data)
+        np.testing.assert_allclose(out.mean(axis=0), 0.0, atol=1e-10)
+        np.testing.assert_allclose(out.std(axis=0), 1.0, atol=1e-10)
+
+    def test_constant_column_zeroed(self):
+        data = np.column_stack([np.ones(10), np.arange(10.0)])
+        out = standardize(data)
+        np.testing.assert_allclose(out[:, 0], 0.0)
+
+    def test_nan_preserved(self):
+        data = np.array([[1.0, np.nan], [3.0, 2.0], [5.0, 4.0]])
+        out = standardize(data)
+        assert np.isnan(out[0, 1])
+        assert np.isfinite(out[:, 0]).all()
+
+    def test_does_not_mutate_input(self):
+        data = np.array([[1.0, 2.0], [3.0, 4.0]])
+        original = data.copy()
+        standardize(data)
+        np.testing.assert_array_equal(data, original)
+
+
+class TestInjectMissing:
+    def test_fraction_respected(self, rng):
+        data = rng.normal(size=(50, 20))
+        out = inject_missing_values(data, 0.25, random_state=0)
+        assert np.isnan(out).mean() == pytest.approx(0.25, abs=0.01)
+
+    def test_zero_fraction_identity(self, rng):
+        data = rng.normal(size=(10, 4))
+        out = inject_missing_values(data, 0.0, random_state=0)
+        np.testing.assert_array_equal(out, data)
+
+    def test_deterministic(self, rng):
+        data = rng.normal(size=(20, 5))
+        a = inject_missing_values(data, 0.3, random_state=7)
+        b = inject_missing_values(data, 0.3, random_state=7)
+        np.testing.assert_array_equal(np.isnan(a), np.isnan(b))
+
+    def test_input_not_mutated(self, rng):
+        data = rng.normal(size=(10, 4))
+        inject_missing_values(data, 0.5, random_state=0)
+        assert not np.isnan(data).any()
+
+
+class TestDropLowVariance:
+    def test_drops_binary_column(self, rng):
+        # The paper's housing cleanup: remove the single binary attribute.
+        data = np.column_stack(
+            [rng.normal(size=100), (rng.random(100) < 0.5).astype(float)]
+        )
+        reduced, kept = drop_low_variance_columns(data, min_unique=3)
+        assert kept == [0]
+        assert reduced.shape == (100, 1)
+
+    def test_keeps_rich_columns(self, rng):
+        data = rng.normal(size=(50, 3))
+        reduced, kept = drop_low_variance_columns(data)
+        assert kept == [0, 1, 2]
+
+    def test_all_dropped_rejected(self):
+        data = np.ones((10, 2))
+        with pytest.raises(DatasetError):
+            drop_low_variance_columns(data)
+
+
+class TestMeanImpute:
+    def test_fills_with_column_mean(self):
+        data = np.array([[1.0, np.nan], [3.0, 4.0], [np.nan, 8.0]])
+        out = mean_impute(data)
+        assert out[2, 0] == pytest.approx(2.0)
+        assert out[0, 1] == pytest.approx(6.0)
+        assert not np.isnan(out).any()
+
+    def test_all_nan_column_zeroed(self):
+        data = np.column_stack([np.full(4, np.nan), np.arange(4.0)])
+        out = mean_impute(data)
+        np.testing.assert_allclose(out[:, 0], 0.0)
+
+    def test_complete_data_unchanged(self, rng):
+        data = rng.normal(size=(10, 3))
+        np.testing.assert_array_equal(mean_impute(data), data)

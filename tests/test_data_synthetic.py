@@ -1,0 +1,144 @@
+"""Tests for the synthetic data generators."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import (
+    correlated_block_data,
+    figure1_views,
+    plant_rare_combinations,
+    uniform_noise,
+)
+from repro.exceptions import DatasetError, ValidationError
+
+
+class TestCorrelatedBlocks:
+    def test_shapes_and_blocks(self):
+        data, blocks = correlated_block_data(200, 10, 3, random_state=0)
+        assert data.shape == (200, 10)
+        assert blocks == ((0, 1), (2, 3), (4, 5))
+
+    def test_block_dims_strongly_correlated(self):
+        data, blocks = correlated_block_data(500, 8, 2, random_state=1)
+        for a, b in blocks:
+            r = np.corrcoef(data[:, a], data[:, b])[0, 1]
+            assert r > 0.9
+
+    def test_noise_dims_uncorrelated(self):
+        data, _ = correlated_block_data(2000, 8, 2, random_state=2)
+        r = np.corrcoef(data[:, 6], data[:, 7])[0, 1]
+        assert abs(r) < 0.1
+
+    def test_deterministic(self):
+        a, _ = correlated_block_data(100, 6, 2, random_state=5)
+        b, _ = correlated_block_data(100, 6, 2, random_state=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_blocks_must_fit(self):
+        with pytest.raises(ValidationError):
+            correlated_block_data(100, 5, 3, block_size=2)
+
+    def test_zero_blocks_pure_noise(self):
+        data, blocks = correlated_block_data(50, 4, 0, random_state=0)
+        assert blocks == ()
+        assert data.shape == (50, 4)
+
+
+class TestPlantRareCombinations:
+    def test_planted_points_marginally_inside_range(self):
+        data, blocks = correlated_block_data(400, 6, 2, random_state=3)
+        lo0, hi0 = data[:, 0].min(), data[:, 0].max()
+        plan = plant_rare_combinations(data, blocks, 5, random_state=3)
+        assert plan.n_anomalies == 5
+        for point in plan.indices:
+            assert lo0 - 1 <= data[point, 0] <= hi0 + 1
+
+    def test_planted_combination_is_jointly_rare(self):
+        data, blocks = correlated_block_data(600, 6, 1, random_state=4)
+        plan = plant_rare_combinations(data, blocks, 1, random_state=4)
+        point = plan.indices[0]
+        a, b = plan.subspaces[0]
+        # Count background points in the same low/high corner.
+        lo_cut = np.quantile(data[:, a], 0.2)
+        hi_cut = np.quantile(data[:, b], 0.8)
+        corner = (data[:, a] <= lo_cut) & (data[:, b] >= hi_cut)
+        assert corner[point]
+        assert corner.sum() <= 6  # nearly empty for r ~ 0.97 pairs
+
+    def test_explicit_indices(self):
+        data, blocks = correlated_block_data(100, 4, 1, random_state=0)
+        plan = plant_rare_combinations(
+            data, blocks, indices=[7, 13], random_state=0
+        )
+        np.testing.assert_array_equal(plan.indices, [7, 13])
+
+    def test_empty_indices(self):
+        data, blocks = correlated_block_data(100, 4, 1, random_state=0)
+        plan = plant_rare_combinations(data, blocks, indices=[], random_state=0)
+        assert plan.n_anomalies == 0
+
+    def test_blocks_round_robin(self):
+        data, blocks = correlated_block_data(100, 8, 2, random_state=0)
+        plan = plant_rare_combinations(data, blocks, 4, random_state=0)
+        assert plan.subspaces == (
+            blocks[0][:2],
+            blocks[1][:2],
+            blocks[0][:2],
+            blocks[1][:2],
+        )
+
+    def test_requires_blocks(self):
+        data = np.zeros((10, 2))
+        with pytest.raises(DatasetError):
+            plant_rare_combinations(data, (), 1)
+
+    def test_too_many_anomalies(self):
+        data, blocks = correlated_block_data(10, 4, 1, random_state=0)
+        with pytest.raises(ValidationError):
+            plant_rare_combinations(data, blocks, 11)
+
+    def test_out_of_range_indices(self):
+        data, blocks = correlated_block_data(10, 4, 1, random_state=0)
+        with pytest.raises(ValidationError):
+            plant_rare_combinations(data, blocks, indices=[99])
+
+
+class TestUniformNoise:
+    def test_range_and_shape(self):
+        data = uniform_noise(100, 5, random_state=0)
+        assert data.shape == (100, 5)
+        assert data.min() >= 0.0
+        assert data.max() < 1.0
+
+
+class TestFigure1Views:
+    def test_dataset_layout(self):
+        dataset = figure1_views(random_state=0)
+        assert dataset.n_points == 500
+        assert dataset.n_dims == 80
+        np.testing.assert_array_equal(dataset.planted_outliers, [498, 499])
+        assert dataset.metadata["views"]["view1"] == (0, 1)
+        assert dataset.metadata["views"]["view4"] == (2, 3)
+
+    def test_outlier_a_breaks_view1_only(self):
+        dataset = figure1_views(random_state=0)
+        data = dataset.values
+        a = dataset.metadata["outlier_A"]
+        # Low on view1_x, high on view1_y...
+        assert data[a, 0] <= np.quantile(data[:, 0], 0.1)
+        assert data[a, 1] >= np.quantile(data[:, 1], 0.9)
+        # ... and unremarkable on view 4 (inside the central 80%).
+        assert (
+            np.quantile(data[:, 2], 0.05)
+            < data[a, 2]
+            < np.quantile(data[:, 2], 0.95)
+        ) or (
+            np.quantile(data[:, 3], 0.05)
+            < data[a, 3]
+            < np.quantile(data[:, 3], 0.95)
+        )
+
+    def test_deterministic(self):
+        a = figure1_views(random_state=9)
+        b = figure1_views(random_state=9)
+        np.testing.assert_array_equal(a.values, b.values)

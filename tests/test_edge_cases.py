@@ -1,0 +1,170 @@
+"""Failure injection: degenerate inputs across the whole pipeline."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    EvolutionaryConfig,
+    SubspaceOutlierDetector,
+    ValidationError,
+)
+from repro.grid.counter import CubeCounter
+from repro.grid.discretizer import EquiDepthDiscretizer
+from repro.search.brute_force import BruteForceSearch
+from repro.search.evolutionary.engine import EvolutionarySearch
+
+
+QUICK = EvolutionaryConfig(population_size=10, max_generations=5)
+
+
+class TestDegenerateData:
+    def test_constant_dataset(self):
+        # Every value identical: all points share one cell; brute force
+        # reports the single (dense) cube per dimension pair, none sparse.
+        data = np.ones((50, 4))
+        detector = SubspaceOutlierDetector(
+            dimensionality=2, n_ranges=3, n_projections=5, method="brute_force"
+        )
+        result = detector.detect(data)
+        assert all(p.coefficient >= 0 for p in result.projections)
+
+    def test_two_points(self):
+        data = np.array([[0.0, 1.0], [1.0, 0.0]])
+        detector = SubspaceOutlierDetector(
+            dimensionality=1, n_ranges=2, n_projections=2, method="brute_force"
+        )
+        result = detector.detect(data)
+        assert result.n_points == 2
+
+    def test_single_column(self, rng):
+        data = rng.normal(size=(100, 1))
+        detector = SubspaceOutlierDetector(
+            dimensionality=1, n_ranges=4, n_projections=3, method="brute_force"
+        )
+        result = detector.detect(data)
+        assert all(p.dimensionality == 1 for p in result.projections)
+
+    def test_n_smaller_than_phi(self):
+        data = np.arange(6.0).reshape(3, 2)
+        detector = SubspaceOutlierDetector(
+            dimensionality=1, n_ranges=10, n_projections=2, method="brute_force"
+        )
+        result = detector.detect(data)
+        assert result.n_points == 3
+
+    def test_duplicate_rows_everywhere(self):
+        data = np.tile([1.0, 2.0, 3.0], (40, 1))
+        data[0] = [9.0, -9.0, 9.0]
+        detector = SubspaceOutlierDetector(
+            dimensionality=2, n_ranges=3, n_projections=5, method="brute_force"
+        )
+        result = detector.detect(data)
+        # The single distinct row is the only candidate for sparse cells.
+        assert result.n_outliers <= 1 or 0 in result.outlier_indices
+
+    def test_mostly_missing(self, rng):
+        data = rng.normal(size=(80, 5))
+        data[rng.random(data.shape) < 0.7] = np.nan
+        detector = SubspaceOutlierDetector(
+            dimensionality=2, n_ranges=3, n_projections=5, method="brute_force"
+        )
+        result = detector.detect(data)
+        assert result.n_points == 80
+
+    def test_entirely_missing_column(self, rng):
+        data = rng.normal(size=(60, 3))
+        data[:, 1] = np.nan
+        detector = SubspaceOutlierDetector(
+            dimensionality=2, n_ranges=3, n_projections=5, method="brute_force"
+        )
+        result = detector.detect(data)
+        # No mined projection can use the all-missing dimension.
+        for p in result.projections:
+            assert 1 not in p.subspace.dims
+
+    def test_k_equals_d(self, rng):
+        data = rng.normal(size=(200, 3))
+        detector = SubspaceOutlierDetector(
+            dimensionality=3, n_ranges=3, n_projections=5, method="brute_force"
+        )
+        result = detector.detect(data)
+        assert all(p.dimensionality == 3 for p in result.projections)
+
+    def test_ga_with_k_equals_d(self, rng):
+        data = rng.normal(size=(150, 3))
+        detector = SubspaceOutlierDetector(
+            dimensionality=3,
+            n_ranges=3,
+            n_projections=5,
+            config=QUICK,
+            random_state=0,
+        )
+        result = detector.detect(data)
+        assert all(p.dimensionality == 3 for p in result.projections)
+
+    def test_empty_data_rejected(self):
+        detector = SubspaceOutlierDetector(dimensionality=1, config=QUICK)
+        with pytest.raises(ValidationError):
+            detector.detect(np.empty((0, 3)))
+
+    def test_inf_rejected(self):
+        detector = SubspaceOutlierDetector(dimensionality=1, config=QUICK)
+        with pytest.raises(ValidationError):
+            detector.detect([[np.inf, 1.0], [0.0, 1.0]])
+
+
+class TestTinyPopulations:
+    def test_population_of_two(self, rng):
+        data = rng.normal(size=(60, 4))
+        cells = EquiDepthDiscretizer(3).fit_transform(data)
+        outcome = EvolutionarySearch(
+            CubeCounter(cells),
+            2,
+            3,
+            config=EvolutionaryConfig(population_size=2, max_generations=10),
+            random_state=0,
+        ).run()
+        assert outcome.projections
+
+    def test_projections_fewer_than_requested(self, rng):
+        # Fewer distinct non-empty cubes than m: the best set just
+        # returns what exists.
+        data = np.tile([0.0, 1.0], (20, 1))
+        cells = EquiDepthDiscretizer(2).fit_transform(data)
+        outcome = BruteForceSearch(
+            CubeCounter(cells), 1, n_projections=50
+        ).run()
+        assert 0 < len(outcome.projections) <= 4
+
+
+class TestScoreEdgeCases:
+    def test_score_on_out_of_range_values(self, rng):
+        data = rng.normal(size=(100, 4))
+        detector = SubspaceOutlierDetector(
+            dimensionality=2, n_ranges=3, n_projections=5, method="brute_force"
+        )
+        detector.detect(data)
+        wild = np.full((3, 4), 1e9)
+        scores = detector.score(wild)  # clamps to edge ranges, no crash
+        assert scores.shape == (3,)
+
+    def test_score_with_missing_values(self, rng):
+        data = rng.normal(size=(100, 4))
+        detector = SubspaceOutlierDetector(
+            dimensionality=2, n_ranges=3, n_projections=5, method="brute_force"
+        )
+        detector.detect(data)
+        new = data[:5].copy()
+        new[:, 0] = np.nan
+        scores = detector.score(new)
+        # Points missing a mined dimension are simply not covered there.
+        assert scores.shape == (5,)
+
+    def test_score_wrong_width_rejected(self, rng):
+        data = rng.normal(size=(50, 4))
+        detector = SubspaceOutlierDetector(
+            dimensionality=1, n_ranges=3, n_projections=5, method="brute_force"
+        )
+        detector.detect(data)
+        with pytest.raises(Exception):
+            detector.score(rng.normal(size=(5, 3)))

@@ -1,0 +1,143 @@
+"""Tests for the evaluation metrics, harness, and comparison tables."""
+
+import numpy as np
+import pytest
+
+from repro.data.registry import load_dataset
+from repro.eval.comparison import ComparisonRow, build_table1, render_table
+from repro.eval.harness import detector_for_dataset, timed_detection
+from repro.eval.metrics import (
+    enrichment_lift,
+    jaccard_overlap,
+    rare_class_report,
+    recall_of_planted,
+)
+from repro.exceptions import ValidationError
+from repro.search.evolutionary.config import EvolutionaryConfig
+
+
+class TestRareClassReport:
+    def test_paper_style_numbers(self):
+        # 85 flagged, 43 rare-class hits against a 14.6% base rate.
+        labels = np.array([0] * 386 + [1] * 66)
+        flagged = list(range(386, 386 + 43)) + list(range(42))
+        report = rare_class_report(flagged, labels, rare_labels=[1])
+        assert report.n_flagged == 85
+        assert report.n_rare_hits == 43
+        assert report.precision == pytest.approx(43 / 85)
+        assert report.lift == pytest.approx((43 / 85) / (66 / 452), rel=1e-6)
+
+    def test_str_rendering(self):
+        labels = np.array([0, 0, 1, 1])
+        report = rare_class_report([2], labels, [1])
+        assert "1 of 1" in str(report)
+
+    def test_empty_flagged(self):
+        report = rare_class_report([], np.array([0, 1]), [1])
+        assert report.n_flagged == 0
+        assert report.precision == 0.0
+
+    def test_out_of_range_flagged(self):
+        with pytest.raises(ValidationError):
+            rare_class_report([9], np.array([0, 1]), [1])
+
+    def test_enrichment_lift_shorthand(self):
+        labels = np.array([0] * 90 + [1] * 10)
+        assert enrichment_lift(range(90, 100), labels, [1]) == pytest.approx(10.0)
+
+
+class TestSetMetrics:
+    def test_recall_of_planted(self):
+        assert recall_of_planted([1, 2, 3], [2, 3, 4]) == pytest.approx(2 / 3)
+        assert recall_of_planted([], [1]) == 0.0
+        assert recall_of_planted([1], []) == 1.0
+
+    def test_jaccard(self):
+        assert jaccard_overlap([1, 2], [2, 3]) == pytest.approx(1 / 3)
+        assert jaccard_overlap([], []) == 1.0
+        assert jaccard_overlap([1], [1]) == 1.0
+
+
+@pytest.fixture(scope="module")
+def machine_dataset():
+    return load_dataset("machine")
+
+
+@pytest.fixture(scope="module")
+def quick_cfg():
+    return EvolutionaryConfig(population_size=20, max_generations=20)
+
+
+class TestHarness:
+    def test_timed_detection_brute(self, machine_dataset):
+        cell = timed_detection(machine_dataset, "brute", n_projections=10)
+        assert cell.completed
+        assert cell.elapsed_seconds > 0
+        assert cell.quality < 0
+        assert cell.extra["phi"] == machine_dataset.metadata["phi"]
+
+    def test_timed_detection_gen_variants(self, machine_dataset, quick_cfg):
+        gen = timed_detection(
+            machine_dataset, "gen", config=quick_cfg, random_state=0
+        )
+        gen_opt = timed_detection(
+            machine_dataset, "gen_opt", config=quick_cfg, random_state=0
+        )
+        assert gen.algorithm == "gen"
+        assert gen_opt.algorithm == "gen_opt"
+
+    def test_unknown_algorithm(self, machine_dataset):
+        with pytest.raises(ValidationError):
+            detector_for_dataset(machine_dataset, "magic")
+
+    def test_row_flattening(self, machine_dataset):
+        cell = timed_detection(machine_dataset, "brute", n_projections=5)
+        row = cell.row()
+        assert row["dataset"] == "machine"
+        assert isinstance(row["time_s"], float)
+
+
+class TestComparison:
+    @pytest.fixture(scope="class")
+    def rows(self, machine_dataset, quick_cfg):
+        return build_table1(
+            [machine_dataset], config=quick_cfg, random_state=0
+        )
+
+    def test_row_structure(self, rows):
+        row = rows[0]
+        assert isinstance(row, ComparisonRow)
+        assert row.dataset == "machine"
+        assert row.brute is not None
+        assert row.brute.completed
+
+    def test_gen_never_beats_brute(self, rows):
+        row = rows[0]
+        # Brute force is the exhaustive optimum over the same space.
+        assert row.gen_opt.quality >= row.brute.quality - 1e-9
+
+    def test_skip_brute_above_dims(self, machine_dataset, quick_cfg):
+        rows = build_table1(
+            [machine_dataset],
+            config=quick_cfg,
+            skip_brute_above_dims=4,
+            random_state=0,
+        )
+        assert rows[0].brute is None
+        assert not rows[0].gen_opt_matches_brute
+
+    def test_render_table_layout(self, rows):
+        text = render_table(rows)
+        assert "Data Set" in text
+        assert "machine (8)" in text
+        assert "(quality)" in text
+
+    def test_render_dash_for_missing_brute(self, machine_dataset, quick_cfg):
+        rows = build_table1(
+            [machine_dataset],
+            config=quick_cfg,
+            skip_brute_above_dims=4,
+            random_state=0,
+        )
+        line = render_table(rows).splitlines()[3]
+        assert line.split()[2] == "-"

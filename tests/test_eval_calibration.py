@@ -1,0 +1,153 @@
+"""Tests for permutation calibration and the elitism knob."""
+
+import numpy as np
+import pytest
+
+from repro import EvolutionaryConfig, SubspaceOutlierDetector
+from repro.eval.calibration import (
+    column_permuted,
+    empirical_p_value,
+    permutation_null_best_coefficients,
+)
+from repro.exceptions import ValidationError
+from repro.search.evolutionary.engine import EvolutionarySearch
+
+
+class TestColumnPermuted:
+    def test_marginals_preserved(self, rng):
+        data = rng.normal(size=(100, 4))
+        shuffled = column_permuted(data, random_state=0)
+        for j in range(4):
+            np.testing.assert_allclose(
+                np.sort(shuffled[:, j]), np.sort(data[:, j])
+            )
+
+    def test_structure_destroyed(self, rng):
+        latent = rng.normal(size=2000)
+        data = np.column_stack(
+            [latent + rng.normal(scale=0.05, size=2000),
+             latent + rng.normal(scale=0.05, size=2000)]
+        )
+        assert np.corrcoef(data[:, 0], data[:, 1])[0, 1] > 0.95
+        shuffled = column_permuted(data, random_state=0)
+        assert abs(np.corrcoef(shuffled[:, 0], shuffled[:, 1])[0, 1]) < 0.1
+
+    def test_input_not_mutated(self, rng):
+        data = rng.normal(size=(20, 3))
+        original = data.copy()
+        column_permuted(data, random_state=0)
+        np.testing.assert_array_equal(data, original)
+
+    def test_missing_values_travel(self, rng):
+        data = rng.normal(size=(50, 2))
+        data[:10, 0] = np.nan
+        shuffled = column_permuted(data, random_state=0)
+        assert np.isnan(shuffled[:, 0]).sum() == 10
+
+
+class TestPermutationNull:
+    @pytest.fixture(scope="class")
+    def correlated(self):
+        rng = np.random.default_rng(3)
+        latent = rng.normal(size=400)
+        data = rng.normal(size=(400, 6))
+        data[:, 0] = latent + rng.normal(scale=0.1, size=400)
+        data[:, 1] = latent + rng.normal(scale=0.1, size=400)
+        return data
+
+    @staticmethod
+    def factory():
+        return SubspaceOutlierDetector(
+            dimensionality=2, n_ranges=4, n_projections=5, method="brute_force"
+        )
+
+    def test_real_structure_beats_null(self, correlated):
+        real = self.factory().detect(correlated).best_coefficient
+        null = permutation_null_best_coefficients(
+            correlated, self.factory, n_permutations=8, random_state=0
+        )
+        # The correlated pair's empty corners are far sparser than
+        # anything structureless data can produce.
+        p = empirical_p_value(real, null)
+        assert p <= 2 / 9
+        assert real < np.nanmin(null)
+
+    def test_null_length(self, correlated):
+        null = permutation_null_best_coefficients(
+            correlated, self.factory, n_permutations=3, random_state=1
+        )
+        assert null.shape == (3,)
+
+    def test_factory_type_checked(self, correlated):
+        with pytest.raises(ValidationError):
+            permutation_null_best_coefficients(
+                correlated, lambda: "not a detector", n_permutations=1
+            )
+
+
+class TestEmpiricalPValue:
+    def test_plus_one_correction(self):
+        assert empirical_p_value(-10.0, [-1.0, -2.0]) == pytest.approx(1 / 3)
+        assert empirical_p_value(-1.5, [-1.0, -2.0]) == pytest.approx(2 / 3)
+
+    def test_never_zero(self):
+        assert empirical_p_value(-100.0, [-1.0] * 99) > 0
+
+    def test_nan_null_entries_do_not_count(self):
+        p = empirical_p_value(-5.0, [float("nan"), -1.0])
+        assert p == pytest.approx(1 / 3)
+
+    def test_nan_observed_rejected(self):
+        with pytest.raises(ValidationError):
+            empirical_p_value(float("nan"), [-1.0])
+
+    def test_empty_null_rejected(self):
+        with pytest.raises(ValidationError):
+            empirical_p_value(-1.0, [])
+
+
+class TestElitism:
+    def test_elites_survive_each_generation(self, small_counter):
+        outcome_plain = EvolutionarySearch(
+            small_counter,
+            2,
+            5,
+            config=EvolutionaryConfig(
+                population_size=20, max_generations=20, elitism=0
+            ),
+            random_state=4,
+        ).run()
+        outcome_elite = EvolutionarySearch(
+            small_counter,
+            2,
+            5,
+            config=EvolutionaryConfig(
+                population_size=20, max_generations=20, elitism=3
+            ),
+            random_state=4,
+        ).run()
+        # Both run to completion and mine the requested set.
+        assert outcome_plain.projections and outcome_elite.projections
+
+    def test_elitism_validated(self):
+        with pytest.raises(ValidationError):
+            EvolutionaryConfig(population_size=10, elitism=10)
+        with pytest.raises(ValidationError):
+            EvolutionaryConfig(elitism=-1)
+
+    def test_elitism_monotone_population_best(self, small_counter):
+        # With elitism, the per-generation population best never regresses.
+        outcome = EvolutionarySearch(
+            small_counter,
+            2,
+            5,
+            config=EvolutionaryConfig(
+                population_size=20,
+                max_generations=25,
+                elitism=2,
+                track_history=True,
+            ),
+            random_state=7,
+        ).run()
+        best = [r.population_best for r in outcome.history]
+        assert all(b <= a + 1e-12 for a, b in zip(best, best[1:]))

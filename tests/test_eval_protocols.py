@@ -1,0 +1,116 @@
+"""Tests for the reusable experiment protocols."""
+
+import numpy as np
+import pytest
+
+from repro.data.loaders import Dataset
+from repro.data.registry import load_dataset
+from repro.eval.protocols import (
+    run_arrhythmia_protocol,
+    run_figure1_protocol,
+    run_housing_protocol,
+)
+from repro.exceptions import ValidationError
+from repro.search.evolutionary.config import EvolutionaryConfig
+
+
+QUICK = EvolutionaryConfig(population_size=40, max_generations=30, restarts=2)
+
+
+class TestArrhythmiaProtocol:
+    @pytest.fixture(scope="class")
+    def outcome(self):
+        return run_arrhythmia_protocol(
+            load_dataset("arrhythmia"), config=QUICK, random_state=0
+        )
+
+    def test_projections_respect_threshold(self, outcome):
+        assert all(p.coefficient <= -3.0 for p in outcome.result.projections)
+
+    def test_knn_reports_same_size(self, outcome):
+        for report in outcome.knn_reports.values():
+            assert report.n_flagged == max(outcome.result.n_outliers, 1)
+
+    def test_summary_lines(self, outcome):
+        lines = outcome.summary_lines()
+        assert any("subspace" in line for line in lines)
+        assert any("kNN (1-NN)" in line for line in lines)
+
+    def test_needs_labels(self):
+        unlabeled = Dataset(
+            name="x", values=np.zeros((10, 3)), feature_names=("a", "b", "c")
+        )
+        with pytest.raises(ValidationError, match="labelled"):
+            run_arrhythmia_protocol(unlabeled)
+
+    def test_needs_rare_classes_metadata(self):
+        labelled = Dataset(
+            name="x",
+            values=np.random.default_rng(0).normal(size=(30, 3)),
+            feature_names=("a", "b", "c"),
+            labels=np.zeros(30, dtype=int),
+        )
+        with pytest.raises(ValidationError, match="rare_classes"):
+            run_arrhythmia_protocol(labelled)
+
+
+class TestFigure1Protocol:
+    @pytest.fixture(scope="class")
+    def outcome(self):
+        return run_figure1_protocol(
+            load_dataset("figure1_views"),
+            config=EvolutionaryConfig(
+                population_size=60, max_generations=60, restarts=4
+            ),
+            random_state=0,
+        )
+
+    def test_subspace_beats_baselines(self, outcome):
+        for point, sub_rank in outcome.subspace_ranks.items():
+            assert sub_rank is not None
+            assert sub_rank < outcome.knn_ranks[point]
+            assert sub_rank < outcome.lof_ranks[point]
+
+    def test_summary_table(self, outcome):
+        lines = outcome.summary_lines()
+        assert "subspace" in lines[0]
+        assert len(lines) == 3  # header + two planted points
+
+    def test_needs_planted(self):
+        plain = Dataset(
+            name="x",
+            values=np.random.default_rng(0).normal(size=(30, 3)),
+            feature_names=("a", "b", "c"),
+        )
+        with pytest.raises(ValidationError, match="planted"):
+            run_figure1_protocol(plain)
+
+
+class TestHousingProtocol:
+    @pytest.fixture(scope="class")
+    def outcome(self):
+        return run_housing_protocol(load_dataset("housing"), random_state=0)
+
+    def test_full_recall_with_brute_force(self, outcome):
+        assert outcome.recall == 1.0
+
+    def test_binary_attribute_dropped(self, outcome):
+        assert "CHAS" not in outcome.feature_names
+        assert len(outcome.feature_names) == 13
+
+    def test_explanations_cover_planted(self, outcome):
+        assert len(outcome.explanations) == 3
+        assert all(e.findings for e in outcome.explanations)
+
+    def test_summary_mentions_recall(self, outcome):
+        assert "recall" in outcome.summary_lines()[0]
+
+    def test_evolutionary_variant_runs(self):
+        outcome = run_housing_protocol(
+            load_dataset("housing"),
+            dimensionality=3,
+            method="evolutionary",
+            config=QUICK,
+            random_state=1,
+        )
+        assert all(p.dimensionality == 3 for p in outcome.result.projections)

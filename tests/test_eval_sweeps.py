@@ -1,0 +1,100 @@
+"""Tests for the parameter sweep utilities."""
+
+import numpy as np
+import pytest
+
+from repro.eval.sweeps import render_sweep, sweep_detector_parameter
+from repro.exceptions import ValidationError
+
+
+@pytest.fixture(scope="module")
+def data():
+    rng = np.random.default_rng(9)
+    latent = rng.normal(size=250)
+    out = rng.normal(size=(250, 5))
+    out[:, 0] = latent + rng.normal(scale=0.1, size=250)
+    out[:, 1] = latent + rng.normal(scale=0.1, size=250)
+    return out
+
+
+BASE = dict(dimensionality=2, n_projections=8, method="brute_force")
+
+
+class TestSweep:
+    def test_phi_sweep_rows(self, data):
+        rows = sweep_detector_parameter(
+            data, "n_ranges", [3, 4, 5], base_kwargs=BASE
+        )
+        assert [row["n_ranges"] for row in rows] == [3, 4, 5]
+        assert [row["phi"] for row in rows] == [3, 4, 5]
+        assert all(row["quality"] < 0 for row in rows)
+
+    def test_k_sweep(self, data):
+        rows = sweep_detector_parameter(
+            data,
+            "dimensionality",
+            [1, 2],
+            base_kwargs=dict(n_ranges=4, n_projections=8, method="brute_force"),
+        )
+        assert [row["k"] for row in rows] == [1, 2]
+
+    def test_method_sweep(self, data):
+        from repro import EvolutionaryConfig
+
+        rows = sweep_detector_parameter(
+            data,
+            "method",
+            ["brute_force", "evolutionary"],
+            base_kwargs=dict(
+                dimensionality=2,
+                n_ranges=4,
+                n_projections=8,
+                config=EvolutionaryConfig(population_size=20, max_generations=15),
+                random_state=0,
+            ),
+        )
+        brute, evo = rows
+        # The GA never beats the exhaustive optimum.
+        assert evo["best_coefficient"] >= brute["best_coefficient"] - 1e-9
+
+    def test_unknown_parameter(self, data):
+        with pytest.raises(ValidationError, match="parameter"):
+            sweep_detector_parameter(data, "magic", [1])
+
+    def test_conflicting_base_kwargs(self, data):
+        with pytest.raises(ValidationError, match="base_kwargs"):
+            sweep_detector_parameter(
+                data, "n_ranges", [3], base_kwargs={"n_ranges": 4}
+            )
+
+    def test_elapsed_recorded(self, data):
+        rows = sweep_detector_parameter(data, "n_ranges", [3], base_kwargs=BASE)
+        assert rows[0]["elapsed_seconds"] > 0
+
+
+class TestRender:
+    def test_table_layout(self, data):
+        rows = sweep_detector_parameter(
+            data, "n_ranges", [3, 4], base_kwargs=BASE
+        )
+        text = render_sweep(rows, "n_ranges")
+        lines = text.splitlines()
+        assert "n_ranges" in lines[0]
+        assert len(lines) == 4  # header + rule + 2 rows
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            render_sweep([], "n_ranges")
+
+    def test_nan_rendered_as_dash(self):
+        rows = [
+            {
+                "n_ranges": 3,
+                "quality": float("nan"),
+                "best_coefficient": float("nan"),
+                "n_outliers": 0,
+                "n_projections_mined": 0,
+                "elapsed_seconds": 0.01,
+            }
+        ]
+        assert "-" in render_sweep(rows, "n_ranges")

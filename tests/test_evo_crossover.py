@@ -1,0 +1,216 @@
+"""Tests for the crossover operators (Figure 5)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.grid.cells import CellAssignment
+from repro.grid.counter import CubeCounter
+from repro.search.evolutionary.crossover import (
+    OptimizedCrossover,
+    TwoPointCrossover,
+    pair_population,
+)
+from repro.search.evolutionary.encoding import (
+    Solution,
+    WILDCARD_GENE,
+    random_solution,
+    seed_population,
+)
+from repro.search.evolutionary.population import FitnessEvaluator
+
+
+@pytest.fixture
+def evaluator(small_cells):
+    return FitnessEvaluator(CubeCounter(small_cells), dimensionality=2)
+
+
+@pytest.fixture
+def evaluator3(small_cells):
+    return FitnessEvaluator(CubeCounter(small_cells), dimensionality=3)
+
+
+class TestPairing:
+    def test_all_paired_even(self):
+        sols = seed_population(6, 2, 3, 8, random_state=0)
+        pairs = pair_population(sols, np.random.default_rng(0))
+        assert len(pairs) == 4
+        used = [i for pair in pairs for i in pair]
+        assert sorted(used) == list(range(8))
+
+    def test_odd_leftover(self):
+        sols = seed_population(6, 2, 3, 5, random_state=0)
+        pairs = pair_population(sols, np.random.default_rng(0))
+        assert len(pairs) == 2
+
+
+class _FixedCut:
+    """Stands in for a Generator, always returning the same cut point."""
+
+    def __init__(self, cut):
+        self.cut = cut
+
+    def integers(self, low, high=None, size=None):
+        return self.cut
+
+    def random(self):
+        return 0.0
+
+
+class TestTwoPointCrossover:
+    def test_paper_example_segment_exchange(self, evaluator3, monkeypatch):
+        # Strings 3*2*1 and 1*33* cut after position 3 -> 3*23* and 1*3*1.
+        import repro.search.evolutionary.crossover as crossover_module
+
+        monkeypatch.setattr(crossover_module, "check_rng", lambda r: r)
+        s1 = Solution.from_string("3*2*1")
+        s2 = Solution.from_string("1*33*")
+        c1, c2 = TwoPointCrossover().recombine(s1, s2, evaluator3, _FixedCut(3))
+        assert c1.to_string() == "3*23*"
+        assert c2.to_string() == "1*3*1"
+
+    def test_can_create_infeasible_children(self, evaluator3, monkeypatch):
+        # Cut after position 4 in the paper's example gives 2-d and 4-d
+        # children from 3-d parents.
+        import repro.search.evolutionary.crossover as crossover_module
+
+        monkeypatch.setattr(crossover_module, "check_rng", lambda r: r)
+        s1 = Solution.from_string("3*2*1")
+        s2 = Solution.from_string("1*33*")
+        c1, c2 = TwoPointCrossover().recombine(s1, s2, evaluator3, _FixedCut(4))
+        assert {c1.dimensionality, c2.dimensionality} == {2, 4}
+
+    def test_gene_conservation(self, evaluator):
+        # Children's genes at each position come from one of the parents.
+        rng = np.random.default_rng(3)
+        for _ in range(20):
+            s1 = random_solution(8, 3, 4, rng)
+            s2 = random_solution(8, 3, 4, rng)
+            c1, c2 = TwoPointCrossover().recombine(s1, s2, evaluator, rng)
+            for i in range(8):
+                assert {c1.genes[i], c2.genes[i]} == {s1.genes[i], s2.genes[i]}
+
+    def test_two_cut_variant(self, evaluator):
+        rng = np.random.default_rng(4)
+        s1 = random_solution(10, 3, 4, rng)
+        s2 = random_solution(10, 3, 4, rng)
+        c1, c2 = TwoPointCrossover(two_cut_points=True).recombine(
+            s1, s2, evaluator, rng
+        )
+        for i in range(10):
+            assert {c1.genes[i], c2.genes[i]} == {s1.genes[i], s2.genes[i]}
+
+
+class TestOptimizedCrossover:
+    def test_children_always_feasible(self, evaluator):
+        rng = np.random.default_rng(0)
+        op = OptimizedCrossover()
+        for _ in range(50):
+            s1 = random_solution(6, 2, 5, rng)
+            s2 = random_solution(6, 2, 5, rng)
+            c1, c2 = op.recombine(s1, s2, evaluator, rng)
+            assert c1.is_feasible(2), (s1.to_string(), s2.to_string(), c1.to_string())
+            assert c2.is_feasible(2), (s1.to_string(), s2.to_string(), c2.to_string())
+
+    def test_type1_positions_stay_wildcard(self, evaluator):
+        s1 = Solution.from_string("12****")
+        s2 = Solution.from_string("34****")
+        c1, c2 = OptimizedCrossover().recombine(
+            s1, s2, evaluator, np.random.default_rng(0)
+        )
+        for child in (c1, c2):
+            assert child.genes[2:] == (WILDCARD_GENE,) * 4
+
+    def test_complementarity(self, evaluator):
+        # Every position of the second child derives from the opposite
+        # parent of the first child's derivation.
+        rng = np.random.default_rng(7)
+        op = OptimizedCrossover()
+        for _ in range(30):
+            s1 = random_solution(6, 2, 5, rng)
+            s2 = random_solution(6, 2, 5, rng)
+            c1, c2 = op.recombine(s1, s2, evaluator, rng)
+            for i in range(6):
+                pair = {c1.genes[i], c2.genes[i]}
+                assert pair == {s1.genes[i], s2.genes[i]}
+
+    def test_identical_parents_fixed_point(self, evaluator):
+        s = Solution.from_string("1*4***")
+        c1, c2 = OptimizedCrossover().recombine(
+            s, s, evaluator, np.random.default_rng(0)
+        )
+        assert c1 == s
+        assert c2 == s
+
+    def test_first_child_at_least_as_fit_as_best_recombinant_start(
+        self, evaluator
+    ):
+        # With fully shared positions (k' = k), the child is the exact
+        # optimum over all 2^k parent mixes.
+        rng = np.random.default_rng(1)
+        s1 = Solution.from_string("12****")
+        s2 = Solution.from_string("45****")
+        c1, _ = OptimizedCrossover().recombine(s1, s2, evaluator, rng)
+        candidates = []
+        import itertools
+
+        for bits in itertools.product([0, 1], repeat=2):
+            genes = list(s1.genes)
+            for pos, b in zip((0, 1), bits):
+                genes[pos] = (s2 if b else s1).genes[pos]
+            candidates.append(evaluator.partial_fitness(Solution(genes)))
+        assert evaluator.partial_fitness(c1) == pytest.approx(min(candidates))
+
+    def test_disjoint_parents_pick_greedy_best(self, evaluator):
+        # No Type II positions: the child is built purely by greedy
+        # extension over the 2k Type III candidates.
+        rng = np.random.default_rng(2)
+        s1 = Solution.from_string("12****")
+        s2 = Solution.from_string("**34**")
+        c1, c2 = OptimizedCrossover().recombine(s1, s2, evaluator, rng)
+        assert c1.is_feasible(2)
+        assert c2.is_feasible(2)
+        # Together the children use exactly the union of parent genes.
+        union = {(i, g) for s in (s1, s2) for i, g in enumerate(s.genes) if g >= 0}
+        child_union = {
+            (i, g) for s in (c1, c2) for i, g in enumerate(s.genes) if g >= 0
+        }
+        assert child_union == union
+
+    def test_infeasible_parent_passthrough(self, evaluator):
+        bad = Solution.from_string("123***")  # 3-d string in a k=2 run
+        good = Solution.from_string("1*2***")
+        c1, c2 = OptimizedCrossover().recombine(
+            bad, good, evaluator, np.random.default_rng(0)
+        )
+        assert (c1, c2) == (bad, good)
+
+    def test_greedy_fallback_above_exact_limit(self, small_cells):
+        # Force the fallback path with max_exact_positions=1.
+        evaluator = FitnessEvaluator(CubeCounter(small_cells), dimensionality=3)
+        op = OptimizedCrossover(max_exact_positions=1)
+        rng = np.random.default_rng(0)
+        s1 = Solution.from_string("123***")
+        s2 = Solution.from_string("245***")
+        c1, c2 = op.recombine(s1, s2, evaluator, rng)
+        assert c1.is_feasible(3)
+        assert c2.is_feasible(3)
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 10_000), k=st.integers(1, 4))
+def test_property_optimized_children_feasible_and_complementary(
+    seed, k
+):
+    """For random parents: both children feasible, genes conserved."""
+    rng = np.random.default_rng(seed)
+    codes = rng.integers(0, 4, size=(60, 8)).astype(np.int16)
+    counter = CubeCounter(CellAssignment(codes, 4))
+    evaluator = FitnessEvaluator(counter, dimensionality=k)
+    s1 = random_solution(8, k, 4, rng)
+    s2 = random_solution(8, k, 4, rng)
+    c1, c2 = OptimizedCrossover().recombine(s1, s2, evaluator, rng)
+    assert c1.is_feasible(k)
+    assert c2.is_feasible(k)
+    for i in range(8):
+        assert {c1.genes[i], c2.genes[i]} == {s1.genes[i], s2.genes[i]}

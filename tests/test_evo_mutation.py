@@ -1,0 +1,114 @@
+"""Tests for the mutation operator (Figure 6)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.search.evolutionary.encoding import (
+    Solution,
+    WILDCARD_GENE,
+    random_solution,
+)
+from repro.search.evolutionary.mutation import BalancedMutation
+
+
+class TestDimensionalityPreservation:
+    @settings(max_examples=60, deadline=None)
+    @given(seed=st.integers(0, 5000), k=st.integers(1, 6))
+    def test_property_k_never_changes(self, seed, k):
+        """The paper's invariant: mutation preserves projection dimensionality."""
+        rng = np.random.default_rng(seed)
+        mutation = BalancedMutation(1.0, 1.0, n_ranges=5)
+        s = random_solution(8, min(k, 8), 5, rng)
+        mutated = mutation.mutate(s, rng)
+        assert mutated.dimensionality == s.dimensionality
+
+    def test_population_apply_preserves_all(self):
+        rng = np.random.default_rng(1)
+        mutation = BalancedMutation(0.8, 0.8, n_ranges=4)
+        population = [random_solution(10, 3, 4, rng) for _ in range(30)]
+        mutated = mutation.apply(population, rng)
+        assert len(mutated) == 30
+        assert all(m.dimensionality == 3 for m in mutated)
+
+
+class TestTypeOne:
+    def test_swap_moves_a_dimension(self):
+        rng = np.random.default_rng(0)
+        mutation = BalancedMutation(1.0, 0.0, n_ranges=5)
+        s = Solution([0, WILDCARD_GENE, WILDCARD_GENE])
+        changed = 0
+        for _ in range(50):
+            m = mutation.mutate(s, rng)
+            assert m.dimensionality == 1
+            if m.fixed_positions != s.fixed_positions:
+                changed += 1
+        assert changed > 0
+
+    def test_skipped_when_no_wildcards(self):
+        rng = np.random.default_rng(0)
+        mutation = BalancedMutation(1.0, 0.0, n_ranges=5)
+        s = Solution([0, 1, 2])  # k == d, Q empty
+        assert mutation.mutate(s, rng).dimensionality == 3
+
+    def test_skipped_when_all_wildcards(self):
+        rng = np.random.default_rng(0)
+        mutation = BalancedMutation(1.0, 0.0, n_ranges=5)
+        s = Solution([WILDCARD_GENE, WILDCARD_GENE])
+        assert mutation.mutate(s, rng) == s
+
+
+class TestTypeTwo:
+    def test_flip_changes_value_not_position(self):
+        rng = np.random.default_rng(0)
+        mutation = BalancedMutation(0.0, 1.0, n_ranges=5)
+        s = Solution([2, WILDCARD_GENE])
+        for _ in range(20):
+            m = mutation.mutate(s, rng)
+            assert m.fixed_positions == (0,)
+            assert m.genes[0] != WILDCARD_GENE
+
+    def test_flip_always_different_value(self):
+        rng = np.random.default_rng(0)
+        mutation = BalancedMutation(0.0, 1.0, n_ranges=5)
+        s = Solution([2, WILDCARD_GENE])
+        for _ in range(30):
+            m = mutation.mutate(s, rng)
+            assert m.genes[0] != 2
+
+    def test_flip_noop_when_phi_one(self):
+        rng = np.random.default_rng(0)
+        mutation = BalancedMutation(0.0, 1.0, n_ranges=1)
+        s = Solution([0, WILDCARD_GENE])
+        assert mutation.mutate(s, rng) == s
+
+
+class TestProbabilities:
+    def test_zero_probabilities_identity(self):
+        rng = np.random.default_rng(0)
+        mutation = BalancedMutation(0.0, 0.0, n_ranges=5)
+        s = random_solution(6, 2, 5, rng)
+        assert mutation.mutate(s, rng) is s
+
+    def test_rates_roughly_respected(self):
+        rng = np.random.default_rng(9)
+        mutation = BalancedMutation(0.3, 0.0, n_ranges=50)
+        s = Solution([5] + [WILDCARD_GENE] * 9)
+        changed = sum(mutation.mutate(s, rng) != s for _ in range(500))
+        assert 100 < changed < 200  # ~150 expected
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(Exception):
+            BalancedMutation(1.5, 0.0, n_ranges=5)
+
+    def test_invalid_phi_rejected(self):
+        with pytest.raises(ValueError):
+            BalancedMutation(0.5, 0.5, n_ranges=0)
+
+    def test_new_values_in_range(self):
+        rng = np.random.default_rng(3)
+        mutation = BalancedMutation(1.0, 1.0, n_ranges=3)
+        s = random_solution(6, 3, 3, rng)
+        for _ in range(50):
+            s = mutation.mutate(s, rng)
+            assert all(g == WILDCARD_GENE or 0 <= g < 3 for g in s.genes)

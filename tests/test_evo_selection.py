@@ -1,0 +1,123 @@
+"""Tests for the selection operators (Figure 4 + ablation variants)."""
+
+import numpy as np
+import pytest
+
+from repro.search.evolutionary.encoding import Solution, WILDCARD_GENE
+from repro.search.evolutionary.selection import (
+    FitnessProportionalSelection,
+    RankRouletteSelection,
+    TournamentSelection,
+    UniformSelection,
+    _ranks_most_negative_first,
+)
+
+
+def solutions_with_fitness(fitnesses):
+    """Distinct solutions, one per fitness value."""
+    return [
+        Solution([i] + [WILDCARD_GENE] * 3) for i in range(len(fitnesses))
+    ], list(fitnesses)
+
+
+class TestRanks:
+    def test_most_negative_gets_rank_one(self):
+        ranks = _ranks_most_negative_first([-1.0, -5.0, 0.0])
+        np.testing.assert_array_equal(ranks, [2, 1, 3])
+
+    def test_ties_stable(self):
+        ranks = _ranks_most_negative_first([-1.0, -1.0])
+        np.testing.assert_array_equal(ranks, [1, 2])
+
+    def test_infeasible_ranked_last(self):
+        ranks = _ranks_most_negative_first([float("inf"), -2.0])
+        np.testing.assert_array_equal(ranks, [2, 1])
+
+
+class TestRankRoulette:
+    def test_preserves_population_size(self):
+        sols, fits = solutions_with_fitness([-3.0, -2.0, -1.0, 0.0])
+        out = RankRouletteSelection().select(sols, fits, np.random.default_rng(0))
+        assert len(out) == 4
+
+    def test_worst_never_selected(self):
+        # Weight p - r(i) gives the worst-ranked solution weight zero.
+        sols, fits = solutions_with_fitness([-3.0, -2.0, -1.0, 5.0])
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            out = RankRouletteSelection().select(sols, fits, rng)
+            assert sols[3] not in out
+
+    def test_bias_toward_fitter(self):
+        sols, fits = solutions_with_fitness([-10.0, -1.0, 0.0, 1.0])
+        rng = np.random.default_rng(42)
+        counts = {i: 0 for i in range(4)}
+        for _ in range(200):
+            for s in RankRouletteSelection().select(sols, fits, rng):
+                counts[sols.index(s)] += 1
+        assert counts[0] > counts[1] > counts[2]
+
+    def test_single_solution_passthrough(self):
+        sols, fits = solutions_with_fitness([-1.0])
+        out = RankRouletteSelection().select(sols, fits, np.random.default_rng(0))
+        assert out == sols
+
+    def test_deterministic_given_seed(self):
+        sols, fits = solutions_with_fitness([-3.0, -2.0, -1.0, 0.0])
+        a = RankRouletteSelection().select(sols, fits, np.random.default_rng(5))
+        b = RankRouletteSelection().select(sols, fits, np.random.default_rng(5))
+        assert a == b
+
+
+class TestTournament:
+    def test_size_validated(self):
+        with pytest.raises(Exception):
+            TournamentSelection(size=1)
+
+    def test_bias_toward_fitter(self):
+        sols, fits = solutions_with_fitness([-5.0, 0.0, 5.0, 10.0])
+        rng = np.random.default_rng(1)
+        selected = TournamentSelection(size=3).select(sols, fits, rng)
+        best_share = sum(1 for s in selected if s == sols[0]) / len(selected)
+        assert best_share > 0.25
+
+    def test_preserves_size(self):
+        sols, fits = solutions_with_fitness([-1.0, -2.0, -3.0])
+        out = TournamentSelection().select(sols, fits, np.random.default_rng(0))
+        assert len(out) == 3
+
+
+class TestFitnessProportional:
+    def test_handles_infeasible(self):
+        sols, fits = solutions_with_fitness([float("inf"), -1.0, -2.0])
+        out = FitnessProportionalSelection().select(
+            sols, fits, np.random.default_rng(0)
+        )
+        assert len(out) == 3
+        assert sols[0] not in out  # zero weight for infeasible
+
+    def test_all_infeasible_uniform_fallback(self):
+        sols, fits = solutions_with_fitness([float("inf")] * 3)
+        out = FitnessProportionalSelection().select(
+            sols, fits, np.random.default_rng(0)
+        )
+        assert len(out) == 3
+
+    def test_all_tied_uniform_among_finite(self):
+        sols, fits = solutions_with_fitness([-1.0, -1.0, -1.0])
+        out = FitnessProportionalSelection().select(
+            sols, fits, np.random.default_rng(0)
+        )
+        assert len(out) == 3
+
+
+class TestUniform:
+    def test_no_pressure(self):
+        sols, fits = solutions_with_fitness([-9.0, 0.0])
+        rng = np.random.default_rng(0)
+        counts = {0: 0, 1: 0}
+        for _ in range(500):
+            for s in UniformSelection().select(sols, fits, rng):
+                counts[sols.index(s)] += 1
+        ratio = counts[0] / (counts[0] + counts[1])
+        assert 0.4 < ratio < 0.6

@@ -1,0 +1,147 @@
+"""Tests for dataset export round-trips and multi-k mining."""
+
+import numpy as np
+import pytest
+
+from repro import detect_across_dimensionalities
+from repro.core.multik import MultiKResult
+from repro.data.arff import load_arff
+from repro.data.export import write_arff, write_csv
+from repro.data.loaders import Dataset, load_csv
+from repro.data.registry import load_dataset
+from repro.exceptions import DatasetError, ValidationError
+
+
+@pytest.fixture
+def labelled(rng):
+    values = rng.normal(size=(40, 3))
+    values[3, 1] = np.nan
+    return Dataset(
+        name="toy",
+        values=values,
+        feature_names=("alpha", "beta w space", "gamma"),
+        labels=np.array([1] * 30 + [2] * 10),
+    )
+
+
+class TestCsvRoundTrip:
+    def test_values_and_labels_survive(self, labelled, tmp_path):
+        path = write_csv(labelled, tmp_path / "toy.csv")
+        back = load_csv(path, label_column="class")
+        np.testing.assert_allclose(
+            back.values, labelled.values, rtol=1e-9, equal_nan=True
+        )
+        np.testing.assert_array_equal(back.labels, labelled.labels)
+        assert back.feature_names == labelled.feature_names
+
+    def test_unlabelled(self, rng, tmp_path):
+        dataset = Dataset(
+            name="x", values=rng.normal(size=(5, 2)), feature_names=("a", "b")
+        )
+        back = load_csv(write_csv(dataset, tmp_path / "x.csv"))
+        np.testing.assert_allclose(back.values, dataset.values, rtol=1e-9)
+        assert back.labels is None
+
+    def test_label_name_collision(self, labelled, tmp_path):
+        with pytest.raises(DatasetError, match="collides"):
+            write_csv(labelled, tmp_path / "t.csv", label_column="alpha")
+
+
+class TestArffRoundTrip:
+    def test_values_and_labels_survive(self, labelled, tmp_path):
+        path = write_arff(labelled, tmp_path / "toy.arff")
+        back = load_arff(path, label_attribute="class")
+        np.testing.assert_allclose(
+            back.values, labelled.values, rtol=1e-9, equal_nan=True
+        )
+        # Codes relabel order-preservingly: 1 -> 0, 2 -> 1.
+        np.testing.assert_array_equal(back.labels, labelled.labels - 1)
+
+    def test_quoted_names_survive(self, labelled, tmp_path):
+        back = load_arff(write_arff(labelled, tmp_path / "t.arff"))
+        assert "beta w space" in back.feature_names
+
+    def test_builtin_dataset_exports(self, tmp_path):
+        dataset = load_dataset("machine")
+        back = load_csv(write_csv(dataset, tmp_path / "machine.csv"))
+        assert back.n_points == dataset.n_points
+        assert back.n_dims == dataset.n_dims
+
+
+@pytest.fixture(scope="module")
+def multik_data():
+    rng = np.random.default_rng(4)
+    latent = rng.normal(size=300)
+    data = rng.normal(size=(300, 5))
+    data[:, 0] = latent + rng.normal(scale=0.1, size=300)
+    data[:, 1] = latent + rng.normal(scale=0.1, size=300)
+    data[7, 0] = np.quantile(data[:, 0], 0.04)
+    data[7, 1] = np.quantile(data[:, 1], 0.96)
+    return data
+
+
+KWARGS = dict(n_ranges=4, n_projections=6, method="brute_force")
+
+
+class TestMultiK:
+    def test_explicit_ks(self, multik_data):
+        multi = detect_across_dimensionalities(
+            multik_data, [1, 2], detector_kwargs=KWARGS
+        )
+        assert multi.dimensionalities == [1, 2]
+        assert all(
+            p.dimensionality == k
+            for k in (1, 2)
+            for p in multi.results[k].projections
+        )
+
+    def test_default_range_from_equation_two(self, multik_data):
+        multi = detect_across_dimensionalities(
+            multik_data, detector_kwargs=KWARGS
+        )
+        # N=300, phi=4, s=-3 -> k* = floor(log4(300/9+1)) = 2.
+        assert multi.dimensionalities == [1, 2]
+
+    def test_union_and_intersection(self, multik_data):
+        multi = detect_across_dimensionalities(
+            multik_data, [1, 2], detector_kwargs=KWARGS
+        )
+        union = set(multi.outlier_union().tolist())
+        inter = set(multi.outlier_intersection().tolist())
+        assert inter <= union
+        for k in (1, 2):
+            assert set(multi.results[k].outlier_indices.tolist()) <= union
+
+    def test_planted_found_at_k2(self, multik_data):
+        multi = detect_across_dimensionalities(
+            multik_data, [1, 2], detector_kwargs=KWARGS
+        )
+        assert 2 in multi.flagging_dimensionalities(7)
+
+    def test_summary_lines(self, multik_data):
+        multi = detect_across_dimensionalities(
+            multik_data, [1, 2], detector_kwargs=KWARGS
+        )
+        lines = multi.summary_lines()
+        assert lines[0].startswith("k=1:")
+        assert "union" in lines[-1]
+
+    def test_dimensionality_in_kwargs_rejected(self, multik_data):
+        with pytest.raises(ValidationError):
+            detect_across_dimensionalities(
+                multik_data, [1], detector_kwargs={"dimensionality": 2}
+            )
+
+    def test_duplicate_ks_deduped(self, multik_data):
+        multi = detect_across_dimensionalities(
+            multik_data, [2, 2, 1], detector_kwargs=KWARGS
+        )
+        assert multi.dimensionalities == [1, 2]
+
+    def test_empty_ks_rejected(self, multik_data):
+        with pytest.raises(ValidationError):
+            detect_across_dimensionalities(multik_data, [], detector_kwargs=KWARGS)
+
+    def test_result_container_validation(self):
+        with pytest.raises(ValidationError):
+            MultiKResult(results={})

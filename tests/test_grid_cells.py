@@ -1,0 +1,84 @@
+"""Tests for CellAssignment."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.grid.cells import CellAssignment, MISSING_CELL
+
+
+def make_cells(codes, phi=4, **kwargs):
+    return CellAssignment(np.asarray(codes, dtype=np.int16), phi, **kwargs)
+
+
+class TestValidation:
+    def test_basic_properties(self):
+        cells = make_cells([[0, 1], [2, 3]])
+        assert cells.n_points == 2
+        assert cells.n_dims == 2
+        assert cells.n_ranges == 4
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValidationError):
+            CellAssignment(np.zeros(3, dtype=np.int16), 4)
+
+    def test_rejects_float_codes(self):
+        with pytest.raises(ValidationError, match="integer"):
+            CellAssignment(np.zeros((2, 2)), 4)
+
+    def test_rejects_code_out_of_range(self):
+        with pytest.raises(ValidationError):
+            make_cells([[0, 4]])
+
+    def test_rejects_below_missing(self):
+        with pytest.raises(ValidationError):
+            make_cells([[-2, 0]])
+
+    def test_missing_cell_accepted(self):
+        cells = make_cells([[MISSING_CELL, 0]])
+        assert cells.missing_fraction == 0.5
+
+    def test_feature_names_length(self):
+        with pytest.raises(ValidationError):
+            make_cells([[0, 0]], feature_names=("only_one",))
+
+
+class TestQueries:
+    def test_column_view(self):
+        cells = make_cells([[0, 1], [2, 3]])
+        np.testing.assert_array_equal(cells.column(1), [1, 3])
+
+    def test_column_out_of_range(self):
+        with pytest.raises(ValidationError):
+            make_cells([[0, 0]]).column(5)
+
+    def test_range_counts_skip_missing(self):
+        cells = make_cells([[0], [0], [1], [MISSING_CELL]], phi=2)
+        np.testing.assert_array_equal(cells.range_counts(0), [2, 1])
+
+    def test_describe_range_without_boundaries(self):
+        cells = make_cells([[0]], feature_names=("age",))
+        assert "age" in cells.describe_range(0, 0)
+        assert "range 1/4" in cells.describe_range(0, 0)
+
+    def test_describe_range_with_boundaries(self):
+        cells = CellAssignment(
+            np.array([[0]], dtype=np.int16),
+            3,
+            feature_names=("x",),
+            boundaries=(np.array([1.0, 2.0]),),
+        )
+        assert "(-inf, 1]" in cells.describe_range(0, 0)
+        assert "(1, 2]" in cells.describe_range(0, 1)
+        assert "(2, +inf]" in cells.describe_range(0, 2)
+
+    def test_describe_range_invalid_index(self):
+        with pytest.raises(ValidationError):
+            make_cells([[0]]).describe_range(0, 9)
+
+    def test_subset(self):
+        cells = make_cells([[0], [1], [2]])
+        sub = cells.subset([0, 2])
+        assert sub.n_points == 2
+        np.testing.assert_array_equal(sub.codes[:, 0], [0, 2])
+        assert sub.n_ranges == cells.n_ranges

@@ -1,0 +1,160 @@
+"""Tests for CubeCounter (the n(D) engine)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.subspace import Subspace
+from repro.exceptions import ValidationError
+from repro.grid.cells import CellAssignment, MISSING_CELL
+from repro.grid.counter import CubeCounter
+
+from conftest import naive_cube_count
+
+
+def counter_from(codes, phi):
+    return CubeCounter(CellAssignment(np.asarray(codes, dtype=np.int16), phi))
+
+
+class TestCounting:
+    def test_empty_subspace_counts_all(self, small_counter):
+        assert small_counter.count(Subspace.empty()) == small_counter.n_points
+
+    def test_one_dim_count_equals_range_count(self, small_counter):
+        expected = small_counter.cells.range_counts(2)
+        for rng_ in range(small_counter.n_ranges):
+            assert small_counter.count(Subspace((2,), (rng_,))) == expected[rng_]
+
+    def test_matches_naive_on_random_cubes(self, small_counter, rng):
+        for _ in range(25):
+            k = int(rng.integers(1, 4))
+            dims = tuple(sorted(rng.choice(6, size=k, replace=False).tolist()))
+            ranges = tuple(int(r) for r in rng.integers(0, 5, size=k))
+            cube = Subspace(dims, ranges)
+            assert small_counter.count(cube) == naive_cube_count(
+                small_counter.cells.codes, cube
+            )
+
+    def test_counts_monotone_under_extension(self, small_counter):
+        base = Subspace((0,), (1,))
+        base_count = small_counter.count(base)
+        for rng_ in range(small_counter.n_ranges):
+            assert small_counter.count(base.extended(3, rng_)) <= base_count
+
+    def test_missing_points_match_nothing(self):
+        counter = counter_from([[MISSING_CELL], [0], [0]], phi=2)
+        assert counter.count(Subspace((0,), (0,))) == 2
+        assert counter.count(Subspace((0,), (1,))) == 0
+
+    def test_mask_fresh_copy(self, small_counter):
+        cube = Subspace((0,), (0,))
+        mask = small_counter.mask(cube)
+        mask[:] = False
+        assert small_counter.count(cube) > 0
+
+
+class TestExtensionCounts:
+    def test_sums_to_observed(self, small_counter):
+        base = small_counter.mask(Subspace((0,), (2,)))
+        counts = small_counter.extension_counts(base, 1)
+        # Points missing on dim 1 are absent from every bucket.
+        observed = base & (small_counter.cells.codes[:, 1] >= 0)
+        assert counts.sum() == observed.sum()
+
+    def test_matches_individual_counts(self, small_counter):
+        base_cube = Subspace((0,), (2,))
+        counts = small_counter.extension_counts(small_counter.mask(base_cube), 4)
+        for rng_ in range(small_counter.n_ranges):
+            assert counts[rng_] == small_counter.count(base_cube.extended(4, rng_))
+
+    def test_invalid_dim(self, small_counter):
+        with pytest.raises(ValidationError):
+            small_counter.extension_counts(
+                np.ones(small_counter.n_points, dtype=bool), 99
+            )
+
+
+class TestCoveredPoints:
+    def test_indices_sorted_and_consistent(self, small_counter):
+        cube = Subspace((1, 3), (0, 4))
+        points = small_counter.covered_points(cube)
+        assert (np.diff(points) > 0).all() or len(points) <= 1
+        assert len(points) == small_counter.count(cube)
+
+    def test_fraction(self, small_counter):
+        cube = Subspace((0,), (0,))
+        assert small_counter.fraction(cube) == pytest.approx(
+            small_counter.count(cube) / small_counter.n_points
+        )
+
+
+class TestCache:
+    def test_cache_hit_counted(self, small_cells):
+        counter = CubeCounter(small_cells, cache_size=10)
+        cube = Subspace((0, 1), (0, 0))
+        first = counter.count(cube)
+        second = counter.count(cube)
+        assert first == second
+        assert counter.n_cache_hits == 1
+
+    def test_cache_disabled(self, small_cells):
+        counter = CubeCounter(small_cells, cache_size=0)
+        cube = Subspace((0,), (0,))
+        counter.count(cube)
+        counter.count(cube)
+        assert counter.n_cache_hits == 0
+        assert counter.cache_stats()["cache_entries"] == 0
+
+    def test_cache_eviction_bounded(self, small_cells):
+        counter = CubeCounter(small_cells, cache_size=3)
+        for rng_ in range(5):
+            counter.count(Subspace((0,), (rng_,)))
+        assert counter.cache_stats()["cache_entries"] <= 3
+
+    def test_clear_cache(self, small_counter):
+        small_counter.count(Subspace((0,), (0,)))
+        small_counter.clear_cache()
+        assert small_counter.cache_stats()["cache_entries"] == 0
+
+
+class TestValidationErrors:
+    def test_rejects_non_cells(self):
+        with pytest.raises(ValidationError):
+            CubeCounter(np.zeros((2, 2)))
+
+    def test_rejects_foreign_subspace_dim(self, small_counter):
+        with pytest.raises(ValidationError):
+            small_counter.count(Subspace((99,), (0,)))
+
+    def test_rejects_out_of_range_range(self, small_counter):
+        with pytest.raises(ValidationError):
+            small_counter.count(Subspace((0,), (99,)))
+
+    def test_rejects_non_subspace(self, small_counter):
+        with pytest.raises(ValidationError):
+            small_counter.count("*1*")
+
+
+@settings(max_examples=30, deadline=None)
+@given(data=st.data(), phi=st.integers(2, 5))
+def test_property_count_equals_naive(data, phi):
+    """CubeCounter agrees with row-by-row scanning for arbitrary grids."""
+    n_points = data.draw(st.integers(1, 40))
+    n_dims = data.draw(st.integers(1, 4))
+    codes = data.draw(
+        st.lists(
+            st.lists(st.integers(-1, phi - 1), min_size=n_dims, max_size=n_dims),
+            min_size=n_points,
+            max_size=n_points,
+        )
+    )
+    counter = counter_from(codes, phi)
+    k = data.draw(st.integers(1, n_dims))
+    dims = tuple(sorted(data.draw(
+        st.lists(st.integers(0, n_dims - 1), min_size=k, max_size=k, unique=True)
+    )))
+    ranges = tuple(data.draw(
+        st.lists(st.integers(0, phi - 1), min_size=len(dims), max_size=len(dims))
+    ))
+    cube = Subspace(dims, ranges)
+    assert counter.count(cube) == naive_cube_count(np.asarray(codes), cube)

@@ -1,0 +1,174 @@
+"""Tests for the equi-depth / equi-width grid discretizers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import DiscretizationError, NotFittedError, ValidationError
+from repro.grid.cells import MISSING_CELL
+from repro.grid.discretizer import EquiDepthDiscretizer, EquiWidthDiscretizer
+
+
+class TestEquiDepthBasics:
+    def test_fit_transform_shape_and_dtype(self, small_data):
+        cells = EquiDepthDiscretizer(5).fit_transform(small_data)
+        assert cells.codes.shape == small_data.shape
+        assert cells.codes.dtype == np.int16
+        assert cells.n_ranges == 5
+
+    def test_codes_in_range(self, small_data):
+        cells = EquiDepthDiscretizer(7).fit_transform(small_data)
+        assert cells.codes.min() >= 0
+        assert cells.codes.max() <= 6
+
+    def test_equi_depth_balance_continuous(self, rng):
+        # With continuous data every range holds N/φ records up to
+        # quantile rounding.
+        data = rng.normal(size=(1000, 3))
+        cells = EquiDepthDiscretizer(10).fit_transform(data)
+        for dim in range(3):
+            counts = cells.range_counts(dim)
+            assert counts.sum() == 1000
+            assert counts.min() >= 90
+            assert counts.max() <= 110
+
+    def test_monotone_assignment(self, rng):
+        # Larger values never get a smaller range code.
+        data = rng.normal(size=(500, 1))
+        cells = EquiDepthDiscretizer(8).fit_transform(data)
+        order = np.argsort(data[:, 0])
+        codes_sorted = cells.codes[order, 0]
+        assert (np.diff(codes_sorted) >= 0).all()
+
+    def test_boundaries_exposed(self, small_data):
+        disc = EquiDepthDiscretizer(4).fit(small_data)
+        assert len(disc.boundaries) == small_data.shape[1]
+        for cuts in disc.boundaries:
+            assert cuts.shape == (3,)
+            assert (np.diff(cuts) >= 0).all()
+
+    def test_is_fitted_flag(self, small_data):
+        disc = EquiDepthDiscretizer(4)
+        assert not disc.is_fitted
+        disc.fit(small_data)
+        assert disc.is_fitted
+
+
+class TestMissingValues:
+    def test_nan_maps_to_missing_cell(self):
+        data = np.array([[1.0], [np.nan], [3.0], [2.0]])
+        cells = EquiDepthDiscretizer(2).fit_transform(data)
+        assert cells.codes[1, 0] == MISSING_CELL
+        assert (cells.codes[[0, 2, 3], 0] >= 0).all()
+
+    def test_boundaries_ignore_nan(self):
+        with_nan = np.array([[1.0], [np.nan], [2.0], [3.0], [4.0]])
+        without = np.array([[1.0], [2.0], [3.0], [4.0]])
+        cuts_a = EquiDepthDiscretizer(2).fit(with_nan).boundaries[0]
+        cuts_b = EquiDepthDiscretizer(2).fit(without).boundaries[0]
+        np.testing.assert_allclose(cuts_a, cuts_b)
+
+    def test_all_nan_column_allowed(self):
+        data = np.column_stack([np.full(5, np.nan), np.arange(5.0)])
+        cells = EquiDepthDiscretizer(3).fit_transform(data)
+        assert (cells.codes[:, 0] == MISSING_CELL).all()
+        assert (cells.codes[:, 1] >= 0).all()
+
+    def test_missing_fraction(self):
+        data = np.array([[1.0, np.nan], [2.0, 3.0]])
+        cells = EquiDepthDiscretizer(2).fit_transform(data)
+        assert cells.missing_fraction == pytest.approx(0.25)
+
+
+class TestEdgeCases:
+    def test_constant_column_single_bin(self):
+        data = np.column_stack([np.ones(50), np.arange(50.0)])
+        cells = EquiDepthDiscretizer(5).fit_transform(data)
+        assert (cells.codes[:, 0] == 0).all()
+
+    def test_single_row(self):
+        cells = EquiDepthDiscretizer(3).fit_transform([[1.0, 2.0]])
+        assert cells.codes.shape == (1, 2)
+
+    def test_heavy_ties_keep_codes_valid(self):
+        data = np.array([[0.0]] * 90 + [[1.0]] * 10)
+        cells = EquiDepthDiscretizer(10).fit_transform(data)
+        assert cells.codes.min() >= 0
+        assert cells.codes.max() < 10
+
+    def test_transform_clamps_out_of_range(self, small_data):
+        disc = EquiDepthDiscretizer(4).fit(small_data)
+        extreme = np.full((2, small_data.shape[1]), 1e6)
+        extreme[1] = -1e6
+        cells = disc.transform(extreme)
+        assert (cells.codes[0] == 3).all()
+        assert (cells.codes[1] == 0).all()
+
+    def test_transform_before_fit_raises(self, small_data):
+        with pytest.raises(NotFittedError):
+            EquiDepthDiscretizer(4).transform(small_data)
+
+    def test_boundaries_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            EquiDepthDiscretizer(4).boundaries
+
+    def test_column_count_mismatch(self, small_data):
+        disc = EquiDepthDiscretizer(4).fit(small_data)
+        with pytest.raises(DiscretizationError, match="columns"):
+            disc.transform(small_data[:, :3])
+
+    def test_feature_names_length_checked(self, small_data):
+        with pytest.raises(DiscretizationError, match="feature_names"):
+            EquiDepthDiscretizer(4).fit(small_data, feature_names=["a"])
+
+    def test_feature_names_propagate(self, small_data):
+        names = [f"f{i}" for i in range(small_data.shape[1])]
+        cells = EquiDepthDiscretizer(4).fit_transform(small_data, feature_names=names)
+        assert cells.feature_names == tuple(names)
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValidationError):
+            EquiDepthDiscretizer(4).fit([[np.inf], [0.0]])
+
+    def test_invalid_n_ranges(self):
+        with pytest.raises(ValidationError):
+            EquiDepthDiscretizer(0)
+
+
+class TestEquiWidth:
+    def test_equal_width_cuts(self):
+        data = np.arange(0.0, 10.0).reshape(-1, 1)
+        cuts = EquiWidthDiscretizer(3).fit(data).boundaries[0]
+        np.testing.assert_allclose(cuts, [3.0, 6.0])
+
+    def test_skew_concentrates_mass(self, rng):
+        # Log-normal data: equi-width packs most records into low bins,
+        # unlike equi-depth.  This is the paper's argument for
+        # equi-depth ranges.
+        data = np.exp(rng.normal(size=(1000, 1)) * 1.5)
+        width_counts = EquiWidthDiscretizer(10).fit_transform(data).range_counts(0)
+        depth_counts = EquiDepthDiscretizer(10).fit_transform(data).range_counts(0)
+        assert width_counts.max() > 2 * depth_counts.max()
+
+    def test_constant_column(self):
+        data = np.ones((10, 1))
+        cells = EquiWidthDiscretizer(4).fit_transform(data)
+        assert (cells.codes == 0).all()
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    n_ranges=st.integers(2, 12),
+    values=st.lists(
+        st.floats(-1e6, 1e6, allow_nan=False), min_size=2, max_size=200
+    ),
+)
+def test_property_codes_bounded_and_monotone(n_ranges, values):
+    """For any data: codes in [0, φ) and order-compatible with values."""
+    data = np.asarray(values).reshape(-1, 1)
+    cells = EquiDepthDiscretizer(n_ranges).fit_transform(data)
+    codes = cells.codes[:, 0]
+    assert codes.min() >= 0
+    assert codes.max() < n_ranges
+    order = np.argsort(data[:, 0], kind="stable")
+    assert (np.diff(codes[order]) >= 0).all()

@@ -1,0 +1,117 @@
+"""Tests for minimal abnormal subspaces (intensional knowledge)."""
+
+import numpy as np
+import pytest
+
+from repro.core.intensional import minimal_abnormal_subspaces
+from repro.exceptions import ValidationError
+from repro.grid.counter import CubeCounter
+from repro.grid.discretizer import EquiDepthDiscretizer
+from repro.sparsity.coefficient import sparsity_coefficient
+
+
+@pytest.fixture
+def planted_counter(rng):
+    """300 x 6 with point 7 in a rare 2-d combination on dims (0, 1)."""
+    n = 300
+    latent = rng.normal(size=n)
+    data = rng.normal(size=(n, 6))
+    data[:, 0] = latent + rng.normal(scale=0.1, size=n)
+    data[:, 1] = latent + rng.normal(scale=0.1, size=n)
+    data[7, 0] = np.quantile(data[:, 0], 0.05)
+    data[7, 1] = np.quantile(data[:, 1], 0.95)
+    cells = EquiDepthDiscretizer(5).fit_transform(data)
+    return CubeCounter(cells)
+
+
+class TestMinimalSubspaces:
+    def test_finds_planted_combination(self, planted_counter):
+        found = minimal_abnormal_subspaces(
+            7, planted_counter, threshold=-2.5, max_dimensionality=2
+        )
+        assert any(p.subspace.dims == (0, 1) for p in found)
+
+    def test_all_found_are_abnormal_and_contain_point(self, planted_counter):
+        found = minimal_abnormal_subspaces(
+            7, planted_counter, threshold=-2.0, max_dimensionality=3
+        )
+        codes = planted_counter.cells.codes
+        for projection in found:
+            assert projection.coefficient <= -2.0
+            assert projection.subspace.covers(codes)[7]
+
+    def test_minimality(self, planted_counter):
+        found = minimal_abnormal_subspaces(
+            7, planted_counter, threshold=-2.0, max_dimensionality=3
+        )
+        dim_sets = [frozenset(p.subspace.dims) for p in found]
+        for i, a in enumerate(dim_sets):
+            for j, b in enumerate(dim_sets):
+                if i != j:
+                    assert not a < b, "a returned subspace contains another"
+
+    def test_no_single_dim_abnormal_on_equidepth(self, planted_counter):
+        # Equi-depth 1-d ranges all hold ~N/phi points: never abnormal.
+        found = minimal_abnormal_subspaces(
+            7, planted_counter, threshold=-2.0, max_dimensionality=1
+        )
+        assert found == []
+
+    def test_sorted_most_negative_first(self, planted_counter):
+        found = minimal_abnormal_subspaces(
+            7, planted_counter, threshold=-1.5, max_dimensionality=2
+        )
+        coefficients = [p.coefficient for p in found]
+        assert coefficients == sorted(coefficients)
+
+    def test_normal_point_yields_nothing_strict(self, planted_counter):
+        # With a very strict threshold an average point has no findings.
+        found = minimal_abnormal_subspaces(
+            0, planted_counter, threshold=-4.3, max_dimensionality=2
+        )
+        codes = planted_counter.cells.codes
+        for projection in found:
+            assert projection.subspace.covers(codes)[0]
+
+    def test_missing_dims_skipped(self, rng):
+        data = rng.normal(size=(100, 3))
+        data[5, 0] = np.nan
+        cells = EquiDepthDiscretizer(4).fit_transform(data)
+        counter = CubeCounter(cells)
+        found = minimal_abnormal_subspaces(
+            5, counter, threshold=-0.5, max_dimensionality=2
+        )
+        for projection in found:
+            assert 0 not in projection.subspace.dims
+
+    def test_counts_match_counter(self, planted_counter):
+        found = minimal_abnormal_subspaces(
+            7, planted_counter, threshold=-2.0, max_dimensionality=2
+        )
+        for projection in found:
+            count = planted_counter.count(projection.subspace)
+            assert projection.count == count
+            assert projection.coefficient == pytest.approx(
+                sparsity_coefficient(
+                    count,
+                    planted_counter.n_points,
+                    planted_counter.n_ranges,
+                    projection.dimensionality,
+                )
+            )
+
+
+class TestValidation:
+    def test_point_out_of_range(self, planted_counter):
+        with pytest.raises(ValidationError):
+            minimal_abnormal_subspaces(9999, planted_counter)
+
+    def test_positive_threshold_rejected(self, planted_counter):
+        with pytest.raises(ValidationError):
+            minimal_abnormal_subspaces(0, planted_counter, threshold=1.0)
+
+    def test_candidate_cap(self, planted_counter):
+        with pytest.raises(ValidationError, match="max_candidates"):
+            minimal_abnormal_subspaces(
+                0, planted_counter, max_dimensionality=3, max_candidates=5
+            )

@@ -1,0 +1,177 @@
+"""Cross-module property tests: invariants the whole pipeline must keep."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import (
+    EquiDepthDiscretizer,
+    EvolutionaryConfig,
+    EvolutionarySearch,
+    BruteForceSearch,
+    CubeCounter,
+    SubspaceOutlierDetector,
+)
+
+
+class TestMonotoneInvariance:
+    """Equi-depth grids are rank-based: strictly increasing transforms
+    of any attribute must not change cell codes — and therefore must
+    not change detection results at all.  (This is what makes the
+    method unit-free, unlike every distance baseline.)"""
+
+    @pytest.mark.parametrize(
+        "transform",
+        [np.exp, np.cbrt, lambda x: 3.0 * x - 7.0, lambda x: x**3],
+        ids=["exp", "cbrt", "affine", "cube"],
+    )
+    def test_codes_invariant(self, rng, transform):
+        data = rng.normal(size=(150, 4))
+        base = EquiDepthDiscretizer(5).fit_transform(data)
+        warped = EquiDepthDiscretizer(5).fit_transform(transform(data))
+        np.testing.assert_array_equal(base.codes, warped.codes)
+
+    def test_detection_invariant(self, rng):
+        data = rng.normal(size=(200, 5))
+        data[11, 0] = np.quantile(data[:, 0], 0.02)
+
+        def run(values):
+            detector = SubspaceOutlierDetector(
+                dimensionality=2, n_ranges=4, n_projections=8,
+                method="brute_force",
+            )
+            return detector.detect(values)
+
+        a = run(data)
+        b = run(np.exp(data))  # strictly increasing, wildly nonlinear
+        assert [p.subspace for p in a.projections] == [
+            p.subspace for p in b.projections
+        ]
+        np.testing.assert_array_equal(a.outlier_indices, b.outlier_indices)
+
+
+class TestRowPermutationEquivariance:
+    """Shuffling rows permutes outlier indices but not the projections."""
+
+    def test_projections_stable_points_permuted(self, rng):
+        data = rng.normal(size=(120, 4))
+        perm = rng.permutation(120)
+
+        def run(values):
+            return SubspaceOutlierDetector(
+                dimensionality=2, n_ranges=4, n_projections=6,
+                method="brute_force",
+            ).detect(values)
+
+        a = run(data)
+        b = run(data[perm])
+        assert {(p.subspace.dims, p.subspace.ranges) for p in a.projections} == {
+            (p.subspace.dims, p.subspace.ranges) for p in b.projections
+        }
+        mapped = sorted(int(np.where(perm == i)[0][0]) for i in a.outlier_indices)
+        assert mapped == b.outlier_indices.tolist()
+
+
+class TestColumnPermutationEquivariance:
+    """Reordering attributes relabels dims in mined projections."""
+
+    def test_dims_follow_columns(self, rng):
+        data = rng.normal(size=(150, 4))
+        latent = rng.normal(size=150)
+        data[:, 1] = latent + rng.normal(scale=0.1, size=150)
+        data[:, 3] = latent + rng.normal(scale=0.1, size=150)
+        order = [3, 2, 1, 0]
+
+        def run(values):
+            return SubspaceOutlierDetector(
+                dimensionality=2, n_ranges=4, n_projections=5,
+                method="brute_force",
+            ).detect(values)
+
+        a = run(data)
+        b = run(data[:, order])
+        # Coefficient multisets must agree exactly (the scores are
+        # column-order-free)...
+        assert [round(p.coefficient, 9) for p in a.projections] == [
+            round(p.coefficient, 9) for p in b.projections
+        ]
+        # ...and every projection strictly better than the last slot
+        # (i.e. not subject to tie-breaking at the cutoff) must remap
+        # one-to-one through the column permutation.
+        remap = {old: new for new, old in enumerate(order)}
+        cutoff = a.projections[-1].coefficient
+
+        def canonical(projection, mapping=None):
+            dims = projection.subspace.dims
+            ranges = projection.subspace.ranges
+            if mapping is not None:
+                pairs = sorted((mapping[d], r) for d, r in zip(dims, ranges))
+                dims = tuple(d for d, _ in pairs)
+                ranges = tuple(r for _, r in pairs)
+            return dims, ranges
+
+        remapped = {
+            canonical(p, remap)
+            for p in a.projections
+            if p.coefficient < cutoff - 1e-12
+        }
+        direct = {
+            canonical(p)
+            for p in b.projections
+            if p.coefficient < cutoff - 1e-12
+        }
+        assert remapped == direct
+        assert remapped  # the strict subset is non-trivial here
+
+
+class TestCoverageConsistency:
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 1000))
+    def test_outliers_are_exactly_covered_points(self, seed):
+        rng = np.random.default_rng(seed)
+        data = rng.normal(size=(80, 3))
+        detector = SubspaceOutlierDetector(
+            dimensionality=2, n_ranges=3, n_projections=5, method="brute_force"
+        )
+        result = detector.detect(data)
+        union = set()
+        for projection in result.projections:
+            union.update(
+                detector.counter_.covered_points(projection.subspace).tolist()
+            )
+        assert set(result.outlier_indices.tolist()) == union
+        # Every coverage entry is truthful.
+        for point, ids in result.coverage.items():
+            for pid in ids:
+                cube = result.projections[pid].subspace
+                assert cube.covers(detector.cells_.codes)[point]
+
+
+class TestSearcherBounds:
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(0, 500))
+    def test_ga_never_below_exhaustive_optimum(self, seed):
+        rng = np.random.default_rng(seed)
+        data = rng.normal(size=(100, 4))
+        counter = CubeCounter(EquiDepthDiscretizer(3).fit_transform(data))
+        brute = BruteForceSearch(counter, 2, n_projections=1).run()
+        ga = EvolutionarySearch(
+            counter,
+            2,
+            1,
+            config=EvolutionaryConfig(population_size=16, max_generations=10),
+            random_state=seed,
+        ).run()
+        assert ga.best_coefficient >= brute.best_coefficient - 1e-12
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(0, 500))
+    def test_all_mined_counts_verifiable(self, seed):
+        rng = np.random.default_rng(seed)
+        data = rng.normal(size=(90, 4))
+        detector = SubspaceOutlierDetector(
+            dimensionality=2, n_ranges=3, n_projections=6, method="brute_force"
+        )
+        result = detector.detect(data)
+        for projection in result.projections:
+            assert detector.counter_.count(projection.subspace) == projection.count

@@ -1,0 +1,148 @@
+"""Tests for the Figure 2 brute-force enumeration."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.subspace import Subspace
+from repro.exceptions import ValidationError
+from repro.grid.cells import CellAssignment
+from repro.grid.counter import CubeCounter
+from repro.search.brute_force import BruteForceSearch, search_space_size
+from repro.sparsity.coefficient import sparsity_coefficient
+
+
+def exhaustive_reference(counter, k, require_nonempty=True):
+    """All k-dimensional cubes scored by direct enumeration."""
+    results = []
+    for dims in itertools.combinations(range(counter.n_dims), k):
+        for ranges in itertools.product(range(counter.n_ranges), repeat=k):
+            cube = Subspace(dims, ranges)
+            count = counter.count(cube)
+            if require_nonempty and count == 0:
+                continue
+            coeff = sparsity_coefficient(
+                count, counter.n_points, counter.n_ranges, k
+            )
+            results.append((coeff, cube, count))
+    results.sort(key=lambda item: item[0])
+    return results
+
+
+class TestSearchSpaceSize:
+    def test_paper_example(self):
+        # d=20, k=4, phi=10 -> ~7 * 10^7 possibilities.
+        assert search_space_size(20, 4, 10) == 4845 * 10_000
+
+    def test_simple(self):
+        assert search_space_size(3, 2, 2) == 3 * 4
+
+    def test_k_exceeds_d(self):
+        with pytest.raises(ValidationError):
+            search_space_size(3, 4, 2)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_matches_exhaustive_reference(self, small_counter, k):
+        outcome = BruteForceSearch(small_counter, k, n_projections=10).run()
+        reference = exhaustive_reference(small_counter, k)[:10]
+        got = [(p.coefficient, p.count) for p in outcome.projections]
+        want = [(c, n) for c, _, n in reference]
+        assert got == pytest.approx(want)
+
+    def test_each_cube_generated_once(self, small_counter):
+        # Evaluations = number of scored cubes at the last level; with
+        # canonical ordering this is exactly C(d,k) * phi^k.
+        outcome = BruteForceSearch(
+            small_counter, 2, n_projections=5, require_nonempty=False
+        ).run()
+        assert outcome.stats["evaluations"] == search_space_size(
+            small_counter.n_dims, 2, small_counter.n_ranges
+        )
+
+    def test_projection_dimensionality(self, small_counter):
+        outcome = BruteForceSearch(small_counter, 3, n_projections=5).run()
+        assert all(p.dimensionality == 3 for p in outcome.projections)
+
+    def test_nonempty_filter(self, small_counter):
+        outcome = BruteForceSearch(small_counter, 3, n_projections=20).run()
+        assert all(p.count >= 1 for p in outcome.projections)
+
+    def test_threshold_mode(self, small_counter):
+        outcome = BruteForceSearch(
+            small_counter, 2, n_projections=None, threshold=-1.0
+        ).run()
+        assert all(p.coefficient <= -1.0 for p in outcome.projections)
+        reference = [
+            c for c, _, _ in exhaustive_reference(small_counter, 2) if c <= -1.0
+        ]
+        assert len(outcome.projections) == len(reference)
+
+    def test_with_missing_values(self, rng):
+        data = rng.normal(size=(100, 4))
+        data[rng.random(data.shape) < 0.2] = np.nan
+        from repro.grid.discretizer import EquiDepthDiscretizer
+
+        cells = EquiDepthDiscretizer(3).fit_transform(data)
+        counter = CubeCounter(cells)
+        outcome = BruteForceSearch(counter, 2, n_projections=5).run()
+        reference = exhaustive_reference(counter, 2)[:5]
+        got = [p.coefficient for p in outcome.projections]
+        assert got == pytest.approx([c for c, _, _ in reference])
+
+
+class TestBudgets:
+    def test_max_evaluations_partial(self, small_counter):
+        outcome = BruteForceSearch(
+            small_counter, 3, n_projections=5, max_evaluations=10
+        ).run()
+        assert not outcome.completed
+        assert outcome.stats["evaluations"] <= 10 + small_counter.n_ranges
+
+    def test_zero_second_budget_incomplete(self, small_counter):
+        outcome = BruteForceSearch(
+            small_counter, 3, n_projections=5, max_seconds=0.0
+        ).run()
+        # May score a few cubes before the first clock check, but must
+        # flag the run as not completed.
+        assert not outcome.completed
+
+
+class TestValidation:
+    def test_k_exceeds_dims(self, small_counter):
+        with pytest.raises(ValidationError):
+            BruteForceSearch(small_counter, small_counter.n_dims + 1)
+
+    def test_rejects_non_counter(self):
+        with pytest.raises(ValidationError):
+            BruteForceSearch("counter", 2)
+
+    def test_rejects_phi_one(self):
+        cells = CellAssignment(np.zeros((5, 3), dtype=np.int16), 1)
+        with pytest.raises(ValidationError, match="φ >= 2"):
+            BruteForceSearch(CubeCounter(cells), 2)
+
+
+class TestOutcome:
+    def test_stats_populated(self, small_counter):
+        outcome = BruteForceSearch(small_counter, 2, n_projections=5).run()
+        assert outcome.completed
+        assert outcome.stats["algorithm"] == "brute_force"
+        assert outcome.stats["elapsed_seconds"] >= 0
+        assert outcome.stats["search_space_size"] == search_space_size(
+            small_counter.n_dims, 2, small_counter.n_ranges
+        )
+
+    def test_best_and_mean_coefficient(self, small_counter):
+        outcome = BruteForceSearch(small_counter, 2, n_projections=5).run()
+        assert outcome.best_coefficient == outcome.projections[0].coefficient
+        assert outcome.mean_coefficient(top=1) == outcome.best_coefficient
+
+    def test_empty_outcome_nan(self):
+        from repro.search.outcome import SearchOutcome
+
+        empty = SearchOutcome(projections=())
+        assert empty.best_coefficient != empty.best_coefficient
+        assert empty.mean_coefficient() != empty.mean_coefficient()

@@ -1,0 +1,157 @@
+"""Tests for repro._validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro._validation import (
+    check_dimension_subset,
+    check_in_range,
+    check_matrix,
+    check_positive_int,
+    check_probability,
+    check_rng,
+)
+from repro.exceptions import ValidationError
+
+
+class TestCheckPositiveInt:
+    def test_accepts_plain_int(self):
+        assert check_positive_int(3, "x") == 3
+
+    def test_accepts_numpy_int(self):
+        assert check_positive_int(np.int64(7), "x") == 7
+
+    def test_returns_python_int(self):
+        assert type(check_positive_int(np.int32(2), "x")) is int
+
+    def test_rejects_zero_by_default(self):
+        with pytest.raises(ValidationError, match="x must be >= 1"):
+            check_positive_int(0, "x")
+
+    def test_custom_minimum(self):
+        assert check_positive_int(0, "x", minimum=0) == 0
+        with pytest.raises(ValidationError):
+            check_positive_int(-1, "x", minimum=0)
+
+    def test_rejects_bool(self):
+        with pytest.raises(ValidationError, match="must be an integer"):
+            check_positive_int(True, "x")
+
+    def test_rejects_float(self):
+        with pytest.raises(ValidationError):
+            check_positive_int(2.5, "x")
+
+    def test_rejects_string(self):
+        with pytest.raises(ValidationError):
+            check_positive_int("3", "x")
+
+    def test_error_names_parameter(self):
+        with pytest.raises(ValidationError, match="n_ranges"):
+            check_positive_int(-5, "n_ranges")
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0, 0, 1])
+    def test_accepts_valid(self, value):
+        assert check_probability(value, "p") == float(value)
+
+    @pytest.mark.parametrize("value", [-0.01, 1.01, float("nan")])
+    def test_rejects_out_of_range(self, value):
+        with pytest.raises(ValidationError):
+            check_probability(value, "p")
+
+    def test_rejects_non_numeric(self):
+        with pytest.raises(ValidationError):
+            check_probability("half", "p")
+
+
+class TestCheckInRange:
+    def test_bounds_inclusive(self):
+        assert check_in_range(1.0, "x", low=1.0, high=2.0) == 1.0
+        assert check_in_range(2.0, "x", low=1.0, high=2.0) == 2.0
+
+    def test_rejects_below_low(self):
+        with pytest.raises(ValidationError):
+            check_in_range(0.5, "x", low=1.0)
+
+    def test_rejects_above_high(self):
+        with pytest.raises(ValidationError):
+            check_in_range(3.0, "x", high=2.0)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValidationError, match="NaN"):
+            check_in_range(float("nan"), "x")
+
+
+class TestCheckMatrix:
+    def test_coerces_lists(self):
+        out = check_matrix([[1, 2], [3, 4]])
+        assert out.dtype == np.float64
+        assert out.shape == (2, 2)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValidationError, match="2-dimensional"):
+            check_matrix([1, 2, 3])
+
+    def test_rejects_3d(self):
+        with pytest.raises(ValidationError):
+            check_matrix(np.zeros((2, 2, 2)))
+
+    def test_nan_allowed_by_default(self):
+        out = check_matrix([[1.0, float("nan")]])
+        assert np.isnan(out[0, 1])
+
+    def test_nan_rejected_when_disallowed(self):
+        with pytest.raises(ValidationError, match="NaN"):
+            check_matrix([[1.0, float("nan")]], allow_nan=False)
+
+    def test_inf_always_rejected(self):
+        with pytest.raises(ValidationError, match="infinit"):
+            check_matrix([[1.0, float("inf")]])
+
+    def test_min_rows(self):
+        with pytest.raises(ValidationError, match="at least 2 row"):
+            check_matrix([[1.0, 2.0]], min_rows=2)
+
+    def test_rejects_non_numeric(self):
+        with pytest.raises(ValidationError):
+            check_matrix([["a", "b"]])
+
+
+class TestCheckRng:
+    def test_none_gives_generator(self):
+        assert isinstance(check_rng(None), np.random.Generator)
+
+    def test_int_seed_deterministic(self):
+        a = check_rng(42).random()
+        b = check_rng(42).random()
+        assert a == b
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert check_rng(gen) is gen
+
+    def test_seed_sequence(self):
+        seq = np.random.SeedSequence(5)
+        assert isinstance(check_rng(seq), np.random.Generator)
+
+    def test_rejects_other_types(self):
+        with pytest.raises(ValidationError):
+            check_rng("seed")
+
+
+class TestCheckDimensionSubset:
+    def test_accepts_valid(self):
+        assert check_dimension_subset([2, 0, 1], 3) == (2, 0, 1)
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValidationError, match="duplicate"):
+            check_dimension_subset([0, 0], 3)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValidationError):
+            check_dimension_subset([3], 3)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            check_dimension_subset([-1], 3)
