@@ -4,10 +4,13 @@ Not a paper table — this measures the reproduction's own engine-room
 (DESIGN.md "Counting" decision): the boolean-mask counter vs the
 bit-packed counter vs naive row scanning, at a scale larger than any
 paper dataset, plus the memoisation hit rate a GA-shaped workload
-achieves.
+achieves, plus the batched kernel's speedup over per-cube counting on
+a GA-population-sized batch (the headline number for the batch API).
 """
 
 from __future__ import annotations
+
+import time
 
 import numpy as np
 import pytest
@@ -21,6 +24,14 @@ N_POINTS = 100_000
 N_DIMS = 32
 PHI = 8
 N_CUBES = 300
+
+# The batch scenario mirrors the paper's running example (d=20, phi=10,
+# k=4) with a GA population of 500 strings over N=50k points.
+BATCH_N = 50_000
+BATCH_D = 20
+BATCH_PHI = 10
+BATCH_K = 4
+BATCH_P = 500
 
 _LINES: list[str] = []
 
@@ -84,6 +95,40 @@ def test_cache_effectiveness(benchmark, cells, cubes):
     hit_rate = stats["cache_hits"] / stats["count_calls"]
     _LINES.append(f"{'memoisation hit rate':<22}{hit_rate:>12.1%}")
     assert hit_rate > 0.85
+
+
+def test_batch_speedup(benchmark):
+    # Acceptance: count_batch on a population-sized batch must beat
+    # per-cube counting by >= 3x.
+    rng = np.random.default_rng(7)
+    codes = rng.integers(0, BATCH_PHI, size=(BATCH_N, BATCH_D)).astype(np.int16)
+    cells = CellAssignment(codes, BATCH_PHI)
+    population = []
+    for _ in range(BATCH_P):
+        dims = tuple(
+            sorted(rng.choice(BATCH_D, size=BATCH_K, replace=False).tolist())
+        )
+        ranges = tuple(int(r) for r in rng.integers(0, BATCH_PHI, size=BATCH_K))
+        population.append(Subspace(dims, ranges))
+
+    per_cube = CubeCounter(cells, cache_size=0)
+    t0 = time.perf_counter()
+    reference = _count_all(per_cube, population)
+    per_cube_seconds = time.perf_counter() - t0
+
+    batched = PackedCubeCounter(cells, cache_size=0)
+    counts = benchmark.pedantic(
+        lambda: batched.count_batch(population), rounds=1, iterations=1
+    )
+    batch_seconds = batched.cache_stats()["batch_seconds"]
+    speedup = per_cube_seconds / batch_seconds
+    _LINES.append(
+        f"{'batch API speedup':<22}{speedup:>11.1f}x  "
+        f"(p={BATCH_P}, k={BATCH_K}, N={BATCH_N:,}: "
+        f"{per_cube_seconds:.2f}s per-cube vs {batch_seconds:.2f}s batched)"
+    )
+    assert counts.tolist() == reference
+    assert speedup >= 3.0
 
 
 def test_report(benchmark):

@@ -28,6 +28,7 @@ from .core.explain import OutlierExplanation, explain_point, render_report
 from .core.intensional import minimal_abnormal_subspaces
 from .core.multik import MultiKResult, detect_across_dimensionalities
 from .core.params import (
+    CountingBackend,
     ParameterAdvisor,
     choose_projection_dimensionality,
     empty_cube_sparsity,
@@ -125,6 +126,7 @@ __all__ = [
     "choose_projection_dimensionality",
     "empty_cube_sparsity",
     "expected_cube_count",
+    "CountingBackend",
     "ParameterAdvisor",
     # search
     "BestProjectionSet",

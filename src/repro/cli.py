@@ -28,6 +28,7 @@ import numpy as np
 
 from .core.detector import SubspaceOutlierDetector
 from .core.explain import explain_point, render_report
+from .core.params import CountingBackend
 from .data.loaders import load_csv
 from .data.registry import DATASETS, load_dataset
 from .eval.comparison import build_table1, render_table
@@ -172,6 +173,23 @@ def _add_detector_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--population", type=int, default=50)
     parser.add_argument("--generations", type=int, default=100)
+    parser.add_argument(
+        "--packed",
+        action="store_true",
+        help="use the bit-packed cube counter (8x less mask memory)",
+    )
+    parser.add_argument(
+        "--count-backend",
+        choices=["serial", "process"],
+        default="serial",
+        help="how batched cube counts execute",
+    )
+    parser.add_argument(
+        "--count-workers",
+        type=int,
+        default=None,
+        help="worker processes for --count-backend process (default: all cores)",
+    )
 
 
 def _load(args) -> tuple:
@@ -187,6 +205,11 @@ def _detector(args, dataset) -> SubspaceOutlierDetector:
     config = EvolutionaryConfig(
         population_size=args.population, max_generations=args.generations
     )
+    counting = None
+    if getattr(args, "count_backend", "serial") != "serial":
+        counting = CountingBackend(
+            kind=args.count_backend, n_workers=args.count_workers
+        )
     return SubspaceOutlierDetector(
         dimensionality=args.dimensionality,
         n_ranges=phi,
@@ -194,6 +217,8 @@ def _detector(args, dataset) -> SubspaceOutlierDetector:
         method=args.method,
         threshold=args.threshold,
         config=config,
+        packed=getattr(args, "packed", False),
+        counting=counting,
         random_state=args.seed,
     )
 

@@ -38,7 +38,7 @@ from ..search.evolutionary.crossover import CrossoverOperator
 from ..search.evolutionary.engine import EvolutionarySearch
 from ..search.evolutionary.selection import SelectionOperator
 from ..search.outcome import SearchOutcome
-from .params import choose_projection_dimensionality
+from .params import CountingBackend, choose_projection_dimensionality
 from .results import DetectionResult, ScoredProjection
 
 __all__ = ["SubspaceOutlierDetector"]
@@ -81,6 +81,14 @@ class SubspaceOutlierDetector:
         Use the bit-packed cube counter
         (:class:`~repro.grid.packed_counter.PackedCubeCounter`) — 8x
         less mask memory, identical results; worthwhile for large N·d.
+    counting:
+        A :class:`~repro.core.params.CountingBackend` controlling how
+        batched cube counts execute (serial in-process by default; a
+        ``process`` backend fans batches out to a shared-memory worker
+        pool).  Counts and results are identical across backends; the
+        pool is released when :meth:`detect` returns.  The counter's
+        throughput statistics land in ``result.stats["counter_stats"]``
+        either way.
 
     Attributes (populated by :meth:`detect`)
     ----------------------------------------
@@ -108,6 +116,7 @@ class SubspaceOutlierDetector:
         discretizer: GridDiscretizer | None = None,
         max_seconds: float | None = None,
         packed: bool = False,
+        counting: CountingBackend | None = None,
         random_state=None,
     ):
         if dimensionality is not None:
@@ -131,6 +140,11 @@ class SubspaceOutlierDetector:
         self.discretizer = discretizer
         self.max_seconds = max_seconds
         self.packed = bool(packed)
+        if counting is not None and not isinstance(counting, CountingBackend):
+            raise ValidationError(
+                f"counting must be a CountingBackend, got {type(counting).__name__}"
+            )
+        self.counting = counting
         self.random_state = random_state
 
         self.cells_ = None
@@ -151,16 +165,23 @@ class SubspaceOutlierDetector:
         discretizer = self.discretizer or EquiDepthDiscretizer(self.n_ranges)
         cells = discretizer.fit_transform(array, feature_names=feature_names)
         counter_cls = PackedCubeCounter if self.packed else CubeCounter
-        counter = counter_cls(cells)
+        counter = counter_cls(cells, backend=self.counting)
 
         k = self.resolve_dimensionality(array.shape[0], array.shape[1])
         logger.info(
-            "detect: N=%d d=%d phi=%d k=%d method=%s m=%s threshold=%s",
+            "detect: N=%d d=%d phi=%d k=%d method=%s m=%s threshold=%s backend=%s",
             array.shape[0], array.shape[1], self.n_ranges, k, self.method,
-            self.n_projections, self.threshold,
+            self.n_projections, self.threshold, counter.backend.kind,
         )
-        outcome = self._run_search(counter, k)
-        result = self._postprocess(outcome, counter, k, time.perf_counter() - start)
+        try:
+            outcome = self._run_search(counter, k)
+            result = self._postprocess(
+                outcome, counter, k, time.perf_counter() - start
+            )
+        finally:
+            # Release the counting pool (if a process backend spun one
+            # up); the counter itself stays usable serially.
+            counter.close()
         logger.info(
             "detect done: %d projections (best %.3f), %d outliers, %.3fs%s",
             len(result.projections),
@@ -262,6 +283,7 @@ class SubspaceOutlierDetector:
         stats = dict(outcome.stats)
         stats["total_elapsed_seconds"] = elapsed
         stats["completed"] = float(outcome.completed)
+        stats["counter_stats"] = counter.cache_stats()
         return DetectionResult(
             projections=outcome.projections,
             outlier_indices=outlier_indices,

@@ -18,7 +18,7 @@ import numpy as np
 from .._validation import check_matrix
 from ..exceptions import ValidationError
 from .detector import SubspaceOutlierDetector
-from .params import choose_projection_dimensionality
+from .params import CountingBackend, choose_projection_dimensionality
 from .results import DetectionResult
 
 __all__ = ["MultiKResult", "detect_across_dimensionalities"]
@@ -85,6 +85,7 @@ def detect_across_dimensionalities(
     dimensionalities: Sequence[int] | None = None,
     *,
     feature_names=None,
+    counting: CountingBackend | None = None,
     detector_kwargs: Mapping | None = None,
 ) -> MultiKResult:
     """Run the detector once per k and aggregate.
@@ -96,6 +97,10 @@ def detect_across_dimensionalities(
     dimensionalities:
         The k values to mine; ``None`` mines every k in ``[1, k*]``
         (Equation 2's feasible range for the configured φ).
+    counting:
+        Optional :class:`~repro.core.params.CountingBackend` applied to
+        every per-k run (the multi-k sweep repeats the whole search per
+        dimensionality, so a process backend pays off here first).
     detector_kwargs:
         Forwarded to every :class:`SubspaceOutlierDetector` (must not
         contain ``dimensionality``).
@@ -106,6 +111,8 @@ def detect_across_dimensionalities(
         raise ValidationError(
             "pass dimensionalities positionally, not in detector_kwargs"
         )
+    if counting is not None:
+        kwargs["counting"] = counting
     if dimensionalities is None:
         phi = int(kwargs.get("n_ranges", 10))
         target = float(kwargs.get("target_sparsity", -3.0))

@@ -21,17 +21,62 @@ projections by default", and also the most informative choice.
 from __future__ import annotations
 
 import math
+import os
 from dataclasses import dataclass
 
 from .._validation import check_in_range, check_positive_int
 from ..exceptions import ValidationError
 
 __all__ = [
+    "CountingBackend",
     "empty_cube_sparsity",
     "expected_cube_count",
     "choose_projection_dimensionality",
     "ParameterAdvisor",
 ]
+
+
+@dataclass(frozen=True)
+class CountingBackend:
+    """Execution policy for batched cube counting (``count_batch``).
+
+    Attributes
+    ----------
+    kind:
+        ``"serial"`` evaluates batches in-process with the vectorized
+        AND/popcount kernel; ``"process"`` additionally fans chunks of
+        a batch out to a pool of worker processes that attach to the
+        counter's membership masks through shared memory.  Counts are
+        integers, chunk boundaries are deterministic, and chunk results
+        are reassembled in submission order, so both kinds return
+        bit-identical results for any worker count.
+    n_workers:
+        Size of the process pool (``None`` → ``os.cpu_count()``).
+        Ignored by the serial backend.
+    chunk_size:
+        Cubes per worker task.  Batches no larger than one chunk are
+        evaluated in-process even under the process backend, since the
+        pool round-trip would dominate.
+    """
+
+    kind: str = "serial"
+    n_workers: int | None = None
+    chunk_size: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("serial", "process"):
+            raise ValidationError(
+                f"kind must be 'serial' or 'process', got {self.kind!r}"
+            )
+        if self.n_workers is not None:
+            check_positive_int(self.n_workers, "n_workers")
+        check_positive_int(self.chunk_size, "chunk_size")
+
+    def resolved_workers(self) -> int:
+        """The effective pool size: ``n_workers`` or the CPU count."""
+        if self.n_workers is not None:
+            return self.n_workers
+        return os.cpu_count() or 1
 
 
 def expected_cube_count(n_points: int, n_ranges: int, dimensionality: int) -> float:

@@ -6,28 +6,130 @@ of points ``n(D)`` inside cube ``D``.  This module makes that count
 cheap:
 
 * one boolean *membership mask* per ``(dimension, range)`` pair is
-  precomputed at construction (``d × φ`` masks of N bools);
+  precomputed at construction (``d × φ`` masks of N bools, stacked into
+  a single ``(d, φ, N)`` array so whole batches can be gathered with one
+  fancy index);
 * a cube count is the popcount of the AND of its masks;
 * counts are memoised, because the evolutionary algorithm re-evaluates
   the same cubes across generations;
+* :meth:`count_batch` evaluates an entire GA population (or one
+  brute-force level) in one pass: duplicates are folded through the
+  memo, the distinct cubes are resolved by a prefix-sharing batch
+  kernel (siblings reuse the AND of their common prefix), and — under a
+  ``process`` :class:`~repro.core.params.CountingBackend` — chunks of
+  the batch run on a worker pool that reads the masks from shared
+  memory;
 * :meth:`extension_counts` returns the counts for **all φ extensions**
   of a partial cube along one dimension in a single ``bincount`` — the
-  inner loop of both brute-force enumeration and the optimized
-  crossover's greedy stage.
+  inner loop of the depth-first brute-force enumeration and the
+  optimized crossover's greedy stage.
 """
 
 from __future__ import annotations
 
+import logging
+import time
 from collections import OrderedDict
 
 import numpy as np
 
 from .._validation import check_positive_int
+from ..core.params import CountingBackend
 from ..core.subspace import Subspace
 from ..exceptions import ValidationError
 from .cells import CellAssignment
 
-__all__ = ["CubeCounter"]
+__all__ = ["CubeCounter", "batch_counts"]
+
+logger = logging.getLogger(__name__)
+
+#: Serial batches are split so one chunk's AND accumulator stays below
+#: this many words (bools for the dense counter, uint64 for the packed
+#: one) — bounds peak memory without changing any count.
+_MAX_ACC_WORDS = 1 << 26
+
+
+def _resolve_batch_masks(
+    stack: np.ndarray,
+    dims_arr: np.ndarray,
+    rng_arr: np.ndarray,
+    stats: dict,
+) -> np.ndarray:
+    """AND-of-masks for a batch of same-k cubes, sharing common prefixes.
+
+    ``stack`` is the ``(d, φ, W)`` mask array; ``dims_arr`` / ``rng_arr``
+    are ``(B, k)`` index arrays.  The recursion resolves each *distinct*
+    ``(k-1)``-prefix exactly once and broadcasts it to the rows sharing
+    it, so sibling cubes (same prefix, different last range) pay for the
+    shared AND chain a single time.
+    """
+    k = dims_arr.shape[1]
+    if k == 1:
+        # Fancy indexing copies, so callers may AND into the result.
+        return stack[dims_arr[:, 0], rng_arr[:, 0]]
+    base = stack.shape[0] * stack.shape[1]
+    if base ** (k - 1) < 1 << 62:
+        # Encode each (k-1)-prefix as a single int64 so the duplicate
+        # scan is a 1-D unique — far cheaper than unique(axis=0).
+        codes = (dims_arr[:, 0] * stack.shape[1] + rng_arr[:, 0]).astype(
+            np.int64
+        )
+        for level in range(1, k - 1):
+            codes = codes * base + (
+                dims_arr[:, level] * stack.shape[1] + rng_arr[:, level]
+            )
+        _, index, inverse = np.unique(
+            codes, return_index=True, return_inverse=True
+        )
+        n_uniq = len(index)
+    else:  # pragma: no cover - needs astronomically deep cubes
+        prefix = np.concatenate([dims_arr[:, :-1], rng_arr[:, :-1]], axis=1)
+        _, index, inverse = np.unique(
+            prefix, axis=0, return_index=True, return_inverse=True
+        )
+        n_uniq = len(index)
+    if n_uniq == len(dims_arr):
+        # No two cubes share a prefix at this level (a GA population of
+        # distinct strings): the unique machinery cannot help deeper
+        # either, so AND the chain flat without further sorting.
+        acc = stack[dims_arr[:, 0], rng_arr[:, 0]]
+        for level in range(1, k):
+            np.bitwise_and(
+                acc, stack[dims_arr[:, level], rng_arr[:, level]], out=acc
+            )
+            stats["words_and"] += acc.size
+        return acc
+    inverse = inverse.reshape(-1)
+    parents = _resolve_batch_masks(
+        stack, dims_arr[index, :-1], rng_arr[index, :-1], stats
+    )
+    stats["prefix_reuse"] += len(dims_arr) - n_uniq
+    acc = parents[inverse]
+    np.bitwise_and(acc, stack[dims_arr[:, -1], rng_arr[:, -1]], out=acc)
+    stats["words_and"] += acc.size
+    return acc
+
+
+def batch_counts(
+    stack: np.ndarray,
+    dims_arr: np.ndarray,
+    rng_arr: np.ndarray,
+    packed: bool,
+) -> tuple[np.ndarray, dict]:
+    """Counts for a batch of same-k cubes over a mask ``stack``.
+
+    Module-level (rather than a method) so pool workers can run the
+    identical kernel against a shared-memory view of the stack.
+    Returns ``(counts, stats)`` with ``stats`` holding the number of
+    words ANDed and the prefix reuses.
+    """
+    stats = {"words_and": 0, "prefix_reuse": 0}
+    acc = _resolve_batch_masks(stack, dims_arr, rng_arr, stats)
+    if packed:
+        counts = np.bitwise_count(acc).sum(axis=1, dtype=np.int64)
+    else:
+        counts = acc.sum(axis=1, dtype=np.int64)
+    return counts, stats
 
 
 class CubeCounter:
@@ -39,38 +141,69 @@ class CubeCounter:
         The grid assignment produced by a discretizer.
     cache_size:
         Maximum number of memoised cube counts (LRU eviction).  Set to
-        0 to disable memoisation.
+        0 to disable memoisation entirely (no cache structure is
+        allocated and the hot path skips every cache lookup).
+    backend:
+        A :class:`~repro.core.params.CountingBackend` choosing how
+        :meth:`count_batch` executes (serial by default).  The process
+        backend spins its worker pool up lazily on the first large
+        batch; call :meth:`close` to release it.
     """
 
-    def __init__(self, cells: CellAssignment, cache_size: int = 200_000):
+    #: Whether ``self._stack`` holds bit-packed uint64 words (subclass
+    #: override) or one bool per point.
+    _packed_stack = False
+
+    def __init__(
+        self,
+        cells: CellAssignment,
+        cache_size: int = 200_000,
+        backend: CountingBackend | None = None,
+    ):
         if not isinstance(cells, CellAssignment):
             raise ValidationError(
                 f"cells must be a CellAssignment, got {type(cells).__name__}"
             )
+        if backend is not None and not isinstance(backend, CountingBackend):
+            raise ValidationError(
+                f"backend must be a CountingBackend, got {type(backend).__name__}"
+            )
         self.cells = cells
         self.cache_size = check_positive_int(cache_size, "cache_size", minimum=0)
-        self._cache: OrderedDict[tuple, int] = OrderedDict()
+        self.backend = backend or CountingBackend()
+        self._cache: OrderedDict[tuple, int] | None = (
+            OrderedDict() if self.cache_size else None
+        )
         self.n_count_calls = 0
         self.n_cache_hits = 0
+        self.n_batch_calls = 0
+        self.n_batch_cubes = 0
+        self.n_words_and = 0
+        self.n_prefix_reuse = 0
+        self.n_parallel_chunks = 0
+        self.batch_seconds = 0.0
+        self._pool = None
+        self._pool_failed = False
         self._build_masks()
 
     def _build_masks(self) -> None:
         """Precompute the per-(dimension, range) membership masks.
 
-        ``self._masks[dim]`` is a (φ, N) boolean array; row r marks the
-        points whose code on ``dim`` equals r.  Missing codes match no
-        row.  Subclasses may store a different representation as long
-        as they override the methods that read ``self._masks``.
+        ``self._stack`` is a (d, φ, N) boolean array; ``self._masks``
+        keeps the per-dimension (φ, N) views for the single-cube paths.
+        Subclasses may store a different representation as long as they
+        override the methods that read them.
         """
         codes = self.cells.codes
         phi = self.cells.n_ranges
-        self._masks: list[np.ndarray] = []
+        n = self.cells.n_points
+        stack = np.zeros((self.cells.n_dims, phi, n), dtype=bool)
         for j in range(self.cells.n_dims):
             col = codes[:, j]
-            mask = np.zeros((phi, len(col)), dtype=bool)
             observed = col >= 0
-            mask[col[observed], np.nonzero(observed)[0]] = True
-            self._masks.append(mask)
+            stack[j, col[observed], np.nonzero(observed)[0]] = True
+        self._stack = stack
+        self._masks: list[np.ndarray] = [stack[j] for j in range(self.cells.n_dims)]
 
     # ------------------------------------------------------------------
     @property
@@ -104,24 +237,223 @@ class CubeCounter:
         """``n(D)``: number of points inside the cube *subspace*."""
         self._check_subspace(subspace)
         self.n_count_calls += 1
-        key = (subspace.dims, subspace.ranges)
-        if self.cache_size:
-            cached = self._cache.get(key)
+        cache = self._cache
+        if cache is not None:
+            key = (subspace.dims, subspace.ranges)
+            cached = cache.get(key)
             if cached is not None:
                 self.n_cache_hits += 1
-                self._cache.move_to_end(key)
+                cache.move_to_end(key)
                 return cached
         value = self._count_uncached(subspace)
-        if self.cache_size:
-            self._cache[key] = value
-            if len(self._cache) > self.cache_size:
-                self._cache.popitem(last=False)
+        if cache is not None:
+            cache[key] = value
+            if len(cache) > self.cache_size:
+                cache.popitem(last=False)
         return value
 
     def _count_uncached(self, subspace: Subspace) -> int:
         """The raw count (cache handled by :meth:`count`)."""
         return int(np.count_nonzero(self.mask(subspace)))
 
+    # ------------------------------------------------------------------
+    def count_batch(self, subspaces) -> np.ndarray:
+        """``n(D)`` for a whole batch of cubes in one pass.
+
+        Duplicate cubes in the batch — the normal case for a converging
+        GA population — and cubes already memoised are resolved through
+        the cache; only the distinct misses hit the batch kernel, which
+        shares intermediate AND results across cubes with a common
+        prefix.  Under a ``process`` backend, large miss sets are split
+        into deterministic chunks and evaluated on the worker pool.
+
+        Returns an ``int64`` array aligned with the input order.
+        Results are identical to calling :meth:`count` per cube.
+        """
+        subspaces = list(subspaces)
+        t0 = time.perf_counter()
+        self.n_batch_calls += 1
+        self.n_batch_cubes += len(subspaces)
+        self.n_count_calls += len(subspaces)
+        out = np.empty(len(subspaces), dtype=np.int64)
+        # ``slot[i]`` is the miss-array index serving input *i* (-1 when
+        # the memo answered); the scatter back to ``out`` is one fancy
+        # assignment instead of a Python loop.
+        slot = np.empty(len(subspaces), dtype=np.intp)
+        cache = self._cache
+        pending: dict[tuple, int] = {}
+        miss_keys: list[tuple] = []
+        n_hits = 0
+        for i, subspace in enumerate(subspaces):
+            # Bounds are validated vectorized in _count_keys; only the
+            # type check stays on the per-cube path.
+            if not isinstance(subspace, Subspace):
+                raise ValidationError(
+                    f"expected a Subspace, got {type(subspace).__name__}"
+                )
+            key = (subspace.dims, subspace.ranges)
+            idx = pending.get(key)
+            if idx is not None:
+                # Duplicate within the batch: counted once, reused here.
+                n_hits += 1
+                slot[i] = idx
+                continue
+            if cache is not None:
+                cached = cache.get(key)
+                if cached is not None:
+                    n_hits += 1
+                    cache.move_to_end(key)
+                    out[i] = cached
+                    slot[i] = -1
+                    continue
+            pending[key] = len(miss_keys)
+            slot[i] = len(miss_keys)
+            miss_keys.append(key)
+        self.n_cache_hits += n_hits
+        if miss_keys:
+            counts = self._count_keys(miss_keys)
+            if cache is not None:
+                for key, cnt in zip(miss_keys, counts):
+                    cache[key] = int(cnt)
+                    if len(cache) > self.cache_size:
+                        cache.popitem(last=False)
+            missed = slot >= 0
+            out[missed] = counts[slot[missed]]
+        self.batch_seconds += time.perf_counter() - t0
+        return out
+
+    def _count_keys(self, keys: list[tuple]) -> np.ndarray:
+        """Counts for distinct ``(dims, ranges)`` keys, grouped by k."""
+        counts = np.empty(len(keys), dtype=np.int64)
+        by_k: dict[int, list[int]] = {}
+        for i, (dims, _) in enumerate(keys):
+            by_k.setdefault(len(dims), []).append(i)
+        for k, idxs in sorted(by_k.items()):
+            if k == 0:
+                counts[np.asarray(idxs)] = self.n_points
+                continue
+            dims_arr = np.array([keys[i][0] for i in idxs], dtype=np.intp)
+            rng_arr = np.array([keys[i][1] for i in idxs], dtype=np.intp)
+            # Subspace guarantees sorted non-negative dims and ranges,
+            # so one max per array validates the whole group.
+            if int(dims_arr[:, -1].max()) >= self.n_dims:
+                raise ValidationError(
+                    f"subspace uses dimension {int(dims_arr[:, -1].max())} "
+                    f"but data has {self.n_dims} dimensions"
+                )
+            if int(rng_arr.max()) >= self.n_ranges:
+                raise ValidationError(
+                    f"subspace range out of bounds for φ={self.n_ranges}"
+                )
+            counts[np.asarray(idxs)] = self._count_group(dims_arr, rng_arr)
+        return counts
+
+    def _count_group(self, dims_arr: np.ndarray, rng_arr: np.ndarray) -> np.ndarray:
+        """Counts for one same-k group of distinct cubes."""
+        n_cubes = len(dims_arr)
+        backend = self.backend
+        if backend.kind == "process" and n_cubes > backend.chunk_size:
+            pool = self._ensure_pool()
+            if pool is not None:
+                return self._count_group_parallel(pool, dims_arr, rng_arr)
+        # Serial path, memory-capped: chunk so the (B, W) accumulator
+        # stays bounded.  Sorting first keeps sibling cubes together so
+        # prefix sharing survives the chunking.
+        words = self._stack.shape[2]
+        max_rows = max(1, _MAX_ACC_WORDS // max(1, words))
+        if n_cubes <= max_rows:
+            counts, stats = batch_counts(
+                self._stack, dims_arr, rng_arr, self._packed_stack
+            )
+            self._absorb_kernel_stats(stats)
+            return counts
+        order = self._sibling_order(dims_arr, rng_arr)
+        sorted_counts = np.empty(n_cubes, dtype=np.int64)
+        for lo in range(0, n_cubes, max_rows):
+            sel = order[lo : lo + max_rows]
+            counts, stats = batch_counts(
+                self._stack, dims_arr[sel], rng_arr[sel], self._packed_stack
+            )
+            self._absorb_kernel_stats(stats)
+            sorted_counts[lo : lo + max_rows] = counts
+        out = np.empty(n_cubes, dtype=np.int64)
+        out[order] = sorted_counts
+        return out
+
+    def _count_group_parallel(
+        self, pool, dims_arr: np.ndarray, rng_arr: np.ndarray
+    ) -> np.ndarray:
+        """Fan one same-k group out to the worker pool, order-stable."""
+        n_cubes = len(dims_arr)
+        chunk = self.backend.chunk_size
+        order = self._sibling_order(dims_arr, rng_arr)
+        sd, sr = dims_arr[order], rng_arr[order]
+        chunks = [
+            (sd[lo : lo + chunk], sr[lo : lo + chunk])
+            for lo in range(0, n_cubes, chunk)
+        ]
+        results = pool.map_chunks(chunks)
+        self.n_parallel_chunks += len(chunks)
+        for _, words, reuse in results:
+            self.n_words_and += int(words)
+            self.n_prefix_reuse += int(reuse)
+        sorted_counts = np.concatenate([counts for counts, _, _ in results])
+        out = np.empty(n_cubes, dtype=np.int64)
+        out[order] = sorted_counts
+        return out
+
+    @staticmethod
+    def _sibling_order(dims_arr: np.ndarray, rng_arr: np.ndarray) -> np.ndarray:
+        """Lexicographic cube order: keeps shared prefixes adjacent."""
+        keys = []
+        for level in range(dims_arr.shape[1] - 1, -1, -1):
+            keys.append(rng_arr[:, level])
+            keys.append(dims_arr[:, level])
+        return np.lexsort(tuple(keys))
+
+    def _absorb_kernel_stats(self, stats: dict) -> None:
+        self.n_words_and += stats["words_and"]
+        self.n_prefix_reuse += stats["prefix_reuse"]
+
+    # ------------------------------------------------------------------
+    def _ensure_pool(self):
+        """The lazy process pool, or None if unavailable (serial fallback)."""
+        if self._pool is not None:
+            return self._pool
+        if self._pool_failed:
+            return None
+        try:
+            from .parallel import CountingPool
+
+            self._pool = CountingPool(
+                self._stack, self._packed_stack, self.backend.resolved_workers()
+            )
+        except Exception as exc:  # pragma: no cover - environment-dependent
+            logger.warning(
+                "process counting backend unavailable (%s); falling back to serial",
+                exc,
+            )
+            self._pool_failed = True
+            return None
+        return self._pool
+
+    def close(self) -> None:
+        """Release the worker pool and its shared-memory masks, if any.
+
+        Safe to call repeatedly; the pool is recreated lazily if another
+        parallel batch arrives later.
+        """
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    def __del__(self):  # pragma: no cover - interpreter-shutdown dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------
     def extension_counts(self, base_mask: np.ndarray, dim: int) -> np.ndarray:
         """Counts of all φ single-range extensions along *dim*.
 
@@ -161,17 +493,35 @@ class CubeCounter:
         """Total bytes held by the per-range membership masks."""
         return sum(mask.nbytes for mask in self._masks)
 
-    def cache_stats(self) -> dict[str, int]:
-        """Counters useful for benchmarking: calls, hits, entries."""
+    def cache_stats(self) -> dict:
+        """Counters useful for benchmarking and backend tuning.
+
+        ``count_calls`` / ``cache_hits`` / ``cache_misses`` cover every
+        cube counted, whether through :meth:`count` or
+        :meth:`count_batch` (a duplicate within one batch counts as a
+        hit).  The ``batch_*`` fields, ``words_and``, ``prefix_reuse``
+        and ``parallel_chunks`` describe the batch engine specifically;
+        ``batch_seconds`` is the wall time spent inside
+        :meth:`count_batch`.
+        """
         return {
             "count_calls": self.n_count_calls,
             "cache_hits": self.n_cache_hits,
-            "cache_entries": len(self._cache),
+            "cache_misses": self.n_count_calls - self.n_cache_hits,
+            "cache_entries": len(self._cache) if self._cache is not None else 0,
+            "batch_calls": self.n_batch_calls,
+            "batch_cubes": self.n_batch_cubes,
+            "words_and": self.n_words_and,
+            "prefix_reuse": self.n_prefix_reuse,
+            "parallel_chunks": self.n_parallel_chunks,
+            "batch_seconds": self.batch_seconds,
+            "backend": self.backend.kind,
         }
 
     def clear_cache(self) -> None:
         """Drop all memoised counts (e.g. between benchmark rounds)."""
-        self._cache.clear()
+        if self._cache is not None:
+            self._cache.clear()
 
     # ------------------------------------------------------------------
     def _check_subspace(self, subspace: Subspace) -> None:

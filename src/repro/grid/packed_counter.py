@@ -5,13 +5,21 @@ point per (dimension, range) pair — ``d·φ·N`` bytes.  At the paper's
 scale that is nothing, but the same system applied to millions of rows
 and hundreds of attributes pays real memory (1 GB at N = 10⁶, d = 100,
 φ = 10).  :class:`PackedCubeCounter` packs each membership mask into
-bits (``numpy.packbits``) and counts cubes with AND + popcount over
-``uint8`` words, cutting mask storage by 8x while returning *exactly*
-the same counts (equivalence is property-tested).
+bits (``numpy.packbits``) and counts cubes with AND + popcount, cutting
+mask storage by 8x while returning *exactly* the same counts
+(equivalence is property-tested).
+
+The packed rows are zero-padded to a multiple of 8 bytes so the batch
+engine (:meth:`~repro.grid.counter.CubeCounter.count_batch`) can view
+them as **uint64 words**: a population-sized batch then reduces to a
+handful of vectorized word-wise AND + ``bitwise_count`` passes over a
+``(batch, N/64)`` array — the fast path the GA and the level-batched
+brute force run on.
 
 It is a drop-in subclass: every public method of ``CubeCounter`` —
-``count``, ``mask``, ``extension_counts``, ``covered_points`` — behaves
-identically, so the searchers accept it unchanged.
+``count``, ``count_batch``, ``mask``, ``extension_counts``,
+``covered_points`` — behaves identically, so the searchers accept it
+unchanged.
 """
 
 from __future__ import annotations
@@ -33,30 +41,46 @@ class PackedCubeCounter(CubeCounter):
     reduction).
     """
 
+    _packed_stack = True
+
     def _build_masks(self) -> None:
         codes = self.cells.codes
         phi = self.cells.n_ranges
         n = self.cells.n_points
-        self._n_words = (n + 7) // 8
-        # packed[dim] is a (phi, n_words) uint8 array: bit j of word w
-        # marks point 8*w + j (big-endian bit order, numpy default).
-        self._masks: list[np.ndarray] = []
+        n_bytes = (n + 7) // 8
+        # Pad each row to a uint64 boundary; padding bytes stay zero, so
+        # they are inert under AND and popcount.
+        padded = ((n_bytes + 7) // 8) * 8
+        self._n_words = padded
+        stack8 = np.zeros((self.cells.n_dims, phi, padded), dtype=np.uint8)
         for j in range(self.cells.n_dims):
             col = codes[:, j]
             dense = np.zeros((phi, n), dtype=bool)
             observed = col >= 0
             dense[col[observed], np.nonzero(observed)[0]] = True
-            self._masks.append(np.packbits(dense, axis=1))
+            # packed[r] bit j of byte w marks point 8*w + j (big-endian
+            # bit order, the numpy default).
+            stack8[j, :, :n_bytes] = np.packbits(dense, axis=1)
+        # Byte view for the single-cube paths (unpackbits), word view
+        # for the batch kernel.  Word byte-order is irrelevant to AND
+        # and popcount, so the reinterpret cast is safe.
+        self._stack8 = stack8
+        self._stack = stack8.view(np.uint64)
+        self._masks: list[np.ndarray] = [
+            stack8[j] for j in range(self.cells.n_dims)
+        ]
 
     # ------------------------------------------------------------------
     def _packed_cube(self, subspace: Subspace) -> np.ndarray:
         """AND of the cube's packed masks (all-ones for the empty cube)."""
         if not subspace.dims:
-            out = np.full(self._n_words, 0xFF, dtype=np.uint8)
+            out = np.zeros(self._n_words, dtype=np.uint8)
+            n_bytes = (self.cells.n_points + 7) // 8
+            out[:n_bytes] = 0xFF
             # Mask off the padding bits past N.
             tail = self.cells.n_points % 8
             if tail:
-                out[-1] = (0xFF << (8 - tail)) & 0xFF
+                out[n_bytes - 1] = (0xFF << (8 - tail)) & 0xFF
             return out
         dim0, rng0 = subspace.dims[0], subspace.ranges[0]
         out = self._masks[dim0][rng0].copy()

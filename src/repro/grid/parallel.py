@@ -1,0 +1,94 @@
+"""Process-pool backend for batched cube counting.
+
+The counter's membership-mask stack is copied once into POSIX shared
+memory; each pool worker attaches a zero-copy numpy view over it at
+initialization and then runs the *same* batch kernel
+(:func:`repro.grid.counter.batch_counts`) the serial path uses.  Task
+payloads are only the small ``(chunk, k)`` index arrays, and chunk
+results are reassembled in submission order by ``Executor.map``, so
+results are bit-identical to the serial backend for any worker count.
+
+This module is imported lazily by
+:meth:`repro.grid.counter.CubeCounter._ensure_pool`; if pool or
+shared-memory creation fails (restricted containers, missing /dev/shm),
+the counter logs a warning and falls back to serial evaluation.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from .counter import batch_counts
+
+__all__ = ["CountingPool"]
+
+# Worker-process globals, populated once by the pool initializer.
+_WORKER_STACK: np.ndarray | None = None
+_WORKER_SHM: shared_memory.SharedMemory | None = None
+_WORKER_PACKED = False
+
+
+def _init_worker(shm_name: str, shape: tuple, dtype_str: str, packed: bool) -> None:
+    global _WORKER_STACK, _WORKER_SHM, _WORKER_PACKED
+    _WORKER_SHM = shared_memory.SharedMemory(name=shm_name)
+    _WORKER_STACK = np.ndarray(
+        shape, dtype=np.dtype(dtype_str), buffer=_WORKER_SHM.buf
+    )
+    _WORKER_PACKED = packed
+
+
+def _count_chunk(chunk: tuple) -> tuple:
+    """One task: counts + kernel stats for a (dims, ranges) index chunk."""
+    dims_arr, rng_arr = chunk
+    counts, stats = batch_counts(_WORKER_STACK, dims_arr, rng_arr, _WORKER_PACKED)
+    return counts, stats["words_and"], stats["prefix_reuse"]
+
+
+class CountingPool:
+    """A worker pool sharing one counter's mask stack via shared memory."""
+
+    def __init__(self, stack: np.ndarray, packed: bool, n_workers: int):
+        stack = np.ascontiguousarray(stack)
+        self._shm = shared_memory.SharedMemory(
+            create=True, size=max(1, stack.nbytes)
+        )
+        shared = np.ndarray(stack.shape, dtype=stack.dtype, buffer=self._shm.buf)
+        shared[...] = stack
+        self._closed = False
+        try:
+            self._executor = ProcessPoolExecutor(
+                max_workers=n_workers,
+                initializer=_init_worker,
+                initargs=(self._shm.name, stack.shape, stack.dtype.str, packed),
+            )
+        except Exception:
+            self._release_shm()
+            raise
+
+    def map_chunks(self, chunks: list[tuple]) -> list[tuple]:
+        """Evaluate chunks on the pool, results in submission order."""
+        return list(self._executor.map(_count_chunk, chunks))
+
+    def _release_shm(self) -> None:
+        try:
+            self._shm.close()
+            self._shm.unlink()
+        except Exception:  # pragma: no cover - double-unlink races
+            pass
+
+    def close(self) -> None:
+        """Shut the workers down and free the shared-memory segment."""
+        if self._closed:
+            return
+        self._closed = True
+        self._executor.shutdown(wait=True)
+        self._release_shm()
+
+    def __del__(self):  # pragma: no cover - interpreter-shutdown dependent
+        try:
+            self.close()
+        except Exception:
+            pass

@@ -8,13 +8,25 @@ dedupe explicit by only ever extending with dimensions strictly greater
 than the cube's largest dimension, so each of the ``C(d,k)·φ^k`` cubes
 is generated exactly once.
 
-The search is depth-first so each partial cube's membership mask is
-computed once and reused by all its extensions, and the final level is
-scored with a single vectorized ``bincount`` per dimension.  Cost still
-explodes combinatorially — that is the paper's point (the musk dataset's
-160 dimensions defeated their brute-force run entirely) — so a
-``max_seconds``/``max_evaluations`` budget lets callers reproduce the
-"did not terminate" row gracefully via ``SearchOutcome.completed``.
+Two enumeration strategies produce identical best sets:
+
+* ``depth_first`` (default) — each partial cube's membership mask is
+  computed once and reused by all its extensions, and the final level
+  is scored with a single vectorized ``bincount`` per dimension.
+* ``level_batch`` — the paper's literal breadth-first ``R_{i+1} = R_i ⊕
+  Q_1``: every level is evaluated through the counter's batched
+  AND/popcount kernel (:meth:`~repro.grid.counter.CubeCounter.
+  count_batch`), which shares the common-prefix ANDs across siblings
+  and, under a ``process`` :class:`~repro.core.params.CountingBackend`,
+  spreads the level across a worker pool.  Candidates are generated and
+  offered in the same lexicographic order the DFS visits, so both
+  strategies return the same projections.
+
+Cost still explodes combinatorially — that is the paper's point (the
+musk dataset's 160 dimensions defeated their brute-force run entirely)
+— so a ``max_seconds``/``max_evaluations`` budget lets callers
+reproduce the "did not terminate" row gracefully via
+``SearchOutcome.completed``.
 """
 
 from __future__ import annotations
@@ -73,6 +85,9 @@ class BruteForceSearch:
     max_seconds, max_evaluations:
         Optional budgets; when exhausted the search returns a partial
         outcome with ``completed=False``.
+    strategy:
+        ``"depth_first"`` (default) or ``"level_batch"`` — see the
+        module docstring.  Both return identical projections.
     """
 
     def __init__(
@@ -85,6 +100,7 @@ class BruteForceSearch:
         threshold: float | None = None,
         max_seconds: float | None = None,
         max_evaluations: int | None = None,
+        strategy: str = "depth_first",
     ):
         if not isinstance(counter, CubeCounter):
             raise ValidationError(
@@ -108,6 +124,12 @@ class BruteForceSearch:
             if max_evaluations is None
             else check_positive_int(max_evaluations, "max_evaluations")
         )
+        if strategy not in ("depth_first", "level_batch"):
+            raise ValidationError(
+                f"strategy must be 'depth_first' or 'level_batch', got "
+                f"{strategy!r}"
+            )
+        self.strategy = strategy
 
     # ------------------------------------------------------------------
     def run(self) -> SearchOutcome:
@@ -124,13 +146,16 @@ class BruteForceSearch:
         )
         d = self.counter.n_dims
         k = self.dimensionality
-        all_points = np.ones(self.counter.n_points, dtype=bool)
         logger.debug(
-            "brute force: enumerating up to %d cubes (d=%d, k=%d, phi=%d)",
+            "brute force: enumerating up to %d cubes (d=%d, k=%d, phi=%d, %s)",
             search_space_size(d, k, self.counter.n_ranges), d, k,
-            self.counter.n_ranges,
+            self.counter.n_ranges, self.strategy,
         )
-        self._extend(Subspace.empty(), all_points, -1, d, k, best, state)
+        if self.strategy == "level_batch":
+            self._run_levels(best, state)
+        else:
+            all_points = np.ones(self.counter.n_points, dtype=bool)
+            self._extend(Subspace.empty(), all_points, -1, d, k, best, state)
         elapsed = time.perf_counter() - start
         if state.exhausted:
             logger.warning(
@@ -145,6 +170,7 @@ class BruteForceSearch:
                 "evaluations": state.evaluations,
                 "search_space_size": search_space_size(d, k, self.counter.n_ranges),
                 "algorithm": "brute_force",
+                "strategy": self.strategy,
             },
         )
 
@@ -200,6 +226,74 @@ class BruteForceSearch:
                     )
                     if state.exhausted:
                         return
+
+
+    # ------------------------------------------------------------------
+    def _run_levels(self, best: BestProjectionSet, state: "_RunState") -> None:
+        """Breadth-first ``R_{i+1} = R_i ⊕ Q_1`` over batched counts.
+
+        Each level's candidates go through ``count_batch`` in
+        deterministic chunks; with ``require_nonempty`` the empty cubes
+        are pruned before extension (counts are monotone under ⊕ —
+        the same subtree pruning the DFS applies).  Generation order is
+        lexicographic, matching the DFS visit order exactly.
+        """
+        counter = self.counter
+        d, k, phi = counter.n_dims, self.dimensionality, counter.n_ranges
+        chunk = max(1024, counter.backend.chunk_size)
+        level: list[tuple[tuple, tuple]] = [((), ())]
+        for depth in range(1, k + 1):
+            remaining = k - depth  # levels still to add after this one
+            children: list[tuple[tuple, tuple]] = []
+            for dims, rngs in level:
+                lo = dims[-1] + 1 if dims else 0
+                # Leave room for the remaining levels, as in the DFS.
+                for dim in range(lo, d - remaining):
+                    for rng in range(phi):
+                        children.append((dims + (dim,), rngs + (rng,)))
+            if depth == k:
+                self._score_leaves(children, best, state, chunk)
+                return
+            if self.require_nonempty:
+                survivors: list[tuple[tuple, tuple]] = []
+                for lo in range(0, len(children), chunk):
+                    if state.check_budget():
+                        return
+                    block = children[lo : lo + chunk]
+                    counts = counter.count_batch(
+                        [Subspace(dm, rg) for dm, rg in block]
+                    )
+                    survivors.extend(
+                        child for child, count in zip(block, counts) if count > 0
+                    )
+                level = survivors
+            else:
+                level = children
+
+    def _score_leaves(
+        self,
+        leaves: list[tuple[tuple, tuple]],
+        best: BestProjectionSet,
+        state: "_RunState",
+        chunk: int,
+    ) -> None:
+        """Score the final level in batches, offering in generation order."""
+        counter = self.counter
+        n, phi, k = counter.n_points, counter.n_ranges, self.dimensionality
+        for lo in range(0, len(leaves), chunk):
+            if state.check_budget():
+                return
+            block = leaves[lo : lo + chunk]
+            subspaces = [Subspace(dm, rg) for dm, rg in block]
+            counts = counter.count_batch(subspaces)
+            coefficients = sparsity_coefficients(counts, n, phi, k)
+            state.evaluations += len(block)
+            for subspace, count, coefficient in zip(
+                subspaces, counts, coefficients
+            ):
+                best.offer(
+                    ScoredProjection(subspace, int(count), float(coefficient))
+                )
 
 
 class _RunState:

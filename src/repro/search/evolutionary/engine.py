@@ -276,10 +276,17 @@ class EvolutionarySearch:
         evaluator: FitnessEvaluator,
         best: BestProjectionSet,
     ) -> list[float]:
-        """Fitness of every string; feasible ones feed the best set."""
+        """Fitness of every string; feasible ones feed the best set.
+
+        The whole generation is counted in one
+        :meth:`~repro.grid.counter.CubeCounter.count_batch` pass —
+        duplicates of a converging population collapse in the batch, and
+        a parallel counting backend fans the distinct cubes out to its
+        worker pool.  Offers happen in population order, so the best-set
+        contents (including tie-breaks) match per-solution scoring.
+        """
         fitnesses = []
-        for solution in population:
-            scored = evaluator.score(solution)
+        for scored in evaluator.score_batch(population):
             if scored is None:
                 fitnesses.append(float("inf"))
             else:

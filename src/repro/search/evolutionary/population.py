@@ -20,7 +20,7 @@ from __future__ import annotations
 from ...core.results import ScoredProjection
 from ...exceptions import ValidationError
 from ...grid.counter import CubeCounter
-from ...sparsity.coefficient import sparsity_coefficient
+from ...sparsity.coefficient import sparsity_coefficient, sparsity_coefficients
 from ..._validation import check_positive_int
 from .encoding import Solution
 
@@ -91,6 +91,38 @@ class FitnessEvaluator:
             count, self.counter.n_points, self.counter.n_ranges, self.dimensionality
         )
         return ScoredProjection(subspace, count, coefficient)
+
+    def score_batch(
+        self, solutions: list[Solution]
+    ) -> list[ScoredProjection | None]:
+        """Score a whole population through one batched count.
+
+        Feasible strings are counted with a single
+        :meth:`~repro.grid.counter.CubeCounter.count_batch` call — the
+        GA's per-generation hot path — and scored with the vectorized
+        Equation 1.  Entry ``i`` is ``None`` exactly when
+        :meth:`score` would return ``None`` for ``solutions[i]``, and
+        the scored values are identical to the per-solution path.
+        """
+        results: list[ScoredProjection | None] = [None] * len(solutions)
+        indices: list[int] = []
+        subspaces = []
+        for i, solution in enumerate(solutions):
+            if solution.is_feasible(self.dimensionality):
+                indices.append(i)
+                subspaces.append(solution.to_subspace())
+        if not subspaces:
+            return results
+        counts = self.counter.count_batch(subspaces)
+        self.n_evaluations += len(subspaces)
+        coefficients = sparsity_coefficients(
+            counts, self.counter.n_points, self.counter.n_ranges, self.dimensionality
+        )
+        for i, subspace, count, coefficient in zip(
+            indices, subspaces, counts, coefficients
+        ):
+            results[i] = ScoredProjection(subspace, int(count), float(coefficient))
+        return results
 
     def fitnesses(self, solutions: list[Solution]) -> list[float]:
         """Vector of fitness values for a whole population."""

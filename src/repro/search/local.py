@@ -115,17 +115,27 @@ class RandomSearch(_SingleSolutionSearch):
     """Uniformly random cubes — the no-structure control of §2.1."""
 
     def run(self) -> SearchOutcome:
-        """Evaluate ``max_evaluations`` random feasible solutions."""
+        """Evaluate ``max_evaluations`` random feasible solutions.
+
+        The solutions are drawn first (same generator stream as
+        one-at-a-time evaluation) and then scored through the counter's
+        batch engine; offers happen in draw order, so the resulting
+        best set is identical to the sequential path.
+        """
         rng, evaluator, best = self._setup()
         start = time.perf_counter()
-        for _ in range(self.max_evaluations):
-            solution = random_solution(
+        solutions = [
+            random_solution(
                 self.counter.n_dims,
                 self.dimensionality,
                 self.counter.n_ranges,
                 rng,
             )
-            self._evaluate(solution, evaluator, best)
+            for _ in range(self.max_evaluations)
+        ]
+        for scored in evaluator.score_batch(solutions):
+            if scored is not None:
+                best.offer(scored)
         return self._outcome(best, evaluator, start)
 
 

@@ -3,9 +3,11 @@
 import numpy as np
 import pytest
 
+from repro.core.params import CountingBackend
 from repro.exceptions import ValidationError
 from repro.grid.counter import CubeCounter
 from repro.grid.discretizer import EquiDepthDiscretizer
+from repro.grid.packed_counter import PackedCubeCounter
 from repro.search.brute_force import BruteForceSearch
 from repro.search.evolutionary.config import EvolutionaryConfig
 from repro.search.evolutionary.crossover import TwoPointCrossover
@@ -222,3 +224,73 @@ class TestValidation:
     def test_rejects_non_counter(self):
         with pytest.raises(ValidationError):
             EvolutionarySearch("counter", 2)
+
+
+class TestBackendDeterminism:
+    """Same seed => identical run, whatever the counting backend.
+
+    The GA's entire stochastic trajectory depends only on the rng stream
+    and the fitness values; batched and process-pool counting return
+    bit-identical counts (integers) and coefficients (the same float64
+    ops), so the best set AND the per-generation trace must match
+    exactly across backends and worker counts.
+    """
+
+    def _run(self, counter, seed=17):
+        return EvolutionarySearch(
+            counter,
+            2,
+            8,
+            config=quick_config(track_history=True),
+            random_state=seed,
+        ).run()
+
+    def _assert_identical(self, a, b):
+        assert [p.subspace for p in a.projections] == [
+            p.subspace for p in b.projections
+        ]
+        assert [p.coefficient for p in a.projections] == [
+            p.coefficient for p in b.projections
+        ]
+        assert [p.count for p in a.projections] == [
+            p.count for p in b.projections
+        ]
+        assert a.stats["generations"] == b.stats["generations"]
+        assert a.stats["evaluations"] == b.stats["evaluations"]
+        assert a.history == b.history
+
+    @pytest.mark.parametrize("n_workers", [1, 2])
+    def test_serial_vs_process(self, small_cells, n_workers):
+        serial = CubeCounter(small_cells)
+        parallel = CubeCounter(
+            small_cells,
+            backend=CountingBackend(
+                kind="process", n_workers=n_workers, chunk_size=8
+            ),
+        )
+        try:
+            self._assert_identical(self._run(serial), self._run(parallel))
+        finally:
+            serial.close()
+            parallel.close()
+
+    def test_serial_vs_process_packed(self, small_cells):
+        serial = PackedCubeCounter(small_cells)
+        parallel = PackedCubeCounter(
+            small_cells,
+            backend=CountingBackend(kind="process", n_workers=2, chunk_size=8),
+        )
+        try:
+            self._assert_identical(self._run(serial), self._run(parallel))
+        finally:
+            serial.close()
+            parallel.close()
+
+    def test_dense_vs_packed(self, small_cells):
+        dense = CubeCounter(small_cells)
+        packed = PackedCubeCounter(small_cells)
+        try:
+            self._assert_identical(self._run(dense), self._run(packed))
+        finally:
+            dense.close()
+            packed.close()

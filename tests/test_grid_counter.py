@@ -116,6 +116,63 @@ class TestCache:
         small_counter.clear_cache()
         assert small_counter.cache_stats()["cache_entries"] == 0
 
+    def test_cache_size_zero_allocates_no_cache(self, small_cells):
+        # Regression: cache_size=0 used to keep a dead OrderedDict on
+        # the hot path; now caching is truly disabled.
+        counter = CubeCounter(small_cells, cache_size=0)
+        assert counter._cache is None
+        counter.count(Subspace((0,), (0,)))
+        counter.clear_cache()  # must not raise with no cache
+        assert counter._cache is None
+
+    def test_hit_miss_accounting(self, small_cells):
+        counter = CubeCounter(small_cells, cache_size=10)
+        a, b = Subspace((0,), (0,)), Subspace((0,), (1,))
+        counter.count(a)   # miss
+        counter.count(a)   # hit
+        counter.count(b)   # miss
+        counter.count(a)   # hit
+        stats = counter.cache_stats()
+        assert stats["count_calls"] == 4
+        assert stats["cache_hits"] == 2
+        assert stats["cache_misses"] == 2
+        assert stats["cache_entries"] == 2
+
+    def test_lru_eviction_order(self, small_cells):
+        counter = CubeCounter(small_cells, cache_size=2)
+        a, b, c = (Subspace((0,), (r,)) for r in range(3))
+        counter.count(a)
+        counter.count(b)
+        counter.count(a)   # refresh a: b is now least recently used
+        counter.count(c)   # evicts b
+        hits = counter.n_cache_hits
+        counter.count(a)   # still cached
+        assert counter.n_cache_hits == hits + 1
+        counter.count(b)   # evicted => recount, not a hit
+        assert counter.n_cache_hits == hits + 1
+
+    def test_batch_duplicates_count_as_hits(self, small_cells):
+        counter = CubeCounter(small_cells, cache_size=10)
+        cube = Subspace((0, 1), (0, 0))
+        counts = counter.count_batch([cube, cube, cube])
+        assert len(set(counts.tolist())) == 1
+        stats = counter.cache_stats()
+        # One real count; the in-batch duplicates resolve via dedup.
+        assert stats["cache_hits"] == 2
+        assert stats["cache_misses"] == 1
+        # A later batch answers straight from the memo.
+        counter.count_batch([cube])
+        assert counter.cache_stats()["cache_hits"] == 3
+
+    def test_batch_with_cache_disabled_matches(self, small_cells):
+        cached = CubeCounter(small_cells, cache_size=10)
+        uncached = CubeCounter(small_cells, cache_size=0)
+        cubes = [Subspace((0, 1), (r, r)) for r in range(5)] * 2
+        assert cached.count_batch(cubes).tolist() == (
+            uncached.count_batch(cubes).tolist()
+        )
+        assert uncached.cache_stats()["cache_entries"] == 0
+
 
 class TestValidationErrors:
     def test_rejects_non_cells(self):
