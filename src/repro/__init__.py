@@ -29,6 +29,7 @@ from .core.intensional import minimal_abnormal_subspaces
 from .core.multik import MultiKResult, detect_across_dimensionalities
 from .core.params import (
     CountingBackend,
+    FaultPlan,
     ParameterAdvisor,
     choose_projection_dimensionality,
     empty_cube_sparsity,
@@ -46,6 +47,7 @@ from .exceptions import (
 )
 from .grid.cells import CellAssignment, MISSING_CELL
 from .grid.counter import CubeCounter
+from .grid.health import BackendHealth
 from .grid.packed_counter import PackedCubeCounter
 from .grid.discretizer import EquiDepthDiscretizer, EquiWidthDiscretizer
 from .search.best_set import BestProjectionSet
@@ -127,6 +129,8 @@ __all__ = [
     "empty_cube_sparsity",
     "expected_cube_count",
     "CountingBackend",
+    "FaultPlan",
+    "BackendHealth",
     "ParameterAdvisor",
     # search
     "BestProjectionSet",

@@ -284,6 +284,13 @@ class SubspaceOutlierDetector:
         stats["total_elapsed_seconds"] = elapsed
         stats["completed"] = float(outcome.completed)
         stats["counter_stats"] = counter.cache_stats()
+        stats["backend_health"] = counter.backend_health()
+        if counter.health.degraded:
+            logger.warning(
+                "counting backend degraded during detect: %s "
+                "(results are bit-identical to the serial backend)",
+                counter.health.summary(),
+            )
         return DetectionResult(
             projections=outcome.projections,
             outlier_indices=outlier_indices,

@@ -63,6 +63,38 @@ class MultiKResult:
             if int(point_index) in set(self.results[k].outlier_indices.tolist())
         ]
 
+    def backend_health_totals(self) -> dict:
+        """Fault-tolerance telemetry summed over every per-k run.
+
+        Long multi-run sweeps are exactly where a single crashed worker
+        must not lose the whole job; this aggregates each run's
+        ``stats["backend_health"]`` counters (booleans OR together) so
+        ensemble drivers can check one record instead of |K|.
+        """
+        totals = {
+            "retries": 0,
+            "timeouts": 0,
+            "rebuilds": 0,
+            "fallbacks": 0,
+            "chunks_parallel": 0,
+            "chunks_serial": 0,
+            "pool_degraded": False,
+            "pool_unavailable": False,
+        }
+        for result in self.results.values():
+            health = result.backend_health
+            for key, value in totals.items():
+                if isinstance(value, bool):
+                    totals[key] = value or bool(health.get(key))
+                else:
+                    totals[key] = value + int(health.get(key, 0))
+        return totals
+
+    @property
+    def backend_degraded(self) -> bool:
+        """True if any per-k run's counting backend degraded."""
+        return any(r.backend_degraded for r in self.results.values())
+
     def summary_lines(self) -> list[str]:
         """One line per k plus the union/intersection counts."""
         lines = []
@@ -77,6 +109,13 @@ class MultiKResult:
             f"union {self.outlier_union().size} outliers, "
             f"intersection {self.outlier_intersection().size}"
         )
+        if self.backend_degraded:
+            totals = self.backend_health_totals()
+            lines.append(
+                "backend degraded: "
+                f"{totals['retries']} retries, {totals['timeouts']} timeouts, "
+                f"{totals['rebuilds']} rebuilds, {totals['fallbacks']} fallbacks"
+            )
         return lines
 
 

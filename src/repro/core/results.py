@@ -86,6 +86,9 @@ class DetectionResult:
         material of interpretability (§1.1).
     stats:
         Search metadata (elapsed seconds, evaluations, generations...).
+        Runs through :class:`~repro.core.detector.SubspaceOutlierDetector`
+        also carry ``stats["counter_stats"]`` (counting throughput) and
+        ``stats["backend_health"]`` (fault-tolerance telemetry).
     """
 
     projections: tuple[ScoredProjection, ...]
@@ -118,6 +121,29 @@ class DetectionResult:
         if not self.projections:
             return float("nan")
         return self.projections[0].coefficient
+
+    @property
+    def backend_health(self) -> dict:
+        """The run's counting-backend telemetry (empty if not recorded)."""
+        return dict(self.stats.get("backend_health") or {})
+
+    @property
+    def backend_degraded(self) -> bool:
+        """True if the counting backend retried, rebuilt or fell back.
+
+        Counts are bit-identical across backends even under
+        degradation, so a True here flags an infrastructure problem —
+        never a correctness one.
+        """
+        health = self.backend_health
+        return bool(
+            health.get("retries")
+            or health.get("timeouts")
+            or health.get("rebuilds")
+            or health.get("fallbacks")
+            or health.get("pool_degraded")
+            or health.get("pool_unavailable")
+        )
 
     def mean_coefficient(self, top: int | None = None) -> float:
         """Mean coefficient of the best *top* projections (Table 1 "quality").

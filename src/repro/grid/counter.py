@@ -38,6 +38,7 @@ from ..core.params import CountingBackend
 from ..core.subspace import Subspace
 from ..exceptions import ValidationError
 from .cells import CellAssignment
+from .health import BackendHealth
 
 __all__ = ["CubeCounter", "batch_counts"]
 
@@ -182,6 +183,7 @@ class CubeCounter:
         self.n_prefix_reuse = 0
         self.n_parallel_chunks = 0
         self.batch_seconds = 0.0
+        self.health = BackendHealth()
         self._pool = None
         self._pool_failed = False
         self._build_masks()
@@ -393,6 +395,16 @@ class CubeCounter:
             for lo in range(0, n_cubes, chunk)
         ]
         results = pool.map_chunks(chunks)
+        if pool.is_degraded:
+            # The pool exhausted its rebuild budget mid-run; release it
+            # and run every later batch on the plain serial path.
+            logger.warning(
+                "counting pool degraded beyond repair (%s); remaining "
+                "batches run serially",
+                self.health.summary(),
+            )
+            self.close()
+            self._pool_failed = True
         self.n_parallel_chunks += len(chunks)
         for _, words, reuse in results:
             self.n_words_and += int(words)
@@ -426,13 +438,14 @@ class CubeCounter:
             from .parallel import CountingPool
 
             self._pool = CountingPool(
-                self._stack, self._packed_stack, self.backend.resolved_workers()
+                self._stack, self._packed_stack, self.backend, self.health
             )
         except Exception as exc:  # pragma: no cover - environment-dependent
             logger.warning(
                 "process counting backend unavailable (%s); falling back to serial",
                 exc,
             )
+            self.health.pool_unavailable = True
             self._pool_failed = True
             return None
         return self._pool
@@ -517,6 +530,17 @@ class CubeCounter:
             "batch_seconds": self.batch_seconds,
             "backend": self.backend.kind,
         }
+
+    def backend_health(self) -> dict:
+        """Fault-tolerance telemetry for this counter's backend.
+
+        Retries, timeouts, pool rebuilds, serial-fallback events and
+        the per-chunk latency histogram recorded by the resilient
+        process-pool dispatcher (see
+        :class:`~repro.grid.health.BackendHealth`).  A serial backend
+        — or a clean parallel run — reports all-zero counters.
+        """
+        return self.health.as_dict()
 
     def clear_cache(self) -> None:
         """Drop all memoised counts (e.g. between benchmark rounds)."""

@@ -1,12 +1,32 @@
-"""Process-pool backend for batched cube counting.
+"""Fault-tolerant process-pool backend for batched cube counting.
 
 The counter's membership-mask stack is copied once into POSIX shared
 memory; each pool worker attaches a zero-copy numpy view over it at
 initialization and then runs the *same* batch kernel
 (:func:`repro.grid.counter.batch_counts`) the serial path uses.  Task
-payloads are only the small ``(chunk, k)`` index arrays, and chunk
-results are reassembled in submission order by ``Executor.map``, so
-results are bit-identical to the serial backend for any worker count.
+payloads are only the small ``(chunk_id, attempt, dims, ranges)`` index
+arrays, and chunk results are reassembled in submission order, so
+results are bit-identical to the serial backend for any worker count —
+including when chunks are retried, the pool is rebuilt, or individual
+chunks degrade to the serial kernel.
+
+Fault tolerance (the dispatcher in :meth:`CountingPool.map_chunks`):
+
+* per-chunk dispatch with a configurable timeout
+  (``CountingBackend.timeout``; disabled by default),
+* bounded retry with exponential backoff (``max_retries`` /
+  ``retry_backoff``),
+* automatic pool rebuild on ``BrokenProcessPool`` or a wedged worker,
+  bounded by ``max_rebuilds``,
+* graceful degradation: a chunk that exhausts its retries — or every
+  chunk, once the pool is abandoned — is recovered in-process by
+  ``batch_counts`` over the parent's view of the shared stack, which is
+  bit-identical by construction.
+
+Every event is recorded in the counter's
+:class:`~repro.grid.health.BackendHealth`; deterministic chaos is
+injected through :class:`~repro.core.params.FaultPlan` (threaded to the
+workers via the pool initializer and task payloads).
 
 This module is imported lazily by
 :meth:`repro.grid.counter.CubeCounter._ensure_pool`; if pool or
@@ -16,63 +36,263 @@ the counter logs a warning and falls back to serial evaluation.
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
+import logging
+import os
+import time
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from multiprocessing import shared_memory
 
 import numpy as np
 
+from ..core.params import CountingBackend, FaultPlan
 from .counter import batch_counts
+from .health import BackendHealth
 
 __all__ = ["CountingPool"]
+
+logger = logging.getLogger(__name__)
 
 # Worker-process globals, populated once by the pool initializer.
 _WORKER_STACK: np.ndarray | None = None
 _WORKER_SHM: shared_memory.SharedMemory | None = None
 _WORKER_PACKED = False
+_WORKER_FAULT: FaultPlan | None = None
 
 
-def _init_worker(shm_name: str, shape: tuple, dtype_str: str, packed: bool) -> None:
-    global _WORKER_STACK, _WORKER_SHM, _WORKER_PACKED
+def _init_worker(
+    shm_name: str,
+    shape: tuple,
+    dtype_str: str,
+    packed: bool,
+    fault: FaultPlan | None,
+    poison_init: bool,
+) -> None:
+    global _WORKER_STACK, _WORKER_SHM, _WORKER_PACKED, _WORKER_FAULT
+    if poison_init:
+        raise RuntimeError(
+            "injected shared-memory attach failure "
+            "(FaultPlan.fail_shm_attach_once)"
+        )
     _WORKER_SHM = shared_memory.SharedMemory(name=shm_name)
     _WORKER_STACK = np.ndarray(
         shape, dtype=np.dtype(dtype_str), buffer=_WORKER_SHM.buf
     )
     _WORKER_PACKED = packed
+    _WORKER_FAULT = fault
 
 
-def _count_chunk(chunk: tuple) -> tuple:
+def _count_chunk(task: tuple) -> tuple:
     """One task: counts + kernel stats for a (dims, ranges) index chunk."""
-    dims_arr, rng_arr = chunk
+    chunk_id, attempt, dims_arr, rng_arr = task
+    fault = _WORKER_FAULT
+    if fault is not None and fault.applies(attempt):
+        if fault.delay_chunk == chunk_id:
+            time.sleep(fault.delay_seconds)
+        if fault.kill_worker_on_chunk == chunk_id:
+            os._exit(1)
     counts, stats = batch_counts(_WORKER_STACK, dims_arr, rng_arr, _WORKER_PACKED)
     return counts, stats["words_and"], stats["prefix_reuse"]
 
 
 class CountingPool:
-    """A worker pool sharing one counter's mask stack via shared memory."""
+    """A resilient worker pool sharing one counter's mask stack via shm.
 
-    def __init__(self, stack: np.ndarray, packed: bool, n_workers: int):
+    Parameters
+    ----------
+    stack:
+        The counter's ``(d, φ, W)`` membership-mask array (boolean or
+        uint64-packed); copied once into shared memory.
+    packed:
+        Whether the stack holds bit-packed words.
+    backend:
+        The :class:`~repro.core.params.CountingBackend` whose timeout /
+        retry / rebuild policy (and optional fault plan) this pool
+        enforces.
+    health:
+        The counter's :class:`~repro.grid.health.BackendHealth`; every
+        degradation event and chunk latency is recorded into it.
+    """
+
+    def __init__(
+        self,
+        stack: np.ndarray,
+        packed: bool,
+        backend: CountingBackend,
+        health: BackendHealth | None = None,
+    ):
         stack = np.ascontiguousarray(stack)
+        self.health = health if health is not None else BackendHealth()
+        self._packed = packed
+        self._timeout = backend.timeout
+        self._max_retries = backend.max_retries
+        self._backoff = backend.retry_backoff
+        self._max_rebuilds = backend.max_rebuilds
+        self._fault = backend.fault_plan
+        self._n_workers = backend.resolved_workers()
+        self._generation = 0
+        self._next_chunk_id = 0
+        self._closed = False
+        self._executor: ProcessPoolExecutor | None = None
         self._shm = shared_memory.SharedMemory(
             create=True, size=max(1, stack.nbytes)
         )
-        shared = np.ndarray(stack.shape, dtype=stack.dtype, buffer=self._shm.buf)
-        shared[...] = stack
-        self._closed = False
+        # Parent-side view over the same shared buffer: the serial
+        # fallback runs the identical kernel on identical bytes.
+        self._local = np.ndarray(stack.shape, dtype=stack.dtype, buffer=self._shm.buf)
+        self._local[...] = stack
+        self._shape = stack.shape
+        self._dtype = stack.dtype
         try:
-            self._executor = ProcessPoolExecutor(
-                max_workers=n_workers,
-                initializer=_init_worker,
-                initargs=(self._shm.name, stack.shape, stack.dtype.str, packed),
-            )
+            self._executor = self._spawn_executor()
         except Exception:
             self._release_shm()
             raise
 
-    def map_chunks(self, chunks: list[tuple]) -> list[tuple]:
-        """Evaluate chunks on the pool, results in submission order."""
-        return list(self._executor.map(_count_chunk, chunks))
+    # ------------------------------------------------------------------
+    def _spawn_executor(self) -> ProcessPoolExecutor:
+        poison = bool(
+            self._fault
+            and self._fault.fail_shm_attach_once
+            and self._generation == 0
+        )
+        executor = ProcessPoolExecutor(
+            max_workers=self._n_workers,
+            initializer=_init_worker,
+            initargs=(
+                self._shm.name,
+                self._shape,
+                self._dtype.str,
+                self._packed,
+                self._fault,
+                poison,
+            ),
+        )
+        self._generation += 1
+        return executor
 
+    @property
+    def is_degraded(self) -> bool:
+        """True once the pool has been abandoned (serial-only from here)."""
+        return self._executor is None
+
+    # ------------------------------------------------------------------
+    def map_chunks(self, chunks: list[tuple]) -> list[tuple]:
+        """Evaluate chunks resiliently, results in submission order.
+
+        Never fails because of worker trouble: chunks that cannot be
+        completed on the pool within the retry budget are recovered by
+        the in-process serial kernel.  Genuine task errors (e.g. a
+        malformed chunk) still surface — the serial recovery re-raises
+        them in the parent.
+        """
+        n = len(chunks)
+        base_id = self._next_chunk_id
+        self._next_chunk_id += n
+        results: list = [None] * n
+        attempts = [0] * n
+        pending = list(range(n))
+        wave = 0
+        while pending:
+            if self._executor is None:
+                for idx in pending:
+                    self._run_serial(idx, chunks[idx], results)
+                break
+            if wave:
+                time.sleep(min(1.0, self._backoff * (2 ** (wave - 1))))
+            wave += 1
+            broken = False
+            submitted: list[tuple] = []
+            unsubmitted: list[int] = []
+            for pos, idx in enumerate(pending):
+                attempts[idx] += 1
+                dims_arr, rng_arr = chunks[idx]
+                task = (base_id + idx, attempts[idx], dims_arr, rng_arr)
+                try:
+                    future = self._executor.submit(_count_chunk, task)
+                except Exception:
+                    # Submitting to a broken/shut-down executor; the
+                    # chunk was never attempted.
+                    attempts[idx] -= 1
+                    broken = True
+                    unsubmitted = pending[pos:]
+                    break
+                submitted.append((idx, future, time.perf_counter()))
+            failed: list[int] = []
+            for idx, future, t_submit in submitted:
+                try:
+                    counts, words, reuse = future.result(timeout=self._timeout)
+                except FutureTimeoutError:
+                    # A wedged worker cannot be reclaimed: count the
+                    # timeout and force a rebuild below.
+                    self.health.timeouts += 1
+                    broken = True
+                    failed.append(idx)
+                except BrokenExecutor:
+                    broken = True
+                    failed.append(idx)
+                except Exception:
+                    failed.append(idx)
+                else:
+                    results[idx] = (counts, words, reuse)
+                    self.health.chunks_parallel += 1
+                    self.health.record_latency(time.perf_counter() - t_submit)
+            pending = []
+            for idx in failed:
+                if attempts[idx] > self._max_retries:
+                    self._run_serial(idx, chunks[idx], results)
+                else:
+                    self.health.retries += 1
+                    pending.append(idx)
+            pending.extend(unsubmitted)
+            if broken:
+                self._rebuild_or_degrade()
+        return results
+
+    def _run_serial(self, idx: int, chunk: tuple, results: list) -> None:
+        """Recover one chunk with the in-process kernel (bit-identical)."""
+        dims_arr, rng_arr = chunk
+        counts, stats = batch_counts(self._local, dims_arr, rng_arr, self._packed)
+        results[idx] = (counts, stats["words_and"], stats["prefix_reuse"])
+        self.health.chunks_serial += 1
+        self.health.fallbacks += 1
+
+    def _rebuild_or_degrade(self) -> None:
+        """Respawn the broken executor, or abandon the pool at the cap."""
+        old, self._executor = self._executor, None
+        if old is not None:
+            try:
+                old.shutdown(wait=False, cancel_futures=True)
+            except Exception:  # pragma: no cover - interpreter races
+                pass
+        if self.health.rebuilds >= self._max_rebuilds:
+            self.health.pool_degraded = True
+            logger.warning(
+                "counting pool exceeded max_rebuilds=%d; degrading to the "
+                "serial kernel for the rest of the run",
+                self._max_rebuilds,
+            )
+            return
+        try:
+            self._executor = self._spawn_executor()
+        except Exception as exc:  # pragma: no cover - environment-dependent
+            self.health.pool_degraded = True
+            logger.warning(
+                "counting pool rebuild failed (%s); degrading to serial", exc
+            )
+            return
+        self.health.rebuilds += 1
+        logger.warning(
+            "counting pool broke; rebuilt worker pool (rebuild %d of %d)",
+            self.health.rebuilds,
+            self._max_rebuilds,
+        )
+
+    # ------------------------------------------------------------------
     def _release_shm(self) -> None:
+        # Drop the parent-side view first: SharedMemory.close() refuses
+        # (BufferError) while exported memoryviews are alive.
+        self._local = None
         try:
             self._shm.close()
             self._shm.unlink()
@@ -80,11 +300,23 @@ class CountingPool:
             pass
 
     def close(self) -> None:
-        """Shut the workers down and free the shared-memory segment."""
+        """Shut the workers down and free the shared-memory segment.
+
+        Idempotent, and safe on a broken pool: a dead executor is shut
+        down without waiting (``wait=True`` on a broken pool can hang on
+        a wedged worker), and the shared memory is released exactly
+        once.
+        """
         if self._closed:
             return
         self._closed = True
-        self._executor.shutdown(wait=True)
+        executor, self._executor = self._executor, None
+        if executor is not None:
+            broken = bool(getattr(executor, "_broken", False))
+            try:
+                executor.shutdown(wait=not broken, cancel_futures=True)
+            except Exception:  # pragma: no cover - interpreter shutdown
+                pass
         self._release_shm()
 
     def __del__(self):  # pragma: no cover - interpreter-shutdown dependent

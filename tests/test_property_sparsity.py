@@ -1,0 +1,175 @@
+"""Property-based tests: sparsity-coefficient and equi-depth invariants.
+
+Hypothesis hunts the algebraic corners the example-based suites cannot
+enumerate:
+
+* Equation 1 is strictly monotone in ``n(D)`` (emptier cube ⇒ more
+  negative coefficient), vanishes at the exact null expectation
+  ``N·f^k``, and agrees between its scalar and vectorized forms — and
+  at ``n(D) = 0`` with §2.4's closed-form empty-cube bound.
+* The equi-depth discretizer balances its buckets (no bucket above
+  ``ceil(n/φ)`` for distinct values), keeps ties together, maps NaN to
+  the missing sentinel, and stays a partition of the observed rows no
+  matter how pathological the tie structure.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.params import empty_cube_sparsity
+from repro.grid.cells import MISSING_CELL
+from repro.grid.discretizer import EquiDepthDiscretizer
+from repro.sparsity.coefficient import (
+    expected_count,
+    sparsity_coefficient,
+    sparsity_coefficients,
+)
+
+# Keep N, φ, k in ranges where Equation 1's arithmetic is far from any
+# float precision cliff (N·f^k spans ~1e-6 .. 1e6 here).
+n_points_st = st.integers(min_value=2, max_value=1_000_000)
+phi_st = st.integers(min_value=2, max_value=20)
+k_st = st.integers(min_value=1, max_value=6)
+
+
+class TestSparsityCoefficientInvariants:
+    @settings(max_examples=200, deadline=None)
+    @given(n_points=n_points_st, phi=phi_st, k=k_st, data=st.data())
+    def test_strictly_monotone_in_count(self, n_points, phi, k, data):
+        low = data.draw(st.integers(0, n_points - 1), label="low")
+        high = data.draw(st.integers(low + 1, n_points), label="high")
+        s_low = sparsity_coefficient(low, n_points, phi, k)
+        s_high = sparsity_coefficient(high, n_points, phi, k)
+        assert s_low < s_high
+
+    @settings(max_examples=200, deadline=None)
+    @given(phi=phi_st, k=st.integers(1, 5), mult=st.integers(1, 50))
+    def test_zero_at_exact_expectation(self, phi, k, mult):
+        # N = m·φ^k makes the expectation exactly m points; a cube
+        # holding exactly its expectation is not abnormal at all.
+        n_points = mult * phi**k
+        expected = expected_count(n_points, phi, k)
+        assert math.isclose(expected, mult, rel_tol=1e-12)
+        assert abs(sparsity_coefficient(mult, n_points, phi, k)) < 1e-9
+
+    @settings(max_examples=200, deadline=None)
+    @given(n_points=n_points_st, phi=phi_st, k=k_st, data=st.data())
+    def test_sign_matches_side_of_expectation(self, n_points, phi, k, data):
+        count = data.draw(st.integers(0, n_points), label="count")
+        coefficient = sparsity_coefficient(count, n_points, phi, k)
+        expected = expected_count(n_points, phi, k)
+        if count < expected:
+            assert coefficient < 0
+        elif count > expected:
+            assert coefficient > 0
+
+    @settings(max_examples=100, deadline=None)
+    @given(n_points=n_points_st, phi=phi_st, k=k_st)
+    def test_empty_cube_matches_closed_form(self, n_points, phi, k):
+        # S(n=0) must equal §2.4's bound −sqrt(N / (φ^k − 1)), which is
+        # derived independently in params.py.
+        direct = sparsity_coefficient(0, n_points, phi, k)
+        closed = empty_cube_sparsity(n_points, phi, k)
+        assert math.isclose(direct, closed, rel_tol=1e-12)
+        # ...and it is the minimum over all attainable counts.
+        assert direct < sparsity_coefficient(1, n_points, phi, k)
+
+    @settings(max_examples=100, deadline=None)
+    @given(n_points=n_points_st, phi=phi_st, k=k_st, data=st.data())
+    def test_vectorized_matches_scalar(self, n_points, phi, k, data):
+        counts = data.draw(
+            st.lists(st.integers(0, n_points), min_size=1, max_size=20),
+            label="counts",
+        )
+        vectorized = sparsity_coefficients(np.array(counts), n_points, phi, k)
+        scalar = [sparsity_coefficient(c, n_points, phi, k) for c in counts]
+        np.testing.assert_allclose(vectorized, scalar, rtol=1e-12, atol=0)
+
+
+# Columns with adversarial tie structure: drawn from a tiny alphabet of
+# finite floats (many exact duplicates), optionally salted with NaN.
+_tied_column = st.lists(
+    st.one_of(
+        st.sampled_from([-2.0, -1.0, -0.5, 0.0, 0.25, 1.0, 3.0]),
+        st.floats(
+            min_value=-100, max_value=100, allow_nan=False, allow_infinity=False
+        ),
+        st.just(float("nan")),
+    ),
+    min_size=2,
+    max_size=120,
+)
+
+
+class TestEquiDepthBucketBalance:
+    @settings(max_examples=150, deadline=None)
+    @given(data=st.data(), phi=st.integers(2, 10))
+    def test_distinct_values_balance(self, data, phi):
+        # With all-distinct values, no bucket may exceed ceil(n/φ):
+        # that is what "equi-depth" means.
+        values = data.draw(
+            st.lists(
+                st.integers(-10_000, 10_000),
+                min_size=2,
+                max_size=200,
+                unique=True,
+            ),
+            label="values",
+        )
+        column = np.array(values, dtype=float).reshape(-1, 1)
+        cells = EquiDepthDiscretizer(phi).fit_transform(column)
+        counts = np.bincount(cells.codes[:, 0], minlength=phi)
+        assert int(counts.sum()) == len(values)
+        assert int(counts.max()) <= math.ceil(len(values) / phi)
+
+    @settings(max_examples=150, deadline=None)
+    @given(column=_tied_column, phi=st.integers(2, 8))
+    def test_partition_under_ties_and_missing(self, column, phi):
+        array = np.array(column, dtype=float).reshape(-1, 1)
+        observed = ~np.isnan(array[:, 0])
+        if not observed.any():
+            return  # all-missing columns are covered below
+        codes = EquiDepthDiscretizer(phi).fit_transform(array).codes[:, 0]
+        # NaN ⇒ the missing sentinel, observed ⇒ a valid range: exactly.
+        assert np.all(codes[~observed] == MISSING_CELL)
+        assert np.all(codes[observed] >= 0)
+        assert np.all(codes[observed] < phi)
+        # The observed rows are partitioned: bucket counts resum to n.
+        counts = np.bincount(codes[observed], minlength=phi)
+        assert int(counts.sum()) == int(observed.sum())
+
+    @settings(max_examples=150, deadline=None)
+    @given(column=_tied_column, phi=st.integers(2, 8))
+    def test_ties_share_a_bucket(self, column, phi):
+        # Equal values are indistinguishable to a rank-based grid, so
+        # they must land in the same range — never split across a cut.
+        array = np.array(column, dtype=float).reshape(-1, 1)
+        codes = EquiDepthDiscretizer(phi).fit_transform(array).codes[:, 0]
+        by_value: dict[float, set] = {}
+        for value, code in zip(array[:, 0], codes):
+            if not np.isnan(value):
+                by_value.setdefault(value, set()).add(int(code))
+        for value, buckets in by_value.items():
+            assert len(buckets) == 1, f"value {value} split across {buckets}"
+
+    @settings(max_examples=150, deadline=None)
+    @given(column=_tied_column, phi=st.integers(2, 8))
+    def test_codes_monotone_in_value(self, column, phi):
+        # Rank-based grids preserve order: a larger value never gets a
+        # smaller range code.
+        array = np.array(column, dtype=float).reshape(-1, 1)
+        codes = EquiDepthDiscretizer(phi).fit_transform(array).codes[:, 0]
+        observed = ~np.isnan(array[:, 0])
+        values = array[observed, 0]
+        kept = codes[observed]
+        order = np.argsort(values, kind="stable")
+        assert np.all(np.diff(kept[order]) >= 0)
+
+    def test_all_missing_column_is_all_sentinel(self):
+        array = np.full((10, 1), np.nan)
+        codes = EquiDepthDiscretizer(4).fit_transform(array).codes[:, 0]
+        assert np.all(codes == MISSING_CELL)
