@@ -38,10 +38,12 @@ from .core.params import (
 from .core.results import DetectionResult, ScoredProjection
 from .core.subspace import Subspace
 from .exceptions import (
+    CheckpointError,
     DatasetError,
     DiscretizationError,
     NotFittedError,
     ReproError,
+    SearchCancelled,
     SearchError,
     ValidationError,
 )
@@ -63,6 +65,12 @@ from .search.evolutionary import (
     OptimizedCrossover,
     RankRouletteSelection,
     TwoPointCrossover,
+)
+from .run import (
+    CancelToken,
+    CheckpointStore,
+    RunController,
+    SearchCheckpointer,
 )
 from .search.outcome import GenerationRecord, SearchOutcome
 from .persist import (
@@ -146,11 +154,18 @@ __all__ = [
     "RankRouletteSelection",
     "SearchOutcome",
     "GenerationRecord",
+    # run lifecycle
+    "RunController",
+    "CancelToken",
+    "CheckpointStore",
+    "SearchCheckpointer",
     # errors
     "ReproError",
     "ValidationError",
     "NotFittedError",
     "DiscretizationError",
     "SearchError",
+    "SearchCancelled",
+    "CheckpointError",
     "DatasetError",
 ]

@@ -1,0 +1,71 @@
+"""Crash-safe file writes: temp file in the target directory + ``os.replace``.
+
+Long-running sweeps persist checkpoints, models and exported datasets
+while they may be killed at any instant (SIGTERM, OOM, Ctrl-C).  A
+naive ``open(path, "w")`` interrupted mid-write leaves a truncated file
+that poisons the next run; every on-disk writer in this library
+therefore goes through these helpers:
+
+1. write the full payload to a uniquely-named temp file *in the same
+   directory* as the target (so the final rename never crosses a
+   filesystem boundary),
+2. flush and ``fsync`` the temp file,
+3. ``os.replace`` it over the target — atomic on POSIX and Windows.
+
+Readers consequently only ever observe the old file or the complete new
+one, never a partial write.  On any error the temp file is removed and
+the original target is left untouched.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import IO, Iterator
+
+__all__ = ["atomic_writer", "atomic_write_text", "atomic_write_json"]
+
+
+@contextlib.contextmanager
+def atomic_writer(path, *, newline: str | None = None) -> Iterator[IO[str]]:
+    """Context manager yielding a text handle that commits atomically.
+
+    The handle writes to a temp file next to *path*; on clean exit the
+    temp file is fsynced and renamed over *path*.  If the body raises,
+    the temp file is deleted and *path* is untouched.
+    """
+    path = Path(path)
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=f".{path.name}.", suffix=".tmp", dir=path.parent or "."
+    )
+    try:
+        with os.fdopen(fd, "w", newline=newline) as handle:
+            yield handle
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            os.unlink(tmp_name)
+        raise
+
+
+def atomic_write_text(path, text: str) -> Path:
+    """Atomically replace *path* with *text*; returns the written path."""
+    path = Path(path)
+    with atomic_writer(path) as handle:
+        handle.write(text)
+    return path
+
+
+def atomic_write_json(path, payload, *, indent: int | None = 2) -> Path:
+    """Atomically replace *path* with *payload* serialized as JSON.
+
+    Serialization happens *before* the target is touched, so a payload
+    that fails to encode never clobbers an existing file.
+    """
+    text = json.dumps(payload, indent=indent)
+    return atomic_write_text(path, text)

@@ -7,6 +7,12 @@ Subcommands
     print the report (projections, outliers, explanations).  Supports
     ``--output json`` for machine-readable results and ``--save`` to
     persist the fitted model.
+``multik``
+    Run the detector across several dimensionalities with one shared
+    time budget, checkpoint directory and SIGINT/SIGTERM handling —
+    an interrupted sweep exits with the conventional ``128+signum``
+    code and ``--resume`` picks up where it stopped without
+    recomputing completed ks.
 ``score``
     Score new data against a model saved by ``detect --save``.
 ``explain``
@@ -32,8 +38,9 @@ from .core.params import CountingBackend
 from .data.loaders import load_csv
 from .data.registry import DATASETS, load_dataset
 from .eval.comparison import build_table1, render_table
-from .exceptions import ReproError
+from .exceptions import ReproError, SearchCancelled
 from .persist import load_model, result_to_dict, save_model
+from .run.controller import RunController
 from .search.evolutionary.config import EvolutionaryConfig
 
 __all__ = ["main", "build_parser"]
@@ -53,6 +60,7 @@ def build_parser() -> argparse.ArgumentParser:
     detect = sub.add_parser("detect", help="run the detector and print a report")
     _add_data_arguments(detect)
     _add_detector_arguments(detect)
+    _add_lifecycle_arguments(detect)
     detect.add_argument(
         "--top", type=int, default=10, help="outliers/projections to print"
     )
@@ -65,6 +73,24 @@ def build_parser() -> argparse.ArgumentParser:
     detect.add_argument(
         "--save", metavar="MODEL.json", default=None,
         help="persist the fitted model for later `score` runs",
+    )
+
+    multik = sub.add_parser(
+        "multik",
+        help="mine several dimensionalities under one budget/checkpoint dir",
+    )
+    _add_data_arguments(multik)
+    _add_detector_arguments(multik)
+    _add_lifecycle_arguments(multik)
+    multik.add_argument(
+        "--ks", nargs="+", type=int, default=None, metavar="K",
+        help="dimensionalities to mine (default: every k in [1, k*])",
+    )
+    multik.add_argument(
+        "--output",
+        choices=["report", "json"],
+        default="report",
+        help="report (human-readable) or json (per-k results)",
     )
 
     score = sub.add_parser("score", help="score new data with a saved model")
@@ -222,6 +248,65 @@ def _add_detector_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_lifecycle_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--max-seconds",
+        type=float,
+        default=None,
+        help="wall-clock budget for the whole run (partial results after)",
+    )
+    parser.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "write crash-safe checkpoints at every search boundary; an "
+            "interrupted run continues bit-identically with --resume"
+        ),
+    )
+    parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=1,
+        metavar="N",
+        help="boundaries (GA generations / brute-force levels) per checkpoint",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue from the checkpoints in --checkpoint-dir",
+    )
+
+
+def _controller(args) -> RunController:
+    """Run lifecycle shared by detect/multik: budget + signals + checkpoints."""
+    if args.resume and args.checkpoint_dir is None:
+        raise ReproError("--resume requires --checkpoint-dir")
+    return RunController(
+        max_seconds=args.max_seconds,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_every=args.checkpoint_every,
+    )
+
+
+def _report_interruption(controller: RunController, stopped_reason: str) -> int:
+    """Stderr note + exit code for a run that stopped early."""
+    if stopped_reason == "cancelled":
+        hint = (
+            "; resume with --resume" if controller.store is not None
+            else "; rerun with --checkpoint-dir to make runs resumable"
+        )
+        print(
+            f"interrupted: partial results above ({stopped_reason}){hint}",
+            file=sys.stderr,
+        )
+    elif stopped_reason == "deadline":
+        print(
+            "time budget exhausted: partial results above", file=sys.stderr
+        )
+    return controller.exit_code()
+
+
 def _load(args) -> tuple:
     if args.csv:
         dataset = load_csv(args.csv, label_column=args.label_column)
@@ -230,7 +315,7 @@ def _load(args) -> tuple:
     return dataset
 
 
-def _detector(args, dataset) -> SubspaceOutlierDetector:
+def _detector(args, dataset, controller=None) -> SubspaceOutlierDetector:
     phi = args.phi or int(dataset.metadata.get("phi", 10))
     config = EvolutionaryConfig(
         population_size=args.population, max_generations=args.generations
@@ -258,13 +343,20 @@ def _detector(args, dataset) -> SubspaceOutlierDetector:
         packed=getattr(args, "packed", False),
         counting=counting,
         random_state=args.seed,
+        controller=controller,
     )
 
 
 def _cmd_detect(args) -> int:
     dataset = _load(args)
-    detector = _detector(args, dataset)
-    result = detector.detect(dataset.values, feature_names=dataset.feature_names)
+    controller = _controller(args)
+    detector = _detector(args, dataset, controller)
+    with controller.signal_handlers():
+        result = detector.detect(
+            dataset.values,
+            feature_names=dataset.feature_names,
+            resume=args.resume,
+        )
     if args.output == "json":
         print(json.dumps(result_to_dict(result), indent=2))
     else:
@@ -288,7 +380,53 @@ def _cmd_detect(args) -> int:
     if args.save:
         path = save_model(detector, args.save)
         print(f"model saved to {path}", file=sys.stderr)
-    return 0
+    return _report_interruption(controller, result.stopped_reason)
+
+
+def _cmd_multik(args) -> int:
+    from .core.multik import detect_across_dimensionalities
+
+    dataset = _load(args)
+    controller = _controller(args)
+    phi = args.phi or int(dataset.metadata.get("phi", 10))
+    detector_kwargs = {
+        "n_ranges": phi,
+        "n_projections": args.projections,
+        "method": args.method,
+        "threshold": args.threshold,
+        "config": EvolutionaryConfig(
+            population_size=args.population, max_generations=args.generations
+        ),
+        "packed": args.packed,
+        "random_state": args.seed,
+    }
+    try:
+        with controller.signal_handlers():
+            outcome = detect_across_dimensionalities(
+                dataset.values,
+                args.ks,
+                feature_names=dataset.feature_names,
+                detector_kwargs=detector_kwargs,
+                controller=controller,
+                resume=args.resume,
+            )
+    except SearchCancelled as exc:
+        print(f"interrupted: {exc}", file=sys.stderr)
+        return controller.exit_code() or 1
+    if args.output == "json":
+        payload = {
+            "stopped_reason": outcome.stopped_reason,
+            "results": {
+                str(k): result_to_dict(result)
+                for k, result in outcome.results.items()
+            },
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        print(f"dataset: {dataset.summary()}")
+        for line in outcome.summary_lines():
+            print(line)
+    return _report_interruption(controller, outcome.stopped_reason)
 
 
 def _cmd_score(args) -> int:
@@ -413,6 +551,7 @@ def _cmd_datasets(_args) -> int:
 
 _COMMANDS = {
     "detect": _cmd_detect,
+    "multik": _cmd_multik,
     "score": _cmd_score,
     "explain": _cmd_explain,
     "experiment": _cmd_experiment,

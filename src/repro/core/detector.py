@@ -32,6 +32,8 @@ from ..exceptions import NotFittedError, ValidationError
 from ..grid.counter import CubeCounter
 from ..grid.discretizer import EquiDepthDiscretizer, GridDiscretizer
 from ..grid.packed_counter import PackedCubeCounter
+from ..run.checkpoint import data_fingerprint, params_fingerprint
+from ..run.controller import RunController
 from ..search.brute_force import BruteForceSearch
 from ..search.evolutionary.config import EvolutionaryConfig
 from ..search.evolutionary.crossover import CrossoverOperator
@@ -89,6 +91,18 @@ class SubspaceOutlierDetector:
         pool is released when :meth:`detect` returns.  The counter's
         throughput statistics land in ``result.stats["counter_stats"]``
         either way.
+    controller:
+        Optional :class:`~repro.run.controller.RunController` tying this
+        detector into a run lifecycle: its cancel token is threaded into
+        the search and the counting engine (SIGINT/SIGTERM or a
+        programmatic flip stops the run at a safe boundary with
+        best-so-far results), its remaining wall-clock budget caps the
+        search, and — when it has a checkpoint directory — the search
+        state is checkpointed at every generation/level boundary so
+        ``detect(..., resume=True)`` continues bit-identically after a
+        kill.  With a checkpointing controller the brute-force method
+        automatically uses the ``level_batch`` strategy (the only one
+        with a serializable frontier).
 
     Attributes (populated by :meth:`detect`)
     ----------------------------------------
@@ -118,6 +132,7 @@ class SubspaceOutlierDetector:
         packed: bool = False,
         counting: CountingBackend | None = None,
         random_state=None,
+        controller: RunController | None = None,
     ):
         if dimensionality is not None:
             dimensionality = check_positive_int(dimensionality, "dimensionality")
@@ -146,6 +161,12 @@ class SubspaceOutlierDetector:
             )
         self.counting = counting
         self.random_state = random_state
+        if controller is not None and not isinstance(controller, RunController):
+            raise ValidationError(
+                f"controller must be a RunController, got "
+                f"{type(controller).__name__}"
+            )
+        self.controller = controller
 
         self.cells_ = None
         self.counter_: CubeCounter | None = None
@@ -154,11 +175,26 @@ class SubspaceOutlierDetector:
         self.discretizer_: GridDiscretizer | None = None
 
     # ------------------------------------------------------------------
-    def detect(self, data, feature_names: Sequence[str] | None = None) -> DetectionResult:
+    def detect(
+        self,
+        data,
+        feature_names: Sequence[str] | None = None,
+        *,
+        resume: bool = False,
+    ) -> DetectionResult:
         """Run the full pipeline on *data* and return the result.
 
         *data* is an ``(N, d)`` float matrix; NaN marks missing values.
+        With ``resume=True`` (requires a checkpointing *controller*) the
+        search continues from its last boundary checkpoint — after a
+        kill mid-run, the resumed result is bit-identical to the run
+        never having been interrupted.  A checkpoint written with
+        different parameters or data is rejected as stale.
         """
+        if resume and (self.controller is None or self.controller.store is None):
+            raise ValidationError(
+                "resume=True needs a controller with a checkpoint_dir"
+            )
         array = check_matrix(data, "data", min_cols=1)
         start = time.perf_counter()
 
@@ -174,7 +210,7 @@ class SubspaceOutlierDetector:
             self.n_projections, self.threshold, counter.backend.kind,
         )
         try:
-            outcome = self._run_search(counter, k)
+            outcome = self._run_search(counter, k, cells=cells, resume=resume)
             result = self._postprocess(
                 outcome, counter, k, time.perf_counter() - start
             )
@@ -188,7 +224,8 @@ class SubspaceOutlierDetector:
             result.best_coefficient,
             result.n_outliers,
             result.stats["total_elapsed_seconds"],
-            "" if outcome.completed else " [INCOMPLETE: budget exhausted]",
+            "" if outcome.completed
+            else f" [INCOMPLETE: {outcome.stopped_reason}]",
         )
 
         self.cells_ = cells
@@ -238,7 +275,74 @@ class SubspaceOutlierDetector:
         return min(k_star, n_dims)
 
     # ------------------------------------------------------------------
-    def _run_search(self, counter: CubeCounter, k: int) -> SearchOutcome:
+    def _manifest(self, k: int, cells) -> dict:
+        """Run identity for checkpoint staleness checks.
+
+        Any change to the parameters that shape the search trajectory —
+        or to the discretized data itself — must invalidate old
+        checkpoints.  Budgets (``max_seconds``) are deliberately
+        excluded: a resumed run may legitimately get a fresh budget.
+        """
+        config = self.config or EvolutionaryConfig()
+        params = {
+            "method": self.method,
+            "dimensionality": k,
+            "n_ranges": self.n_ranges,
+            "n_projections": self.n_projections,
+            "threshold": self.threshold,
+            "require_nonempty": self.require_nonempty,
+            "packed": self.packed,
+            "random_state": repr(self.random_state),
+            "crossover": (
+                self.crossover
+                if isinstance(self.crossover, str)
+                else type(self.crossover).__name__
+            ),
+            "config": {
+                key: value
+                for key, value in vars(config).items()
+                if key != "max_seconds"
+            },
+        }
+        return {
+            "params": params_fingerprint(params),
+            "data": data_fingerprint(cells.codes),
+        }
+
+    def _run_search(
+        self,
+        counter: CubeCounter,
+        k: int,
+        *,
+        cells=None,
+        resume: bool = False,
+    ) -> SearchOutcome:
+        controller = self.controller
+        token = controller.token if controller is not None else None
+        checkpointer = None
+        if controller is not None and controller.store is not None:
+            manifest = self._manifest(k, cells) if cells is not None else None
+            checkpointer = controller.checkpointer(
+                f"search_k{k}", manifest=manifest
+            )
+        max_seconds = self.max_seconds
+        if controller is not None:
+            remaining = controller.remaining_seconds()
+            if remaining is not None:
+                # An already-expired run-wide budget must still build a
+                # valid search (max_seconds > 0): a tiny positive budget
+                # makes the first boundary check report "deadline" with
+                # best-so-far results instead of a ValidationError.
+                remaining = max(remaining, 1e-9)
+                max_seconds = (
+                    remaining if max_seconds is None
+                    else min(max_seconds, remaining)
+                )
+        resume_from = (
+            True
+            if resume and checkpointer is not None and checkpointer.exists()
+            else None
+        )
         if self.method == "brute_force":
             search = BruteForceSearch(
                 counter,
@@ -246,13 +350,18 @@ class SubspaceOutlierDetector:
                 self.n_projections,
                 require_nonempty=self.require_nonempty,
                 threshold=self.threshold,
-                max_seconds=self.max_seconds,
+                max_seconds=max_seconds,
+                strategy=(
+                    "level_batch" if checkpointer is not None else "depth_first"
+                ),
+                cancel_token=token,
+                checkpointer=checkpointer,
             )
-            return search.run()
+            return search.run(resume_from=resume_from)
         config = self.config or EvolutionaryConfig()
-        if self.max_seconds is not None and config.max_seconds is None:
+        if max_seconds is not None and config.max_seconds is None:
             config = EvolutionaryConfig(
-                **{**config.__dict__, "max_seconds": self.max_seconds}
+                **{**config.__dict__, "max_seconds": max_seconds}
             )
         search = EvolutionarySearch(
             counter,
@@ -264,8 +373,10 @@ class SubspaceOutlierDetector:
             require_nonempty=self.require_nonempty,
             threshold=self.threshold,
             random_state=self.random_state,
+            cancel_token=token,
+            checkpointer=checkpointer,
         )
-        return search.run()
+        return search.run(resume_from=resume_from)
 
     def _postprocess(
         self,
@@ -283,6 +394,7 @@ class SubspaceOutlierDetector:
         stats = dict(outcome.stats)
         stats["total_elapsed_seconds"] = elapsed
         stats["completed"] = float(outcome.completed)
+        stats["stopped_reason"] = outcome.stopped_reason
         stats["counter_stats"] = counter.cache_stats()
         stats["backend_health"] = counter.backend_health()
         if counter.health.degraded:

@@ -10,30 +10,49 @@ comparable (§1.1's explicit desideratum).
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
 import numpy as np
 
 from .._validation import check_matrix
-from ..exceptions import ValidationError
+from ..exceptions import SearchCancelled, ValidationError
+from ..run.cancel import check_stop_reason
+from ..run.checkpoint import params_fingerprint
+from ..run.controller import RunController
 from .detector import SubspaceOutlierDetector
 from .params import CountingBackend, choose_projection_dimensionality
 from .results import DetectionResult
 
 __all__ = ["MultiKResult", "detect_across_dimensionalities"]
 
+logger = logging.getLogger(__name__)
+
 
 @dataclass(frozen=True)
 class MultiKResult:
-    """Per-dimensionality detection results plus a merged outlier view."""
+    """Per-dimensionality detection results plus a merged outlier view.
+
+    ``stopped_reason`` reports how the *sweep* ended: ``converged``
+    when every requested k ran to its natural end, ``cancelled`` /
+    ``deadline`` when the run was interrupted — the ``results`` then
+    hold every completed k plus the in-flight k's best-so-far partial.
+    """
 
     results: Mapping[int, DetectionResult]
+    stopped_reason: str = "converged"
 
     def __post_init__(self) -> None:
         if not self.results:
             raise ValidationError("MultiKResult needs at least one k")
         object.__setattr__(self, "results", dict(self.results))
+        check_stop_reason(self.stopped_reason)
+
+    @property
+    def cancelled(self) -> bool:
+        """True when a cooperative cancellation stopped the sweep."""
+        return self.stopped_reason == "cancelled"
 
     @property
     def dimensionalities(self) -> list[int]:
@@ -109,6 +128,8 @@ class MultiKResult:
             f"union {self.outlier_union().size} outliers, "
             f"intersection {self.outlier_intersection().size}"
         )
+        if self.stopped_reason != "converged":
+            lines.append(f"stopped early: {self.stopped_reason}")
         if self.backend_degraded:
             totals = self.backend_health_totals()
             lines.append(
@@ -126,6 +147,8 @@ def detect_across_dimensionalities(
     feature_names=None,
     counting: CountingBackend | None = None,
     detector_kwargs: Mapping | None = None,
+    controller: RunController | None = None,
+    resume: bool = False,
 ) -> MultiKResult:
     """Run the detector once per k and aggregate.
 
@@ -143,15 +166,39 @@ def detect_across_dimensionalities(
     detector_kwargs:
         Forwarded to every :class:`SubspaceOutlierDetector` (must not
         contain ``dimensionality``).
+    controller:
+        Optional :class:`~repro.run.controller.RunController` shared by
+        every per-k run: one wall-clock budget for the whole sweep, one
+        cancel token (SIGINT/SIGTERM stops the sweep at a safe boundary
+        with every completed k plus the in-flight k's partial result),
+        and — with a checkpoint directory — one checkpoint store holding
+        each completed k's result and the in-flight k's search state.
+    resume:
+        Continue an interrupted sweep from the controller's checkpoint
+        directory: completed ks are loaded from their result
+        checkpoints (no recomputation), the in-flight k resumes from
+        its search checkpoint bit-identically, and the remaining ks run
+        fresh.
+
+    Raises
+    ------
+    SearchCancelled
+        When the run is cancelled before the first k produced any
+        result.
     """
     array = check_matrix(data, "data")
     kwargs = dict(detector_kwargs or {})
-    if "dimensionality" in kwargs:
+    if "dimensionality" in kwargs or "controller" in kwargs:
         raise ValidationError(
-            "pass dimensionalities positionally, not in detector_kwargs"
+            "pass dimensionalities and controller as their own arguments, "
+            "not in detector_kwargs"
         )
     if counting is not None:
         kwargs["counting"] = counting
+    if resume and (controller is None or controller.store is None):
+        raise ValidationError(
+            "resume=True needs a controller with a checkpoint_dir"
+        )
     if dimensionalities is None:
         phi = int(kwargs.get("n_ranges", 10))
         target = float(kwargs.get("target_sparsity", -3.0))
@@ -160,8 +207,48 @@ def detect_across_dimensionalities(
     ks = sorted({int(k) for k in dimensionalities})
     if not ks:
         raise ValidationError("no dimensionalities to mine")
+
+    sweep_manifest = None
+    if controller is not None and controller.store is not None:
+        sweep_manifest = {
+            "params": params_fingerprint({"ks": ks, **kwargs}),
+        }
+
+    from ..persist import result_from_dict, result_to_dict
+
     results = {}
+    stopped_reason = "converged"
     for k in ks:
-        detector = SubspaceOutlierDetector(dimensionality=k, **kwargs)
-        results[k] = detector.detect(array, feature_names=feature_names)
-    return MultiKResult(results=results)
+        if controller is not None:
+            early = controller.should_stop()
+            if early is not None:
+                stopped_reason = early
+                break
+        result_stream = (
+            controller.checkpointer(f"result_k{k}", manifest=sweep_manifest)
+            if sweep_manifest is not None
+            else None
+        )
+        if resume and result_stream is not None and result_stream.exists():
+            results[k] = result_from_dict(result_stream.load())
+            logger.info("k=%d: loaded completed result from checkpoint", k)
+            continue
+        detector = SubspaceOutlierDetector(
+            dimensionality=k, controller=controller, **kwargs
+        )
+        result = detector.detect(array, feature_names=feature_names, resume=resume)
+        results[k] = result
+        if result.stats.get("stopped_reason") in ("cancelled", "deadline"):
+            # The in-flight k's partial result is kept in `results` but
+            # NOT checkpointed as complete — a resume re-enters it from
+            # its own search checkpoint instead.
+            stopped_reason = str(result.stats["stopped_reason"])
+            break
+        if result_stream is not None:
+            result_stream.save(result_to_dict(result))
+    if not results:
+        raise SearchCancelled(
+            f"multi-k sweep {stopped_reason} before any dimensionality "
+            "produced a result"
+        )
+    return MultiKResult(results=results, stopped_reason=stopped_reason)

@@ -123,6 +123,21 @@ class DetectionResult:
         return self.projections[0].coefficient
 
     @property
+    def stopped_reason(self) -> str:
+        """Why the underlying search returned (see ``SearchOutcome``).
+
+        One of ``converged | generation_cap | deadline | evaluation_cap
+        | cancelled``; results from older payloads without the field
+        report ``"converged"``.
+        """
+        return str(self.stats.get("stopped_reason", "converged"))
+
+    @property
+    def cancelled(self) -> bool:
+        """True when a cooperative cancellation stopped the search."""
+        return self.stopped_reason == "cancelled"
+
+    @property
     def backend_health(self) -> dict:
         """The run's counting-backend telemetry (empty if not recorded)."""
         return dict(self.stats.get("backend_health") or {})

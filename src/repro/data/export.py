@@ -12,6 +12,7 @@ from pathlib import Path
 
 import numpy as np
 
+from .._atomic import atomic_write_text, atomic_writer
 from ..exceptions import DatasetError
 from .loaders import Dataset
 
@@ -45,7 +46,7 @@ def write_csv(
     header = list(dataset.feature_names)
     if dataset.labels is not None:
         header.append(_label_column_name(dataset, label_column))
-    with path.open("w", newline="") as handle:
+    with atomic_writer(path, newline="") as handle:
         writer = csv.writer(handle)
         writer.writerow(header)
         for i in range(dataset.n_points):
@@ -96,5 +97,4 @@ def write_arff(
         if dataset.labels is not None:
             row.append(level_of[int(dataset.labels[i])])
         lines.append(",".join(row))
-    path.write_text("\n".join(lines) + "\n")
-    return path
+    return atomic_write_text(path, "\n".join(lines) + "\n")

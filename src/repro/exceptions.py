@@ -14,6 +14,8 @@ __all__ = [
     "NotFittedError",
     "DiscretizationError",
     "SearchError",
+    "SearchCancelled",
+    "CheckpointError",
     "DatasetError",
 ]
 
@@ -40,6 +42,27 @@ class DiscretizationError(ReproError):
 
 class SearchError(ReproError):
     """A projection search (brute-force or evolutionary) failed."""
+
+
+class SearchCancelled(ReproError):
+    """A cooperative cancellation request interrupted in-flight work.
+
+    Raised from *inside* batch counting when a
+    :class:`~repro.run.cancel.CancelToken` flips mid-batch, so the
+    search loops can discard the partial generation/level and exit at
+    the last safe boundary.  Search ``run()`` methods never propagate
+    this — they catch it and return a partial outcome with
+    ``stopped_reason="cancelled"``.
+    """
+
+
+class CheckpointError(ReproError):
+    """A checkpoint could not be loaded: missing, corrupt, or stale.
+
+    Stale means the checkpoint's run manifest (parameter hash + data
+    fingerprint) does not match the run trying to resume from it —
+    resuming would silently mix incompatible state, so it is refused.
+    """
 
 
 class DatasetError(ReproError):

@@ -36,7 +36,7 @@ import numpy as np
 from .._validation import check_positive_int
 from ..core.params import CountingBackend
 from ..core.subspace import Subspace
-from ..exceptions import ValidationError
+from ..exceptions import SearchCancelled, ValidationError
 from .cells import CellAssignment
 from .health import BackendHealth
 
@@ -186,6 +186,7 @@ class CubeCounter:
         self.health = BackendHealth()
         self._pool = None
         self._pool_failed = False
+        self.cancel_token = None
         self._build_masks()
 
     def _build_masks(self) -> None:
@@ -350,6 +351,24 @@ class CubeCounter:
             counts[np.asarray(idxs)] = self._count_group(dims_arr, rng_arr)
         return counts
 
+    def set_cancel_token(self, token) -> None:
+        """Thread a :class:`~repro.run.cancel.CancelToken` into counting.
+
+        A long batch (many serial chunks, or many pool dispatch waves)
+        checks the token between chunks and raises
+        :class:`~repro.exceptions.SearchCancelled` once it flips, so an
+        interrupted search never waits for a full level/generation of
+        counting to finish.  Callers that set a token must be prepared
+        to catch the exception and discard the partial batch — counts
+        already returned are unaffected.  Pass ``None`` to detach.
+        """
+        self.cancel_token = token
+
+    def _check_cancelled(self) -> None:
+        token = self.cancel_token
+        if token is not None and token.cancelled:
+            raise SearchCancelled("batched counting interrupted mid-batch")
+
     def _count_group(self, dims_arr: np.ndarray, rng_arr: np.ndarray) -> np.ndarray:
         """Counts for one same-k group of distinct cubes."""
         n_cubes = len(dims_arr)
@@ -372,6 +391,7 @@ class CubeCounter:
         order = self._sibling_order(dims_arr, rng_arr)
         sorted_counts = np.empty(n_cubes, dtype=np.int64)
         for lo in range(0, n_cubes, max_rows):
+            self._check_cancelled()
             sel = order[lo : lo + max_rows]
             counts, stats = batch_counts(
                 self._stack, dims_arr[sel], rng_arr[sel], self._packed_stack
@@ -394,7 +414,7 @@ class CubeCounter:
             (sd[lo : lo + chunk], sr[lo : lo + chunk])
             for lo in range(0, n_cubes, chunk)
         ]
-        results = pool.map_chunks(chunks)
+        results = pool.map_chunks(chunks, cancel_token=self.cancel_token)
         if pool.is_degraded:
             # The pool exhausted its rebuild budget mid-run; release it
             # and run every later batch on the plain serial path.

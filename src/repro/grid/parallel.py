@@ -39,6 +39,7 @@ from __future__ import annotations
 import logging
 import os
 import time
+import weakref
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from multiprocessing import shared_memory
@@ -46,12 +47,47 @@ from multiprocessing import shared_memory
 import numpy as np
 
 from ..core.params import CountingBackend, FaultPlan
+from ..exceptions import SearchCancelled
 from .counter import batch_counts
 from .health import BackendHealth
 
 __all__ = ["CountingPool"]
 
 logger = logging.getLogger(__name__)
+
+
+def _reclaim_pool_resources(resources: dict, shm_name: str) -> None:
+    """Last-resort reclamation for a pool whose owner forgot ``close()``.
+
+    Registered through :func:`weakref.finalize` (which also fires at
+    interpreter exit via ``atexit``), so worker processes and the POSIX
+    shared-memory segment are reclaimed even when the owning
+    :class:`CountingPool` is simply dropped.  Holds no reference to the
+    pool itself — only to this shared resource dict — so it never keeps
+    the pool alive.
+    """
+    executor = resources.pop("executor", None)
+    shm = resources.pop("shm", None)
+    resources.pop("local", None)
+    if executor is None and shm is None:
+        return
+    logger.warning(
+        "CountingPool was never close()d; reclaiming its worker pool and "
+        "shared-memory segment %s — call close() (or use the detector "
+        "facade, which closes it for you) to release these promptly",
+        shm_name,
+    )
+    if executor is not None:
+        try:
+            executor.shutdown(wait=False, cancel_futures=True)
+        except Exception:  # pragma: no cover - interpreter shutdown
+            pass
+    if shm is not None:
+        try:
+            shm.close()
+            shm.unlink()
+        except Exception:  # pragma: no cover - double-unlink races
+            pass
 
 # Worker-process globals, populated once by the pool initializer.
 _WORKER_STACK: np.ndarray | None = None
@@ -143,10 +179,23 @@ class CountingPool:
         self._local[...] = stack
         self._shape = stack.shape
         self._dtype = stack.dtype
+        # Shared with the leak finalizer: whatever is in here when the
+        # pool is garbage-collected (or the interpreter exits) without
+        # close() gets reclaimed with a warning.
+        self._resources = {
+            "shm": self._shm,
+            "local": self._local,
+            "executor": None,
+        }
+        self._finalizer = weakref.finalize(
+            self, _reclaim_pool_resources, self._resources, self._shm.name
+        )
         try:
             self._executor = self._spawn_executor()
+            self._resources["executor"] = self._executor
         except Exception:
             self._release_shm()
+            self._finalizer.detach()
             raise
 
     # ------------------------------------------------------------------
@@ -177,7 +226,7 @@ class CountingPool:
         return self._executor is None
 
     # ------------------------------------------------------------------
-    def map_chunks(self, chunks: list[tuple]) -> list[tuple]:
+    def map_chunks(self, chunks: list[tuple], cancel_token=None) -> list[tuple]:
         """Evaluate chunks resiliently, results in submission order.
 
         Never fails because of worker trouble: chunks that cannot be
@@ -185,6 +234,13 @@ class CountingPool:
         the in-process serial kernel.  Genuine task errors (e.g. a
         malformed chunk) still surface — the serial recovery re-raises
         them in the parent.
+
+        *cancel_token* makes long dispatches interruptible: the token
+        is checked between dispatch waves (and before the serial
+        recovery sweep), raising
+        :class:`~repro.exceptions.SearchCancelled` once it flips.  The
+        search discards the partial batch, so cancellation never
+        affects returned counts.
         """
         n = len(chunks)
         base_id = self._next_chunk_id
@@ -194,6 +250,10 @@ class CountingPool:
         pending = list(range(n))
         wave = 0
         while pending:
+            if cancel_token is not None and cancel_token.cancelled:
+                raise SearchCancelled(
+                    "parallel counting interrupted between dispatch waves"
+                )
             if self._executor is None:
                 for idx in pending:
                     self._run_serial(idx, chunks[idx], results)
@@ -260,6 +320,7 @@ class CountingPool:
     def _rebuild_or_degrade(self) -> None:
         """Respawn the broken executor, or abandon the pool at the cap."""
         old, self._executor = self._executor, None
+        self._resources["executor"] = None
         if old is not None:
             try:
                 old.shutdown(wait=False, cancel_futures=True)
@@ -275,6 +336,7 @@ class CountingPool:
             return
         try:
             self._executor = self._spawn_executor()
+            self._resources["executor"] = self._executor
         except Exception as exc:  # pragma: no cover - environment-dependent
             self.health.pool_degraded = True
             logger.warning(
@@ -293,6 +355,8 @@ class CountingPool:
         # Drop the parent-side view first: SharedMemory.close() refuses
         # (BufferError) while exported memoryviews are alive.
         self._local = None
+        self._resources.pop("local", None)
+        self._resources.pop("shm", None)
         try:
             self._shm.close()
             self._shm.unlink()
@@ -305,12 +369,17 @@ class CountingPool:
         Idempotent, and safe on a broken pool: a dead executor is shut
         down without waiting (``wait=True`` on a broken pool can hang on
         a wedged worker), and the shared memory is released exactly
-        once.
+        once.  Forgetting to call this is survivable — a
+        :func:`weakref.finalize` hook reclaims the workers and the
+        shared-memory segment at garbage collection or interpreter
+        exit, logging a warning that names the leaked segment — but
+        prompt release needs an explicit close.
         """
         if self._closed:
             return
         self._closed = True
         executor, self._executor = self._executor, None
+        self._resources.pop("executor", None)
         if executor is not None:
             broken = bool(getattr(executor, "_broken", False))
             try:
@@ -318,9 +387,4 @@ class CountingPool:
             except Exception:  # pragma: no cover - interpreter shutdown
                 pass
         self._release_shm()
-
-    def __del__(self):  # pragma: no cover - interpreter-shutdown dependent
-        try:
-            self.close()
-        except Exception:
-            pass
+        self._finalizer.detach()

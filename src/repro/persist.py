@@ -22,6 +22,7 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
+from ._atomic import atomic_write_json
 from ._validation import check_matrix
 from .core.results import DetectionResult, ScoredProjection
 from .core.subspace import Subspace
@@ -210,9 +211,9 @@ def save_model(detector, path) -> Path:
         projections=detector.result_.projections,
         feature_names=detector.cells_.feature_names,
     )
-    path = Path(path)
-    path.write_text(json.dumps(model.to_dict(), indent=2))
-    return path
+    # Atomic replace: a crash mid-save never leaves a truncated model
+    # file behind (and never clobbers a previously saved good one).
+    return atomic_write_json(Path(path), model.to_dict())
 
 
 def load_model(path) -> SavedModel:

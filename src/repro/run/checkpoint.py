@@ -1,0 +1,263 @@
+"""Atomic checkpoints with manifest validation and corrupt-file recovery.
+
+A checkpoint is one JSON file per named stream (``search``, ``sweep``,
+``result_k3``, ...) inside a checkpoint directory.  Writes are
+crash-safe at two levels:
+
+* every file lands via the shared atomic-write helper (temp file in the
+  directory + fsync + ``os.replace``), so a kill mid-write never leaves
+  a partial file;
+* :meth:`CheckpointStore.save` rotates the previous checkpoint to a
+  ``.prev.json`` sibling *before* installing the new one, so even if the
+  new file is somehow corrupted (torn disk, truncation outside our
+  control) :meth:`CheckpointStore.load` can fall back one boundary.
+
+Every checkpoint embeds a **run manifest** — a fingerprint of the run
+parameters and of the discretized data — and loading validates it, so a
+checkpoint from a different dataset, different seed, or different
+hyper-parameters is rejected as *stale* instead of silently resuming
+incompatible state.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import logging
+import os
+from pathlib import Path
+from typing import Callable, Mapping
+
+import numpy as np
+
+from .._atomic import atomic_write_json
+from ..exceptions import CheckpointError
+
+__all__ = [
+    "CHECKPOINT_FORMAT_VERSION",
+    "data_fingerprint",
+    "params_fingerprint",
+    "encode_rng_state",
+    "CheckpointStore",
+    "SearchCheckpointer",
+]
+
+logger = logging.getLogger(__name__)
+
+CHECKPOINT_FORMAT_VERSION = 1
+
+
+def encode_rng_state(state) -> dict:
+    """Make a ``Generator.bit_generator.state`` dict JSON-serializable.
+
+    PCG64 (the default) already uses plain Python ints; MT19937 carries
+    a uint32 ndarray key that must become a list.  The decoded form
+    round-trips through ``bit_generator.state = ...`` unchanged because
+    numpy coerces sequences back on assignment.
+    """
+
+    def convert(value):
+        if isinstance(value, Mapping):
+            return {key: convert(item) for key, item in value.items()}
+        if isinstance(value, np.ndarray):
+            return value.tolist()
+        if isinstance(value, np.integer):
+            return int(value)
+        return value
+
+    return convert(state)
+
+
+def data_fingerprint(codes: np.ndarray) -> str:
+    """Stable fingerprint of a discretized dataset (grid cell codes).
+
+    Hashing the *grid codes* (rather than the raw floats) captures
+    exactly what the searches consume: two byte-identical code matrices
+    produce identical search trajectories.
+    """
+    array = np.ascontiguousarray(codes)
+    digest = hashlib.sha256()
+    digest.update(str(array.dtype).encode())
+    digest.update(str(array.shape).encode())
+    digest.update(array.tobytes())
+    return digest.hexdigest()
+
+
+def params_fingerprint(params: Mapping) -> str:
+    """Order-independent fingerprint of a parameter mapping."""
+    text = json.dumps(params, sort_keys=True, default=str)
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+class CheckpointStore:
+    """Named atomic JSON checkpoints in one directory, with rollback."""
+
+    def __init__(self, directory) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    def path(self, name: str) -> Path:
+        """The current checkpoint file for *name*."""
+        return self.directory / f"{name}.json"
+
+    def prev_path(self, name: str) -> Path:
+        """The one-boundary-older fallback file for *name*."""
+        return self.directory / f"{name}.prev.json"
+
+    def exists(self, name: str) -> bool:
+        """Whether a (current or fallback) checkpoint exists for *name*."""
+        return self.path(name).exists() or self.prev_path(name).exists()
+
+    # ------------------------------------------------------------------
+    def save(self, name: str, payload: Mapping) -> Path:
+        """Atomically install *payload*, keeping the previous checkpoint.
+
+        The new payload is fully written (to a staging file) before the
+        old checkpoint is rotated to ``.prev.json``, so every instant in
+        time has at least one complete checkpoint on disk.
+        """
+        current = self.path(name)
+        staging = self.directory / f"{name}.new.json"
+        atomic_write_json(staging, payload)
+        if current.exists():
+            os.replace(current, self.prev_path(name))
+        os.replace(staging, current)
+        return current
+
+    def load(self, name: str) -> dict:
+        """The most recent *readable* checkpoint for *name*.
+
+        A corrupt or truncated current file falls back to the previous
+        boundary's file with a warning; if neither parses (or none
+        exists) a :class:`~repro.exceptions.CheckpointError` is raised.
+        """
+        tried = []
+        for path in (self.path(name), self.prev_path(name)):
+            if not path.exists():
+                continue
+            tried.append(path)
+            try:
+                payload = json.loads(path.read_text())
+            except (json.JSONDecodeError, OSError) as exc:
+                logger.warning(
+                    "checkpoint %s is corrupt (%s); trying the previous "
+                    "boundary", path, exc,
+                )
+                continue
+            if not isinstance(payload, dict):
+                logger.warning("checkpoint %s is malformed; skipping", path)
+                continue
+            if path == self.prev_path(name):
+                logger.warning(
+                    "recovered from fallback checkpoint %s (one boundary "
+                    "older than the corrupt current file)", path,
+                )
+            return payload
+        if tried:
+            raise CheckpointError(
+                f"all checkpoint files for {name!r} are corrupt: "
+                f"{', '.join(str(p) for p in tried)}"
+            )
+        raise CheckpointError(
+            f"no checkpoint named {name!r} in {self.directory}"
+        )
+
+    def delete(self, name: str) -> None:
+        """Remove a stream's files (e.g. after a run completes cleanly)."""
+        for path in (self.path(name), self.prev_path(name)):
+            try:
+                path.unlink()
+            except FileNotFoundError:
+                pass
+
+
+class SearchCheckpointer:
+    """One search's checkpoint stream: store + name + interval + manifest.
+
+    Parameters
+    ----------
+    store:
+        The :class:`CheckpointStore` files go through.
+    name:
+        Stream name within the store (one search = one stream).
+    every:
+        Checkpoint every this-many safe boundaries (1 = every GA
+        generation / brute-force level).
+    manifest:
+        Identity of the run (parameter + data fingerprints).  Saved
+        into every checkpoint and required to match on load.
+    """
+
+    def __init__(
+        self,
+        store: CheckpointStore,
+        name: str = "search",
+        *,
+        every: int = 1,
+        manifest: Mapping | None = None,
+    ) -> None:
+        if every < 1:
+            raise CheckpointError(f"checkpoint interval must be >= 1, got {every}")
+        self.store = store
+        self.name = name
+        self.every = int(every)
+        self.manifest = dict(manifest or {})
+
+    # ------------------------------------------------------------------
+    def save(self, state: Mapping) -> None:
+        """Persist *state* (wrapped with version + manifest) now."""
+        self.store.save(
+            self.name,
+            {
+                "format_version": CHECKPOINT_FORMAT_VERSION,
+                "manifest": self.manifest,
+                "state": dict(state),
+            },
+        )
+
+    def maybe_save(self, boundary: int, build_state: Callable[[], Mapping]) -> bool:
+        """Checkpoint if *boundary* is due under the interval policy.
+
+        *build_state* is only invoked when a write actually happens, so
+        a sparse interval pays no serialization cost on skipped
+        boundaries.
+        """
+        if boundary % self.every != 0:
+            return False
+        self.save(build_state())
+        return True
+
+    def exists(self) -> bool:
+        """Whether this stream has anything to resume from."""
+        return self.store.exists(self.name)
+
+    def load(self) -> dict:
+        """The saved state, after version and manifest validation."""
+        payload = self.store.load(self.name)
+        version = payload.get("format_version")
+        if version != CHECKPOINT_FORMAT_VERSION:
+            raise CheckpointError(
+                f"checkpoint {self.name!r} has format version {version!r}; "
+                f"this library reads version {CHECKPOINT_FORMAT_VERSION}"
+            )
+        saved = payload.get("manifest", {})
+        if self.manifest and saved != self.manifest:
+            diff = sorted(
+                key
+                for key in set(saved) | set(self.manifest)
+                if saved.get(key) != self.manifest.get(key)
+            )
+            raise CheckpointError(
+                f"stale checkpoint {self.name!r}: manifest mismatch on "
+                f"{', '.join(diff) or 'structure'} — it was written by a "
+                "run with different parameters or data"
+            )
+        state = payload.get("state")
+        if not isinstance(state, dict):
+            raise CheckpointError(f"checkpoint {self.name!r} has no state body")
+        return state
+
+    def delete(self) -> None:
+        """Drop the stream (clean-completion housekeeping)."""
+        self.store.delete(self.name)

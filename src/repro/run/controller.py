@@ -1,0 +1,131 @@
+"""Run-wide lifecycle: one budget, one cancel token, one checkpoint dir.
+
+A :class:`RunController` owns everything that outlives a single search
+inside a long job:
+
+* a **wall-clock budget** shared across all the searches of a multi-k
+  sweep (each successive k sees only the time that is left),
+* the **cancel token** that SIGINT/SIGTERM handlers flip,
+* the **checkpoint store** every component writes through, plus the
+  checkpoint interval policy.
+
+Typical use::
+
+    controller = RunController(max_seconds=3600, checkpoint_dir="ckpt")
+    with controller.signal_handlers():
+        result = detect_across_dimensionalities(
+            data, [2, 3, 4], controller=controller
+        )
+    sys.exit(controller.exit_code())
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Mapping
+
+from ..exceptions import ValidationError
+from .cancel import CancelToken
+from .checkpoint import CheckpointStore, SearchCheckpointer
+from .signals import exit_code_for_signal, installed_signal_handlers
+
+__all__ = ["RunController"]
+
+
+class RunController:
+    """Shared lifecycle state for one (possibly multi-search) run.
+
+    Parameters
+    ----------
+    max_seconds:
+        Wall-clock budget for the *whole* run; ``None`` disables.  The
+        clock starts at construction (or at an explicit :meth:`start`).
+    checkpoint_dir:
+        Directory for crash-safe checkpoints; ``None`` disables
+        checkpointing.
+    checkpoint_every:
+        Safe boundaries (GA generations / brute-force levels) between
+        checkpoint writes.
+    token:
+        An externally-owned :class:`~repro.run.cancel.CancelToken`
+        (e.g. a chaos-injection token in tests); a fresh one by default.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_seconds: float | None = None,
+        checkpoint_dir=None,
+        checkpoint_every: int = 1,
+        token: CancelToken | None = None,
+    ) -> None:
+        if max_seconds is not None and max_seconds <= 0:
+            raise ValidationError(
+                f"max_seconds must be positive, got {max_seconds}"
+            )
+        if checkpoint_every < 1:
+            raise ValidationError(
+                f"checkpoint_every must be >= 1, got {checkpoint_every}"
+            )
+        self.max_seconds = max_seconds
+        self.checkpoint_every = int(checkpoint_every)
+        self.token = token if token is not None else CancelToken()
+        self.store: CheckpointStore | None = (
+            CheckpointStore(checkpoint_dir) if checkpoint_dir is not None else None
+        )
+        self._started_at = time.perf_counter()
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Restart the budget clock (e.g. right before the first search)."""
+        self._started_at = time.perf_counter()
+
+    def elapsed_seconds(self) -> float:
+        """Seconds since the budget clock started."""
+        return time.perf_counter() - self._started_at
+
+    def remaining_seconds(self) -> float | None:
+        """Budget left, ``None`` when unbudgeted (never negative)."""
+        if self.max_seconds is None:
+            return None
+        return max(0.0, self.max_seconds - self.elapsed_seconds())
+
+    def deadline_passed(self) -> bool:
+        """True once the run-wide budget is spent."""
+        remaining = self.remaining_seconds()
+        return remaining is not None and remaining <= 0.0
+
+    def should_stop(self) -> str | None:
+        """``"cancelled"`` / ``"deadline"`` when the run must wind down."""
+        if self.token.poll():
+            return "cancelled"
+        if self.deadline_passed():
+            return "deadline"
+        return None
+
+    # ------------------------------------------------------------------
+    def signal_handlers(self):
+        """Context manager routing SIGINT/SIGTERM into the cancel token."""
+        return installed_signal_handlers(self.token)
+
+    def exit_code(self) -> int:
+        """0, or ``128 + signum`` if a signal cancelled the run."""
+        return exit_code_for_signal(self.token.signal_number)
+
+    # ------------------------------------------------------------------
+    def checkpointer(
+        self, name: str, manifest: Mapping | None = None
+    ) -> SearchCheckpointer | None:
+        """A checkpoint stream bound to this run, or None if disabled."""
+        if self.store is None:
+            return None
+        return SearchCheckpointer(
+            self.store, name, every=self.checkpoint_every, manifest=manifest
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RunController(max_seconds={self.max_seconds}, "
+            f"checkpoint_dir={self.store.directory if self.store else None}, "
+            f"token={self.token!r})"
+        )

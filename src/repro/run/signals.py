@@ -1,0 +1,85 @@
+"""SIGINT/SIGTERM → cooperative cancellation.
+
+``installed_signal_handlers`` temporarily routes the interrupt signals
+into a :class:`~repro.run.cancel.CancelToken` so a running search exits
+at its next safe boundary with best-so-far results (and a flushed
+checkpoint) instead of dying mid-write.
+
+The *first* signal flips the token; a *second* signal of the same kind
+restores the previous handler and re-raises it, so an operator can
+always force-kill a run that is stuck before reaching a boundary
+(standard double-Ctrl-C semantics).
+
+Signal handlers can only be installed from the main thread of the main
+interpreter; elsewhere (e.g. a worker thread running a search) the
+context manager degrades to a no-op — cancellation then only happens
+programmatically, which is exactly what embedded callers want.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import logging
+import os
+import signal
+import threading
+from typing import Iterator
+
+from .cancel import CancelToken
+
+__all__ = ["installed_signal_handlers", "exit_code_for_signal"]
+
+logger = logging.getLogger(__name__)
+
+_HANDLED_SIGNALS = (signal.SIGINT, signal.SIGTERM)
+
+
+def exit_code_for_signal(signal_number: int | None) -> int:
+    """Conventional process exit code for a signal-driven stop.
+
+    ``128 + signum`` — 130 for SIGINT, 143 for SIGTERM — or 0 when the
+    run was not signal-cancelled.
+    """
+    if signal_number is None:
+        return 0
+    return 128 + int(signal_number)
+
+
+@contextlib.contextmanager
+def installed_signal_handlers(token: CancelToken) -> Iterator[CancelToken]:
+    """Route SIGINT/SIGTERM into *token* for the duration of the block."""
+    if threading.current_thread() is not threading.main_thread():
+        logger.debug("not the main thread; signal handlers not installed")
+        yield token
+        return
+
+    previous: dict[int, object] = {}
+
+    def _handle(signum, frame):
+        if token.cancelled:
+            # Second signal: the operator means it. Restore the old
+            # disposition and re-deliver so default semantics apply.
+            logger.warning("second signal %d: forcing immediate exit", signum)
+            signal.signal(signum, previous[signum])
+            os.kill(os.getpid(), signum)
+            return
+        logger.warning(
+            "signal %d received: finishing the current boundary, then "
+            "stopping with partial results (repeat to force-kill)",
+            signum,
+        )
+        token.cancel(reason="signal", signal_number=signum)
+
+    try:
+        for sig in _HANDLED_SIGNALS:
+            previous[sig] = signal.signal(sig, _handle)
+    except (ValueError, OSError):  # pragma: no cover - exotic embedding
+        logger.debug("could not install signal handlers; continuing without")
+        yield token
+        return
+    try:
+        yield token
+    finally:
+        for sig, handler in previous.items():
+            with contextlib.suppress(ValueError, OSError):
+                signal.signal(sig, handler)

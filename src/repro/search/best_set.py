@@ -115,6 +115,55 @@ class BestProjectionSet:
         return coefficient < -self._heap[0][0]
 
     # ------------------------------------------------------------------
+    def to_state(self) -> dict:
+        """JSON-compatible snapshot for checkpointing.
+
+        Captures the kept entries *with their insertion counters* plus
+        the offer statistics, so a restored set reproduces the original
+        bit-for-bit — including the arrival-order tie-breaks between
+        equal coefficients and the ``n_accepted``-driven stall counter
+        of the GA.
+        """
+        return {
+            "entries": [
+                {
+                    "dims": list(proj.subspace.dims),
+                    "ranges": list(proj.subspace.ranges),
+                    "count": proj.count,
+                    "coefficient": proj.coefficient,
+                    "order": -neg_order,
+                }
+                for _, neg_order, proj in self._heap
+            ],
+            "counter": self._counter,
+            "n_offers": self.n_offers,
+            "n_accepted": self.n_accepted,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore a :meth:`to_state` snapshot into this (fresh) set."""
+        if self._heap:
+            raise ValidationError(
+                "restore_state requires an empty BestProjectionSet"
+            )
+        for entry in state["entries"]:
+            projection = ScoredProjection(
+                Subspace(tuple(entry["dims"]), tuple(entry["ranges"])),
+                int(entry["count"]),
+                float(entry["coefficient"]),
+            )
+            heapq.heappush(
+                self._heap,
+                (-projection.coefficient, -int(entry["order"]), projection),
+            )
+            self._seen[(projection.subspace.dims, projection.subspace.ranges)] = (
+                projection.coefficient
+            )
+        self._counter = int(state["counter"])
+        self.n_offers = int(state["n_offers"])
+        self.n_accepted = int(state["n_accepted"])
+
+    # ------------------------------------------------------------------
     def entries(self) -> list[ScoredProjection]:
         """Kept projections, most negative coefficient first."""
         ordered = sorted(self._heap, key=lambda item: (-item[0], -item[1]))

@@ -34,11 +34,12 @@ from __future__ import annotations
 import logging
 import math
 import time
+from typing import Mapping
 
 import numpy as np
 
 from .._validation import check_positive_int
-from ..exceptions import ValidationError
+from ..exceptions import CheckpointError, SearchCancelled, ValidationError
 from ..core.results import ScoredProjection
 from ..core.subspace import Subspace
 from ..grid.counter import CubeCounter
@@ -88,6 +89,16 @@ class BruteForceSearch:
     strategy:
         ``"depth_first"`` (default) or ``"level_batch"`` — see the
         module docstring.  Both return identical projections.
+    cancel_token:
+        Optional :class:`~repro.run.cancel.CancelToken`; checked at
+        level boundaries and between counting chunks, so a flip stops
+        the enumeration at a safe point with best-so-far results.
+    checkpointer:
+        Optional :class:`~repro.run.checkpoint.SearchCheckpointer`.
+        Requires ``strategy="level_batch"`` — level boundaries are the
+        only points where the breadth-first frontier is an explicit,
+        serializable list.  ``run(resume_from=True)`` then continues
+        bit-identically to an uninterrupted run.
     """
 
     def __init__(
@@ -101,6 +112,8 @@ class BruteForceSearch:
         max_seconds: float | None = None,
         max_evaluations: int | None = None,
         strategy: str = "depth_first",
+        cancel_token=None,
+        checkpointer=None,
     ):
         if not isinstance(counter, CubeCounter):
             raise ValidationError(
@@ -130,20 +143,55 @@ class BruteForceSearch:
                 f"{strategy!r}"
             )
         self.strategy = strategy
+        if checkpointer is not None and strategy != "level_batch":
+            raise ValidationError(
+                "brute-force checkpointing requires strategy='level_batch'; "
+                "the depth-first recursion has no serializable frontier"
+            )
+        self.cancel_token = cancel_token
+        self.checkpointer = checkpointer
 
     # ------------------------------------------------------------------
-    def run(self) -> SearchOutcome:
-        """Enumerate every k-dimensional cube and return the best set."""
+    def run(self, *, resume_from=None) -> SearchOutcome:
+        """Enumerate every k-dimensional cube and return the best set.
+
+        Parameters
+        ----------
+        resume_from:
+            ``None`` (fresh run), ``True`` (load the configured
+            checkpointer's latest level-boundary checkpoint), or a state
+            mapping.  A resumed run restores the breadth-first frontier,
+            best set and evaluation counter, and its final result is
+            bit-identical to the same run never having been interrupted.
+        """
         best = BestProjectionSet(
             self.n_projections,
             require_nonempty=self.require_nonempty,
             threshold=self.threshold,
         )
+        restored = self._load_resume_state(resume_from)
         start = time.perf_counter()
         state = _RunState(
             deadline=None if self.max_seconds is None else start + self.max_seconds,
             max_evaluations=self.max_evaluations,
+            token=self.cancel_token,
         )
+        elapsed_base = 0.0
+        start_depth = 1
+        start_level = None
+        if restored is not None:
+            best.restore_state(restored["best_set"])
+            state.evaluations = int(restored["evaluations"])
+            elapsed_base = float(restored["elapsed_seconds"])
+            start_depth = int(restored["depth"])
+            start_level = [
+                (tuple(dims), tuple(rngs)) for dims, rngs in restored["level"]
+            ]
+            logger.info(
+                "resuming brute-force search at level %d (%d candidates, "
+                "%d evaluations done)",
+                start_depth, len(start_level), state.evaluations,
+            )
         d = self.counter.n_dims
         k = self.dimensionality
         logger.debug(
@@ -151,16 +199,32 @@ class BruteForceSearch:
             search_space_size(d, k, self.counter.n_ranges), d, k,
             self.counter.n_ranges, self.strategy,
         )
-        if self.strategy == "level_batch":
-            self._run_levels(best, state)
-        else:
-            all_points = np.ones(self.counter.n_points, dtype=bool)
-            self._extend(Subspace.empty(), all_points, -1, d, k, best, state)
-        elapsed = time.perf_counter() - start
+        totals = {"elapsed_base": elapsed_base, "start": start}
+        previous_token = self.counter.cancel_token
+        self.counter.set_cancel_token(self.cancel_token)
+        try:
+            if self.strategy == "level_batch":
+                self._run_levels(
+                    best, state,
+                    start_depth=start_depth, start_level=start_level,
+                    totals=totals,
+                )
+            else:
+                all_points = np.ones(self.counter.n_points, dtype=bool)
+                self._extend(Subspace.empty(), all_points, -1, d, k, best, state)
+        except SearchCancelled:
+            # Cancellation struck inside the counting engine mid-batch;
+            # that batch's offers never happened, so the last
+            # level-boundary checkpoint remains the exact resume point.
+            state.latch("cancelled")
+        finally:
+            self.counter.set_cancel_token(previous_token)
+        elapsed = elapsed_base + (time.perf_counter() - start)
+        stopped_reason = state.stop_reason or "converged"
         if state.exhausted:
             logger.warning(
-                "brute force stopped early after %d evaluations (%.1fs): "
-                "budget exhausted", state.evaluations, elapsed,
+                "brute force stopped early after %d evaluations (%.1fs): %s",
+                state.evaluations, elapsed, stopped_reason,
             )
         return SearchOutcome(
             projections=tuple(best.entries()),
@@ -172,7 +236,57 @@ class BruteForceSearch:
                 "algorithm": "brute_force",
                 "strategy": self.strategy,
             },
+            stopped_reason=stopped_reason,
         )
+
+    def _load_resume_state(self, resume_from) -> dict | None:
+        """Normalize ``resume_from`` into a state dict (or None)."""
+        if resume_from is None or resume_from is False:
+            return None
+        if self.strategy != "level_batch":
+            raise ValidationError(
+                "brute-force resume requires strategy='level_batch'"
+            )
+        if resume_from is True:
+            if self.checkpointer is None:
+                raise CheckpointError(
+                    "resume_from=True needs a checkpointer; construct the "
+                    "search with checkpointer=..."
+                )
+            state = self.checkpointer.load()
+        elif isinstance(resume_from, Mapping):
+            state = dict(resume_from)
+        else:
+            raise ValidationError(
+                "resume_from must be None, True, or a checkpoint state "
+                f"mapping, got {type(resume_from).__name__}"
+            )
+        if state.get("algorithm") != "brute_force":
+            raise CheckpointError(
+                "checkpoint was written by a "
+                f"{state.get('algorithm', 'unknown')!r} search, not a "
+                "brute-force one"
+            )
+        return state
+
+    def _checkpoint_state(
+        self,
+        depth: int,
+        level: list[tuple[tuple, tuple]],
+        best: BestProjectionSet,
+        state: "_RunState",
+        totals: dict,
+    ) -> dict:
+        """Full JSON-compatible state at a level boundary."""
+        return {
+            "algorithm": "brute_force",
+            "depth": depth,
+            "level": [[list(dims), list(rngs)] for dims, rngs in level],
+            "best_set": best.to_state(),
+            "evaluations": state.evaluations,
+            "elapsed_seconds": totals["elapsed_base"]
+            + (time.perf_counter() - totals["start"]),
+        }
 
     # ------------------------------------------------------------------
     def _extend(
@@ -229,7 +343,15 @@ class BruteForceSearch:
 
 
     # ------------------------------------------------------------------
-    def _run_levels(self, best: BestProjectionSet, state: "_RunState") -> None:
+    def _run_levels(
+        self,
+        best: BestProjectionSet,
+        state: "_RunState",
+        *,
+        start_depth: int = 1,
+        start_level: list[tuple[tuple, tuple]] | None = None,
+        totals: dict | None = None,
+    ) -> None:
         """Breadth-first ``R_{i+1} = R_i ⊕ Q_1`` over batched counts.
 
         Each level's candidates go through ``count_batch`` in
@@ -237,12 +359,31 @@ class BruteForceSearch:
         are pruned before extension (counts are monotone under ⊕ —
         the same subtree pruning the DFS applies).  Generation order is
         lexicographic, matching the DFS visit order exactly.
+
+        The top of the depth loop is the **safe boundary**: the frontier
+        is an explicit list, the best set has absorbed every completed
+        level, and nothing is half-counted.  The boundary snapshot is
+        taken *there*; a budget/cancellation exit mid-level saves that
+        snapshot, so a resumed run redoes the partial level from scratch
+        and lands bit-identically on the uninterrupted result.
         """
         counter = self.counter
         d, k, phi = counter.n_dims, self.dimensionality, counter.n_ranges
         chunk = max(1024, counter.backend.chunk_size)
-        level: list[tuple[tuple, tuple]] = [((), ())]
-        for depth in range(1, k + 1):
+        level = start_level if start_level is not None else [((), ())]
+        totals = totals or {"elapsed_base": 0.0, "start": time.perf_counter()}
+        for depth in range(start_depth, k + 1):
+            # ---- safe boundary: level `depth` not yet generated ----
+            boundary_payload = None
+            if self.checkpointer is not None:
+                boundary_payload = self._checkpoint_state(
+                    depth, level, best, state, totals
+                )
+                self.checkpointer.maybe_save(depth, lambda: boundary_payload)
+            if state.check_boundary():
+                if boundary_payload is not None:
+                    self.checkpointer.save(boundary_payload)
+                return
             remaining = k - depth  # levels still to add after this one
             children: list[tuple[tuple, tuple]] = []
             for dims, rngs in level:
@@ -253,11 +394,15 @@ class BruteForceSearch:
                         children.append((dims + (dim,), rngs + (rng,)))
             if depth == k:
                 self._score_leaves(children, best, state, chunk)
+                if state.exhausted and boundary_payload is not None:
+                    self.checkpointer.save(boundary_payload)
                 return
             if self.require_nonempty:
                 survivors: list[tuple[tuple, tuple]] = []
                 for lo in range(0, len(children), chunk):
                     if state.check_budget():
+                        if boundary_payload is not None:
+                            self.checkpointer.save(boundary_payload)
                         return
                     block = children[lo : lo + chunk]
                     counts = counter.count_batch(
@@ -297,26 +442,63 @@ class BruteForceSearch:
 
 
 class _RunState:
-    """Mutable budget bookkeeping shared across the recursion."""
+    """Mutable budget/cancellation bookkeeping shared across the recursion."""
 
-    def __init__(self, deadline: float | None, max_evaluations: int | None):
+    def __init__(
+        self,
+        deadline: float | None,
+        max_evaluations: int | None,
+        token=None,
+    ):
         self.deadline = deadline
         self.max_evaluations = max_evaluations
+        self.token = token
         self.evaluations = 0
         self.exhausted = False
+        self.stop_reason: str | None = None
         self._checks = 0
 
+    def latch(self, reason: str) -> bool:
+        """Record why the search stopped early; first cause wins."""
+        self.exhausted = True
+        if self.stop_reason is None:
+            self.stop_reason = reason
+        return True
+
     def check_budget(self) -> bool:
-        """Return True (and latch ``exhausted``) once any budget is spent."""
+        """Return True (and latch ``exhausted``) once any budget is spent.
+
+        Reads the token's raw flag rather than :meth:`~repro.run.cancel.
+        CancelToken.poll` — chunk-granularity checks must not consume
+        the boundary budget of an injected
+        :class:`~repro.run.cancel.CancelAfterBoundaries` token.
+        """
         if self.exhausted:
             return True
+        if self.token is not None and self.token.cancelled:
+            return self.latch("cancelled")
         if self.max_evaluations is not None and self.evaluations >= self.max_evaluations:
-            self.exhausted = True
-            return True
+            return self.latch("evaluation_cap")
         self._checks += 1
         # The clock is comparatively expensive; sample it.
         if self.deadline is not None and self._checks % 64 == 0:
             if time.perf_counter() >= self.deadline:
-                self.exhausted = True
-                return True
+                return self.latch("deadline")
+        return False
+
+    def check_boundary(self) -> bool:
+        """Budget check at a safe boundary; *polls* the token.
+
+        ``poll()`` is the chaos-injection seam: each boundary consumes
+        one unit of a ``CancelAfterBoundaries`` budget, and the clock is
+        read unsampled (boundaries are rare).
+        """
+        if self.exhausted:
+            return True
+        if self.token is not None and self.token.poll():
+            return self.latch("cancelled")
+        if self.max_evaluations is not None and self.evaluations >= self.max_evaluations:
+            return self.latch("evaluation_cap")
+        if self.deadline is not None and time.perf_counter() >= self.deadline:
+            return self.latch("deadline")
         return False

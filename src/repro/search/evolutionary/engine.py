@@ -14,10 +14,13 @@ from __future__ import annotations
 import logging
 import time
 from collections import Counter
+from dataclasses import asdict
+from typing import Mapping
 
 from ..._validation import check_positive_int, check_rng
-from ...exceptions import ValidationError
+from ...exceptions import CheckpointError, SearchCancelled, ValidationError
 from ...grid.counter import CubeCounter
+from ...run.checkpoint import encode_rng_state
 from ..best_set import BestProjectionSet
 from ..outcome import GenerationRecord, SearchOutcome
 from .config import EvolutionaryConfig
@@ -63,6 +66,16 @@ class EvolutionarySearch:
         :class:`~repro.search.best_set.BestProjectionSet`.
     random_state:
         Seed or numpy Generator for full determinism.
+    cancel_token:
+        Optional :class:`~repro.run.cancel.CancelToken`; polled at every
+        generation boundary (and between parallel counting waves), so a
+        flip stops the search at a safe point with best-so-far results.
+    checkpointer:
+        Optional :class:`~repro.run.checkpoint.SearchCheckpointer`;
+        when set, the full GA state (population, RNG stream, best set,
+        counters) is persisted atomically at generation boundaries and
+        ``run(resume_from=True)`` continues bit-identically to an
+        uninterrupted run.
     """
 
     def __init__(
@@ -77,6 +90,8 @@ class EvolutionarySearch:
         require_nonempty: bool = True,
         threshold: float | None = None,
         random_state=None,
+        cancel_token=None,
+        checkpointer=None,
     ):
         if not isinstance(counter, CubeCounter):
             raise ValidationError(
@@ -112,10 +127,23 @@ class EvolutionarySearch:
         self.require_nonempty = require_nonempty
         self.threshold = threshold
         self.random_state = random_state
+        self.cancel_token = cancel_token
+        self.checkpointer = checkpointer
 
     # ------------------------------------------------------------------
-    def run(self) -> SearchOutcome:
-        """Execute the GA (all restarts) and return the mined best set."""
+    def run(self, *, resume_from=None) -> SearchOutcome:
+        """Execute the GA (all restarts) and return the mined best set.
+
+        Parameters
+        ----------
+        resume_from:
+            ``None`` (fresh run), ``True`` (load the configured
+            checkpointer's latest checkpoint), or a state mapping from a
+            previous checkpoint.  A resumed run restores the RNG stream,
+            population, best set and every counter from the last
+            generation boundary, so its final result is bit-identical to
+            the same run never having been interrupted.
+        """
         rng = check_rng(self.random_state)
         cfg = self.config
         evaluator = FitnessEvaluator(self.counter, self.dimensionality)
@@ -133,45 +161,106 @@ class EvolutionarySearch:
             threshold=self.threshold,
         )
 
+        state = self._load_resume_state(resume_from)
+        first_restart = 0
+        history: list[GenerationRecord] = []
         start = time.perf_counter()
+        # Run-wide totals shared with the boundary checkpoints.  The
+        # time budget is per process invocation: a resumed run gets the
+        # full ``max_seconds`` again (callers with one overall budget —
+        # the RunController — pass the *remaining* budget down instead),
+        # while ``elapsed_base`` keeps the reported elapsed time
+        # cumulative across interruptions.
+        totals = {"generations": 0, "converged": 0, "elapsed_base": 0.0,
+                  "start": start}
+        if state is not None:
+            rng.bit_generator.state = state["rng_state"]
+            best.restore_state(state["best_set"])
+            evaluator.n_evaluations = int(state["evaluations"])
+            totals["generations"] = int(state["total_generations"])
+            totals["converged"] = int(state["n_converged"])
+            totals["elapsed_base"] = float(state["elapsed_seconds"])
+            first_restart = int(state["restart"])
+            history = [GenerationRecord(**record) for record in state["history"]]
+            logger.info(
+                "resuming evolutionary search at restart %d, generation %d "
+                "(%d evaluations done)",
+                first_restart, int(state["generation"]), evaluator.n_evaluations,
+            )
         deadline = None if cfg.max_seconds is None else start + cfg.max_seconds
 
-        total_generations = 0
-        n_converged = 0
-        timed_out = False
-        history: list[GenerationRecord] = []
-        for restart in range(cfg.restarts):
-            generations, converged, timed_out = self._run_population(
-                rng, evaluator, mutation, convergence, best, deadline,
-                restart, history,
-            )
-            total_generations += generations
-            n_converged += int(converged)
-            logger.debug(
-                "restart %d/%d: %d generations, converged=%s, best set %d "
-                "entries (best %.3f)",
-                restart + 1, cfg.restarts, generations, converged,
-                len(best), best.best().coefficient if len(best) else float("nan"),
-            )
-            if timed_out:
-                logger.warning("evolutionary search hit its time budget")
-                break
+        stopped_reason = "converged"
+        previous_token = self.counter.cancel_token
+        self.counter.set_cancel_token(self.cancel_token)
+        try:
+            for restart in range(first_restart, cfg.restarts):
+                generations, stopped_reason, dejong = self._run_population(
+                    rng, evaluator, mutation, convergence, best, deadline,
+                    restart, history, totals, restored=state,
+                )
+                state = None
+                totals["generations"] += generations
+                totals["converged"] += int(dejong)
+                logger.debug(
+                    "restart %d/%d: %d generations, stopped_reason=%s, best "
+                    "set %d entries (best %.3f)",
+                    restart + 1, cfg.restarts, generations, stopped_reason,
+                    len(best),
+                    best.best().coefficient if len(best) else float("nan"),
+                )
+                if stopped_reason == "deadline":
+                    logger.warning("evolutionary search hit its time budget")
+                    break
+                if stopped_reason == "cancelled":
+                    logger.warning(
+                        "evolutionary search cancelled; returning best-so-far"
+                    )
+                    break
+        finally:
+            self.counter.set_cancel_token(previous_token)
 
-        elapsed = time.perf_counter() - start
+        elapsed = totals["elapsed_base"] + (time.perf_counter() - start)
         return SearchOutcome(
             projections=tuple(best.entries()),
-            completed=not timed_out,
+            completed=stopped_reason not in ("deadline", "cancelled"),
             stats={
                 "elapsed_seconds": elapsed,
-                "generations": total_generations,
-                "converged": n_converged / cfg.restarts,
+                "generations": totals["generations"],
+                "converged": totals["converged"] / cfg.restarts,
                 "restarts": cfg.restarts,
                 "evaluations": evaluator.n_evaluations,
                 "population_size": cfg.population_size,
                 "algorithm": f"evolutionary/{type(self.crossover).__name__}",
             },
             history=tuple(history),
+            stopped_reason=stopped_reason,
         )
+
+    def _load_resume_state(self, resume_from) -> dict | None:
+        """Normalize ``resume_from`` into a state dict (or None)."""
+        if resume_from is None or resume_from is False:
+            return None
+        if resume_from is True:
+            if self.checkpointer is None:
+                raise CheckpointError(
+                    "resume_from=True needs a checkpointer; construct the "
+                    "search with checkpointer=..."
+                )
+            state = self.checkpointer.load()
+        elif isinstance(resume_from, Mapping):
+            state = dict(resume_from)
+        else:
+            raise ValidationError(
+                "resume_from must be None, True, or a checkpoint state "
+                f"mapping, got {type(resume_from).__name__}"
+            )
+        if state.get("algorithm") != "evolutionary":
+            raise CheckpointError(
+                "checkpoint was written by a "
+                f"{state.get('algorithm', 'unknown')!r} search, not an "
+                "evolutionary one"
+            )
+        return state
 
     def _run_population(
         self,
@@ -183,53 +272,123 @@ class EvolutionarySearch:
         deadline: float | None,
         restart: int = 0,
         history: list | None = None,
-    ) -> tuple[int, bool, bool]:
+        totals: dict | None = None,
+        restored: dict | None = None,
+    ) -> tuple[int, str, bool]:
         """One population until convergence/caps; feeds the shared best set.
 
-        Returns ``(generations, converged, timed_out)``.
+        Returns ``(generations, stopped_reason, dejong_converged)``.
+
+        The top of the ``while`` loop is the **safe boundary**: the
+        population of generation *g* is fully evaluated and no RNG draws
+        have happened since.  Checkpoints are written there, the cancel
+        token is polled there, and a cancellation that strikes *inside*
+        the evolve step (mid-batch-count) discards the partial
+        generation wholesale — the best set is only updated after the
+        batch count returns, so the boundary state stays exact.
         """
         cfg = self.config
-        population = seed_population(
-            self.counter.n_dims,
-            self.dimensionality,
-            self.counter.n_ranges,
-            cfg.population_size,
-            rng,
-        )
-        fitnesses = self._evaluate_and_track(population, evaluator, best)
-        if cfg.track_history and history is not None:
-            history.append(
-                self._snapshot(restart, 0, population, fitnesses, best)
+        token = self.cancel_token
+        if restored is None:
+            population = seed_population(
+                self.counter.n_dims,
+                self.dimensionality,
+                self.counter.n_ranges,
+                cfg.population_size,
+                rng,
             )
+            try:
+                fitnesses = self._evaluate_and_track(population, evaluator, best)
+            except SearchCancelled:
+                return 0, "cancelled", False
+            if cfg.track_history and history is not None:
+                history.append(
+                    self._snapshot(restart, 0, population, fitnesses, best)
+                )
+            generation = 0
+            stall = 0
+            # `n_accepted` grows whenever the best set improves — both in
+            # bounded top-m mode and in unbounded threshold mode.
+            accepted_seen = best.n_accepted
+        else:
+            population = [Solution(genes) for genes in restored["population"]]
+            fitnesses = [float(f) for f in restored["fitnesses"]]
+            generation = int(restored["generation"])
+            stall = int(restored["stall"])
+            accepted_seen = int(restored["accepted_seen"])
 
-        generation = 0
-        converged = False
-        timed_out = False
-        stall = 0
-        # `n_accepted` grows whenever the best set improves — both in
-        # bounded top-m mode and in unbounded threshold mode.
-        accepted_seen = best.n_accepted
-        while generation < cfg.max_generations:
+        reason = "generation_cap"
+        dejong = False
+        while True:
+            # ---- safe boundary: generation fully evaluated ----
+            boundary_rng = rng.bit_generator.state
+            boundary_evals = evaluator.n_evaluations
+
+            def build_state(
+                generation=generation,
+                population=population,
+                fitnesses=fitnesses,
+                stall=stall,
+                accepted_seen=accepted_seen,
+                boundary_rng=boundary_rng,
+                boundary_evals=boundary_evals,
+            ):
+                return self._checkpoint_state(
+                    restart, generation, population, fitnesses, stall,
+                    accepted_seen, boundary_rng, boundary_evals, best,
+                    history, totals,
+                )
+
+            if self.checkpointer is not None:
+                boundary_index = generation
+                if totals is not None:
+                    boundary_index += totals["generations"]
+                self.checkpointer.maybe_save(boundary_index, build_state)
+            if token is not None and token.poll():
+                reason = "cancelled"
+                if self.checkpointer is not None:
+                    self.checkpointer.save(build_state())
+                break
             if deadline is not None and time.perf_counter() >= deadline:
-                timed_out = True
+                reason = "deadline"
+                if self.checkpointer is not None:
+                    self.checkpointer.save(build_state())
                 break
             if convergence.has_converged(population):
-                converged = True
+                reason = "converged"
+                dejong = True
+                break
+            if generation >= cfg.max_generations:
+                reason = "generation_cap"
                 break
             elites: list[Solution] = []
             if cfg.elitism:
                 order = sorted(range(len(population)), key=lambda i: fitnesses[i])
                 elites = [population[i] for i in order[: cfg.elitism]]
-            population = self.selection.select(population, fitnesses, rng)
-            population = self.crossover.apply(
-                population, evaluator, rng, cfg.crossover_rate
-            )
-            population = mutation.apply(population, rng)
-            if elites:
-                # Elites replace the tail of the new population verbatim,
-                # shielding the best solutions from crossover/mutation.
-                population[-len(elites):] = elites
-            fitnesses = self._evaluate_and_track(population, evaluator, best)
+            try:
+                offspring = self.selection.select(population, fitnesses, rng)
+                offspring = self.crossover.apply(
+                    offspring, evaluator, rng, cfg.crossover_rate
+                )
+                offspring = mutation.apply(offspring, rng)
+                if elites:
+                    # Elites replace the tail of the new population
+                    # verbatim, shielding the best solutions from
+                    # crossover/mutation.
+                    offspring[-len(elites):] = elites
+                offspring_fitnesses = self._evaluate_and_track(
+                    offspring, evaluator, best
+                )
+            except SearchCancelled:
+                # Discard the in-flight generation: population/fitnesses
+                # still hold the boundary state and the best set was not
+                # offered anything, so the checkpoint below describes the
+                # last completed boundary exactly.
+                reason = "cancelled"
+                if self.checkpointer is not None:
+                    self.checkpointer.save(build_state())
+                break
+            population, fitnesses = offspring, offspring_fitnesses
             generation += 1
             if cfg.track_history and history is not None:
                 history.append(
@@ -242,8 +401,44 @@ class EvolutionarySearch:
                 else:
                     stall += 1
                     if stall >= cfg.stall_generations:
+                        reason = "converged"
                         break
-        return generation, converged, timed_out
+        return generation, reason, dejong
+
+    def _checkpoint_state(
+        self,
+        restart: int,
+        generation: int,
+        population: list[Solution],
+        fitnesses: list[float],
+        stall: int,
+        accepted_seen: int,
+        rng_state,
+        evaluations: int,
+        best: BestProjectionSet,
+        history: list | None,
+        totals: dict | None,
+    ) -> dict:
+        """Full JSON-compatible GA state at a generation boundary."""
+        totals = totals or {"generations": 0, "converged": 0,
+                            "elapsed_base": 0.0, "start": time.perf_counter()}
+        return {
+            "algorithm": "evolutionary",
+            "restart": restart,
+            "generation": generation,
+            "population": [list(solution.genes) for solution in population],
+            "fitnesses": list(fitnesses),
+            "stall": stall,
+            "accepted_seen": accepted_seen,
+            "rng_state": encode_rng_state(rng_state),
+            "evaluations": evaluations,
+            "best_set": best.to_state(),
+            "total_generations": totals["generations"],
+            "n_converged": totals["converged"],
+            "elapsed_seconds": totals["elapsed_base"]
+            + (time.perf_counter() - totals["start"]),
+            "history": [asdict(record) for record in (history or [])],
+        }
 
     # ------------------------------------------------------------------
     @staticmethod

@@ -21,7 +21,7 @@ import math
 import time
 
 from .._validation import check_in_range, check_positive_int, check_rng
-from ..exceptions import ValidationError
+from ..exceptions import SearchCancelled, ValidationError
 from ..grid.counter import CubeCounter
 from .best_set import BestProjectionSet
 from .evolutionary.encoding import Solution, WILDCARD_GENE, random_solution
@@ -66,6 +66,7 @@ class _SingleSolutionSearch:
         require_nonempty: bool = True,
         threshold: float | None = None,
         random_state=None,
+        cancel_token=None,
     ):
         if not isinstance(counter, CubeCounter):
             raise ValidationError(
@@ -83,6 +84,11 @@ class _SingleSolutionSearch:
         self.require_nonempty = require_nonempty
         self.threshold = threshold
         self.random_state = random_state
+        self.cancel_token = cancel_token
+
+    def _poll_cancelled(self) -> bool:
+        """Boundary poll of the cancel token (one unit of injection budget)."""
+        return self.cancel_token is not None and self.cancel_token.poll()
 
     def _setup(self):
         rng = check_rng(self.random_state)
@@ -101,26 +107,43 @@ class _SingleSolutionSearch:
         best.offer(scored)
         return scored.coefficient
 
-    def _outcome(self, best, evaluator, start: float, **extra) -> SearchOutcome:
+    def _outcome(
+        self,
+        best,
+        evaluator,
+        start: float,
+        stopped_reason: str = "evaluation_cap",
+        **extra,
+    ) -> SearchOutcome:
         stats = {
             "elapsed_seconds": time.perf_counter() - start,
             "evaluations": evaluator.n_evaluations,
             "algorithm": type(self).__name__,
         }
         stats.update(extra)
-        return SearchOutcome(projections=tuple(best.entries()), stats=stats)
+        return SearchOutcome(
+            projections=tuple(best.entries()),
+            completed=stopped_reason not in ("deadline", "cancelled"),
+            stats=stats,
+            stopped_reason=stopped_reason,
+        )
 
 
 class RandomSearch(_SingleSolutionSearch):
     """Uniformly random cubes — the no-structure control of §2.1."""
+
+    #: Draws scored per batch; the gap between cancellation checks.
+    CHUNK = 512
 
     def run(self) -> SearchOutcome:
         """Evaluate ``max_evaluations`` random feasible solutions.
 
         The solutions are drawn first (same generator stream as
         one-at-a-time evaluation) and then scored through the counter's
-        batch engine; offers happen in draw order, so the resulting
-        best set is identical to the sequential path.
+        batch engine in chunks; offers happen in draw order, so the
+        resulting best set is identical to the sequential path, and the
+        cancel token is polled between chunks so a flip returns the
+        best-so-far partial outcome.
         """
         rng, evaluator, best = self._setup()
         start = time.perf_counter()
@@ -133,10 +156,27 @@ class RandomSearch(_SingleSolutionSearch):
             )
             for _ in range(self.max_evaluations)
         ]
-        for scored in evaluator.score_batch(solutions):
-            if scored is not None:
-                best.offer(scored)
-        return self._outcome(best, evaluator, start)
+        stopped_reason = "evaluation_cap"
+        previous_token = self.counter.cancel_token
+        self.counter.set_cancel_token(self.cancel_token)
+        try:
+            for lo in range(0, len(solutions), self.CHUNK):
+                if self._poll_cancelled():
+                    stopped_reason = "cancelled"
+                    break
+                try:
+                    scored_chunk = evaluator.score_batch(
+                        solutions[lo : lo + self.CHUNK]
+                    )
+                except SearchCancelled:
+                    stopped_reason = "cancelled"
+                    break
+                for scored in scored_chunk:
+                    if scored is not None:
+                        best.offer(scored)
+        finally:
+            self.counter.set_cancel_token(previous_token)
+        return self._outcome(best, evaluator, start, stopped_reason)
 
 
 class HillClimbingSearch(_SingleSolutionSearch):
@@ -162,7 +202,11 @@ class HillClimbingSearch(_SingleSolutionSearch):
         )
         current_fitness = self._evaluate(current, evaluator, best)
         rejected = 0
+        stopped_reason = "evaluation_cap"
         while evaluator.n_evaluations < self.max_evaluations:
+            if self._poll_cancelled():
+                stopped_reason = "cancelled"
+                break
             candidate = _neighbor(current, self.counter.n_ranges, rng)
             fitness = self._evaluate(candidate, evaluator, best)
             if fitness < current_fitness:
@@ -180,7 +224,9 @@ class HillClimbingSearch(_SingleSolutionSearch):
                     )
                     current_fitness = self._evaluate(current, evaluator, best)
                     rejected = 0
-        return self._outcome(best, evaluator, start, restarts=restarts)
+        return self._outcome(
+            best, evaluator, start, stopped_reason, restarts=restarts
+        )
 
 
 class SimulatedAnnealingSearch(_SingleSolutionSearch):
@@ -214,7 +260,11 @@ class SimulatedAnnealingSearch(_SingleSolutionSearch):
         current_fitness = self._evaluate(current, evaluator, best)
         temperature = self.initial_temperature
         accepted_worse = 0
+        stopped_reason = "evaluation_cap"
         while evaluator.n_evaluations < self.max_evaluations:
+            if self._poll_cancelled():
+                stopped_reason = "cancelled"
+                break
             candidate = _neighbor(current, self.counter.n_ranges, rng)
             fitness = self._evaluate(candidate, evaluator, best)
             delta = fitness - current_fitness
@@ -229,6 +279,7 @@ class SimulatedAnnealingSearch(_SingleSolutionSearch):
             best,
             evaluator,
             start,
+            stopped_reason,
             accepted_worse=accepted_worse,
             final_temperature=temperature,
         )

@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 from typing import Mapping
 
 from ..core.results import ScoredProjection
+from ..run.cancel import check_stop_reason
 
 __all__ = ["SearchOutcome", "GenerationRecord"]
 
@@ -54,24 +55,48 @@ class SearchOutcome:
         Mined cubes, most negative sparsity coefficient first.
     completed:
         False when the search stopped early (time budget / evaluation
-        cap) — the brute-force analogue of the paper's musk run that
-        "did not terminate in a reasonable amount of time".
+        cap / cancellation) — the brute-force analogue of the paper's
+        musk run that "did not terminate in a reasonable amount of
+        time".
     stats:
         Search metadata: elapsed seconds, cube evaluations, generations
         (GA only), search-space size (brute force only), etc.
     history:
         Per-generation :class:`GenerationRecord` snapshots (empty unless
         the GA ran with ``track_history=True``).
+    stopped_reason:
+        *Why* the search returned — one of
+        :data:`~repro.run.cancel.STOP_REASONS`
+        (``converged | generation_cap | deadline | evaluation_cap |
+        cancelled``).  ``converged`` covers every natural terminus: De
+        Jong convergence and the stall-generations early stop for the
+        GA, exhaustive enumeration for brute force.
     """
 
     projections: tuple[ScoredProjection, ...]
     completed: bool = True
     stats: Mapping[str, float] = field(default_factory=dict)
     history: tuple[GenerationRecord, ...] = ()
+    stopped_reason: str = "converged"
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "projections", tuple(self.projections))
         object.__setattr__(self, "history", tuple(self.history))
+        check_stop_reason(self.stopped_reason)
+
+    @property
+    def converged(self) -> bool:
+        """Deprecation shim: True iff ``stopped_reason == "converged"``.
+
+        Prefer reading :attr:`stopped_reason` directly — it also
+        distinguishes deadline, cancellation and cap exits.
+        """
+        return self.stopped_reason == "converged"
+
+    @property
+    def cancelled(self) -> bool:
+        """True when a cooperative cancellation stopped the search."""
+        return self.stopped_reason == "cancelled"
 
     @property
     def best_coefficient(self) -> float:

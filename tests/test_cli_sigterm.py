@@ -1,0 +1,111 @@
+"""End-to-end interruption: a real SIGTERM against the CLI process.
+
+The in-process chaos suite (``test_run_lifecycle.py``) proves the
+kill/resume guarantee at the library layer with injected cancellation;
+this module closes the loop at the operating-system layer: a ``multik``
+sweep run as a subprocess, killed with a real SIGTERM, must
+
+* exit with the conventional ``128 + SIGTERM = 143``,
+* print partial results plus a resume hint instead of a traceback,
+* leave a complete, loadable checkpoint on disk, and
+* finish under ``--resume`` with byte-identical output to a run that
+  was never interrupted.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+pytestmark = pytest.mark.skipif(
+    os.name != "posix", reason="POSIX signal semantics required"
+)
+
+REPO_SRC = str(Path(__file__).resolve().parent.parent / "src")
+BASE_ARGS = [
+    "--dataset", "housing",
+    "--ks", "2", "3",
+    "--seed", "0",
+    "--phi", "5",
+    "--projections", "5",
+]
+
+
+def cli(*args, **popen_kwargs):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = REPO_SRC + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "multik", *BASE_ARGS, *args],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=env,
+        **popen_kwargs,
+    )
+
+
+def wait_for_checkpoint(directory: Path, timeout: float = 120.0) -> None:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if any(directory.glob("search_k*.json")):
+            return
+        time.sleep(0.02)
+    raise AssertionError(f"no checkpoint appeared in {directory} within {timeout}s")
+
+
+@pytest.fixture(scope="module")
+def reference_output():
+    """Stdout of the sweep run to completion, never interrupted."""
+    process = cli()
+    stdout, stderr = process.communicate(timeout=600)
+    assert process.returncode == 0, stderr
+    return stdout
+
+
+class TestSigterm:
+    def test_sigterm_then_resume_matches_uninterrupted_run(
+        self, tmp_path, reference_output
+    ):
+        ckpt = tmp_path / "ckpt"
+        process = cli("--checkpoint-dir", str(ckpt))
+        try:
+            # Kill only once the first checkpoint is flushed, so the
+            # interrupt provably lands mid-run, not before it started.
+            wait_for_checkpoint(ckpt)
+            process.send_signal(signal.SIGTERM)
+            stdout, stderr = process.communicate(timeout=600)
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.communicate()
+
+        assert process.returncode == 143, stderr
+        assert "Traceback" not in stderr
+        assert "--resume" in stderr  # operator hint
+        assert "stopped early: cancelled" in stdout
+
+        # The flushed checkpoint is complete, valid JSON with a manifest.
+        checkpoints = sorted(ckpt.glob("search_k*.json"))
+        assert checkpoints
+        payload = json.loads(checkpoints[0].read_text())
+        assert payload["format_version"] == 1
+        assert "manifest" in payload and "state" in payload
+
+        resumed = cli("--checkpoint-dir", str(ckpt), "--resume")
+        stdout, stderr = resumed.communicate(timeout=600)
+        assert resumed.returncode == 0, stderr
+        assert stdout == reference_output
+
+    def test_resume_without_checkpoint_dir_is_an_error(self):
+        process = cli("--resume")
+        stdout, stderr = process.communicate(timeout=120)
+        assert process.returncode != 0
+        assert "--checkpoint-dir" in stderr
+        assert "Traceback" not in stderr

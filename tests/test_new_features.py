@@ -288,7 +288,10 @@ class TestLogging:
         counter = CubeCounter(EquiDepthDiscretizer(4).fit_transform(data))
         with caplog.at_level(logging.WARNING, logger="repro.search.brute_force"):
             BruteForceSearch(counter, 3, 5, max_evaluations=10).run()
-        assert any("budget exhausted" in r.message for r in caplog.records)
+        assert any(
+            "stopped early" in r.message and "evaluation_cap" in r.message
+            for r in caplog.records
+        )
 
 
 class TestPackedDetector:
