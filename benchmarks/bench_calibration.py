@@ -19,10 +19,7 @@ import pytest
 
 from repro.core.detector import SubspaceOutlierDetector
 from repro.data.registry import load_dataset
-from repro.eval.calibration import (
-    empirical_p_value,
-    permutation_null_best_coefficients,
-)
+from repro.eval.calibration import empirical_p_value
 from repro.search.brute_force import search_space_size
 from repro.sparsity.statistics import (
     bonferroni_significance,

@@ -10,7 +10,9 @@ a GA-population-sized batch (the headline number for the batch API).
 
 from __future__ import annotations
 
+import json
 import time
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -34,6 +36,11 @@ BATCH_K = 4
 BATCH_P = 500
 
 _LINES: list[str] = []
+
+#: Machine-readable metrics, dumped to BENCH_engine.json at the repo
+#: root by test_report so the perf trajectory has tracked data points.
+_METRICS: dict[str, float] = {}
+_BENCH_JSON = Path(__file__).resolve().parents[1] / "BENCH_engine.json"
 
 
 @pytest.fixture(scope="module")
@@ -59,14 +66,23 @@ def _count_all(counter, cubes):
     return [counter.count(cube) for cube in cubes]
 
 
+def _timed_count_all(counter, cubes, metric_key):
+    t0 = time.perf_counter()
+    counts = _count_all(counter, cubes)
+    _METRICS[metric_key] = time.perf_counter() - t0
+    return counts
+
+
 def test_boolean_mask_counter(benchmark, cells, cubes):
     counter = CubeCounter(cells, cache_size=0)
     counts = benchmark.pedantic(
-        lambda: _count_all(counter, cubes), rounds=1, iterations=1
+        lambda: _timed_count_all(counter, cubes, "boolean_mask_seconds"),
+        rounds=1, iterations=1,
     )
     _LINES.append(
         f"{'boolean masks':<22}{counter.mask_memory_bytes() / 1e6:>12.1f} MB"
     )
+    _METRICS["boolean_mask_memory_mb"] = counter.mask_memory_bytes() / 1e6
     assert len(counts) == N_CUBES
 
 
@@ -74,11 +90,13 @@ def test_packed_counter(benchmark, cells, cubes):
     counter = PackedCubeCounter(cells, cache_size=0)
     reference = _count_all(CubeCounter(cells, cache_size=0), cubes)
     counts = benchmark.pedantic(
-        lambda: _count_all(counter, cubes), rounds=1, iterations=1
+        lambda: _timed_count_all(counter, cubes, "packed_mask_seconds"),
+        rounds=1, iterations=1,
     )
     _LINES.append(
         f"{'bit-packed masks':<22}{counter.mask_memory_bytes() / 1e6:>12.1f} MB"
     )
+    _METRICS["packed_mask_memory_mb"] = counter.mask_memory_bytes() / 1e6
     assert counts == reference
 
 
@@ -94,6 +112,7 @@ def test_cache_effectiveness(benchmark, cells, cubes):
     stats = benchmark.pedantic(repeated, rounds=1, iterations=1)
     hit_rate = stats["cache_hits"] / stats["count_calls"]
     _LINES.append(f"{'memoisation hit rate':<22}{hit_rate:>12.1%}")
+    _METRICS["cache_hit_rate"] = hit_rate
     assert hit_rate > 0.85
 
 
@@ -127,6 +146,9 @@ def test_batch_speedup(benchmark):
         f"(p={BATCH_P}, k={BATCH_K}, N={BATCH_N:,}: "
         f"{per_cube_seconds:.2f}s per-cube vs {batch_seconds:.2f}s batched)"
     )
+    _METRICS["batch_speedup"] = speedup
+    _METRICS["batch_seconds"] = batch_seconds
+    _METRICS["per_cube_seconds"] = per_cube_seconds
     assert counts.tolist() == reference
     assert speedup >= 3.0
 
@@ -145,3 +167,21 @@ def test_report(benchmark):
     from conftest import register_report
 
     register_report("Substrate - cube counting engines", lines)
+    payload = {
+        "benchmark": "counter_performance",
+        "params": {
+            "n_points": N_POINTS,
+            "n_dims": N_DIMS,
+            "phi": PHI,
+            "n_cubes": N_CUBES,
+            "batch": {
+                "n_points": BATCH_N,
+                "n_dims": BATCH_D,
+                "phi": BATCH_PHI,
+                "k": BATCH_K,
+                "population": BATCH_P,
+            },
+        },
+        "metrics": dict(_METRICS),
+    }
+    _BENCH_JSON.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

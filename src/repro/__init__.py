@@ -37,6 +37,23 @@ from .core.params import (
 )
 from .core.results import DetectionResult, ScoredProjection
 from .core.subspace import Subspace
+from .engine import (
+    CompositeSink,
+    Event,
+    EventSink,
+    GeneratorEngine,
+    InMemoryEventSink,
+    JsonlTraceSink,
+    NullSink,
+    RunContext,
+    SearchEngine,
+    StatsAssemblySink,
+    create_engine,
+    engine_names,
+    engine_spec,
+    register_engine,
+    unregister_engine,
+)
 from .exceptions import (
     CheckpointError,
     DatasetError,
@@ -154,6 +171,22 @@ __all__ = [
     "RankRouletteSelection",
     "SearchOutcome",
     "GenerationRecord",
+    # engine layer
+    "SearchEngine",
+    "GeneratorEngine",
+    "RunContext",
+    "Event",
+    "EventSink",
+    "NullSink",
+    "InMemoryEventSink",
+    "JsonlTraceSink",
+    "CompositeSink",
+    "StatsAssemblySink",
+    "register_engine",
+    "unregister_engine",
+    "engine_names",
+    "engine_spec",
+    "create_engine",
     # run lifecycle
     "RunController",
     "CancelToken",

@@ -37,6 +37,7 @@ from .core.explain import explain_point, render_report
 from .core.params import CountingBackend
 from .data.loaders import load_csv
 from .data.registry import DATASETS, load_dataset
+from .engine.registry import engine_names
 from .eval.comparison import build_table1, render_table
 from .exceptions import ReproError, SearchCancelled
 from .persist import load_model, result_to_dict, save_model
@@ -162,7 +163,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--phi", type=int, default=None)
     sweep.add_argument("-m", "--projections", type=int, default=20)
     sweep.add_argument(
-        "--method", choices=["evolutionary", "brute_force"], default="brute_force"
+        "--method", choices=engine_names(), default="brute_force"
     )
     sweep.add_argument("--seed", type=int, default=0)
 
@@ -193,7 +194,17 @@ def _add_detector_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--phi", type=int, default=None, help="grid ranges per dim")
     parser.add_argument("-m", "--projections", type=int, default=20)
     parser.add_argument(
-        "--method", choices=["evolutionary", "brute_force"], default="evolutionary"
+        "--method",
+        choices=engine_names(),
+        default="evolutionary",
+        help="search engine (from the engine registry)",
+    )
+    parser.add_argument(
+        "--search",
+        choices=engine_names(),
+        default=None,
+        metavar="ENGINE",
+        help="search engine to use; overrides --method (same registry names)",
     )
     parser.add_argument("--threshold", type=float, default=None)
     parser.add_argument("--seed", type=int, default=0)
@@ -276,16 +287,31 @@ def _add_lifecycle_arguments(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="continue from the checkpoints in --checkpoint-dir",
     )
+    parser.add_argument(
+        "--trace-file",
+        default=None,
+        metavar="PATH",
+        help=(
+            "stream every engine event (generations, levels, retries, "
+            "checkpoints) to PATH as one JSON object per line"
+        ),
+    )
 
 
 def _controller(args) -> RunController:
     """Run lifecycle shared by detect/multik: budget + signals + checkpoints."""
     if args.resume and args.checkpoint_dir is None:
         raise ReproError("--resume requires --checkpoint-dir")
+    sink = None
+    if getattr(args, "trace_file", None) is not None:
+        from .engine.events import JsonlTraceSink
+
+        sink = JsonlTraceSink(args.trace_file)
     return RunController(
         max_seconds=args.max_seconds,
         checkpoint_dir=args.checkpoint_dir,
         checkpoint_every=args.checkpoint_every,
+        sink=sink,
     )
 
 
@@ -337,7 +363,7 @@ def _detector(args, dataset, controller=None) -> SubspaceOutlierDetector:
         dimensionality=args.dimensionality,
         n_ranges=phi,
         n_projections=args.projections,
-        method=args.method,
+        method=getattr(args, "search", None) or args.method,
         threshold=args.threshold,
         config=config,
         packed=getattr(args, "packed", False),
@@ -351,12 +377,16 @@ def _cmd_detect(args) -> int:
     dataset = _load(args)
     controller = _controller(args)
     detector = _detector(args, dataset, controller)
-    with controller.signal_handlers():
-        result = detector.detect(
-            dataset.values,
-            feature_names=dataset.feature_names,
-            resume=args.resume,
-        )
+    try:
+        with controller.signal_handlers():
+            result = detector.detect(
+                dataset.values,
+                feature_names=dataset.feature_names,
+                resume=args.resume,
+            )
+    finally:
+        if controller.sink is not None:
+            controller.sink.close()
     if args.output == "json":
         print(json.dumps(result_to_dict(result), indent=2))
     else:
@@ -392,7 +422,7 @@ def _cmd_multik(args) -> int:
     detector_kwargs = {
         "n_ranges": phi,
         "n_projections": args.projections,
-        "method": args.method,
+        "method": getattr(args, "search", None) or args.method,
         "threshold": args.threshold,
         "config": EvolutionaryConfig(
             population_size=args.population, max_generations=args.generations
@@ -413,6 +443,9 @@ def _cmd_multik(args) -> int:
     except SearchCancelled as exc:
         print(f"interrupted: {exc}", file=sys.stderr)
         return controller.exit_code() or 1
+    finally:
+        if controller.sink is not None:
+            controller.sink.close()
     if args.output == "json":
         payload = {
             "stopped_reason": outcome.stopped_reason,

@@ -23,21 +23,23 @@ from __future__ import annotations
 
 import logging
 import time
-from typing import Sequence
+from typing import Mapping, Sequence
 
 import numpy as np
 
 from .._validation import check_matrix, check_positive_int
+from ..engine.context import RunContext
+from ..engine.events import CompositeSink, EventSink
+from ..engine.registry import create_engine, engine_spec
+from ..engine.stats import StatsAssemblySink
 from ..exceptions import NotFittedError, ValidationError
 from ..grid.counter import CubeCounter
 from ..grid.discretizer import EquiDepthDiscretizer, GridDiscretizer
 from ..grid.packed_counter import PackedCubeCounter
 from ..run.checkpoint import data_fingerprint, params_fingerprint
 from ..run.controller import RunController
-from ..search.brute_force import BruteForceSearch
 from ..search.evolutionary.config import EvolutionaryConfig
 from ..search.evolutionary.crossover import CrossoverOperator
-from ..search.evolutionary.engine import EvolutionarySearch
 from ..search.evolutionary.selection import SelectionOperator
 from ..search.outcome import SearchOutcome
 from .params import CountingBackend, choose_projection_dimensionality
@@ -46,8 +48,6 @@ from .results import DetectionResult, ScoredProjection
 __all__ = ["SubspaceOutlierDetector"]
 
 logger = logging.getLogger(__name__)
-
-_METHODS = ("evolutionary", "brute_force")
 
 
 class SubspaceOutlierDetector:
@@ -66,7 +66,12 @@ class SubspaceOutlierDetector:
         May be ``None`` when *threshold* is given, reproducing the
         arrhythmia protocol ("all projections with coefficient ≤ −3").
     method:
-        ``"evolutionary"`` (default) or ``"brute_force"``.
+        Any engine registered in :mod:`repro.engine.registry` —
+        ``"evolutionary"`` (default), ``"brute_force"``, or the §2.1
+        ablation searchers ``"random"`` / ``"hill_climbing"`` /
+        ``"simulated_annealing"``; plugins registered via
+        :func:`~repro.engine.registry.register_engine` resolve the same
+        way.
     threshold:
         Optional sparsity-coefficient cutoff for mined projections.
     target_sparsity:
@@ -103,6 +108,19 @@ class SubspaceOutlierDetector:
         kill.  With a checkpointing controller the brute-force method
         automatically uses the ``level_batch`` strategy (the only one
         with a serializable frontier).
+    event_sink:
+        Optional :class:`~repro.engine.events.EventSink` receiving the
+        run's typed events (``run_started``, ``generation_end`` /
+        ``level_end``, ``chunk_retry``, ``checkpoint_written``,
+        ``engine_finished``) — e.g. an
+        :class:`~repro.engine.events.InMemoryEventSink` for tests or a
+        :class:`~repro.engine.events.JsonlTraceSink` for a trace file.
+        Composed with the controller's sink when both are set.
+    engine_options:
+        Extra keyword arguments for the engine factory (e.g.
+        ``{"max_evaluations": 5000}`` for the ablation searchers, or a
+        plugin engine's own options), merged over the detector-derived
+        arguments before the registry's ``accepts`` filter is applied.
 
     Attributes (populated by :meth:`detect`)
     ----------------------------------------
@@ -133,6 +151,8 @@ class SubspaceOutlierDetector:
         counting: CountingBackend | None = None,
         random_state=None,
         controller: RunController | None = None,
+        event_sink: EventSink | None = None,
+        engine_options: Mapping | None = None,
     ):
         if dimensionality is not None:
             dimensionality = check_positive_int(dimensionality, "dimensionality")
@@ -143,8 +163,7 @@ class SubspaceOutlierDetector:
                 "n_projections=None requires a threshold (unbounded mining)"
             )
         self.n_projections = n_projections
-        if method not in _METHODS:
-            raise ValidationError(f"method must be one of {_METHODS}, got {method!r}")
+        engine_spec(method)  # unknown names raise ValidationError here
         self.method = method
         self.threshold = threshold
         self.require_nonempty = require_nonempty
@@ -167,6 +186,8 @@ class SubspaceOutlierDetector:
                 f"{type(controller).__name__}"
             )
         self.controller = controller
+        self.event_sink = event_sink
+        self.engine_options = dict(engine_options) if engine_options else {}
 
         self.cells_ = None
         self.counter_: CubeCounter | None = None
@@ -209,10 +230,21 @@ class SubspaceOutlierDetector:
             array.shape[0], array.shape[1], self.n_ranges, k, self.method,
             self.n_projections, self.threshold, counter.backend.kind,
         )
+        # The stats sink is always present (it reconstructs the classic
+        # result.stats); the user's sink — and the controller's, inside
+        # build_context — see the same event stream.
+        stats_sink = StatsAssemblySink()
+        sink = (
+            stats_sink
+            if self.event_sink is None
+            else CompositeSink(stats_sink, self.event_sink)
+        )
         try:
-            outcome = self._run_search(counter, k, cells=cells, resume=resume)
+            outcome = self._run_search(
+                counter, k, cells=cells, resume=resume, sink=sink
+            )
             result = self._postprocess(
-                outcome, counter, k, time.perf_counter() - start
+                outcome, counter, k, time.perf_counter() - start, stats_sink
             )
         finally:
             # Release the counting pool (if a process backend spun one
@@ -316,67 +348,71 @@ class SubspaceOutlierDetector:
         *,
         cells=None,
         resume: bool = False,
+        sink: EventSink | None = None,
     ) -> SearchOutcome:
+        """Resolve the engine through the registry and drive its run.
+
+        The engine is constructed by the registered factory (extra
+        ``engine_options`` merged over the detector-derived arguments),
+        then injected with one :class:`~repro.engine.context.RunContext`
+        carrying the cancel token, the remaining wall-clock budget, the
+        checkpointer and the event sink.
+        """
         controller = self.controller
-        token = controller.token if controller is not None else None
+        spec = engine_spec(self.method)
         checkpointer = None
-        if controller is not None and controller.store is not None:
+        if (
+            controller is not None
+            and controller.store is not None
+            and spec.supports_checkpoint
+        ):
             manifest = self._manifest(k, cells) if cells is not None else None
             checkpointer = controller.checkpointer(
                 f"search_k{k}", manifest=manifest
             )
-        max_seconds = self.max_seconds
-        if controller is not None:
-            remaining = controller.remaining_seconds()
-            if remaining is not None:
-                # An already-expired run-wide budget must still build a
-                # valid search (max_seconds > 0): a tiny positive budget
-                # makes the first boundary check report "deadline" with
-                # best-so-far results instead of a ValidationError.
-                remaining = max(remaining, 1e-9)
-                max_seconds = (
-                    remaining if max_seconds is None
-                    else min(max_seconds, remaining)
-                )
         resume_from = (
             True
             if resume and checkpointer is not None and checkpointer.exists()
             else None
         )
-        if self.method == "brute_force":
-            search = BruteForceSearch(
-                counter,
-                k,
-                self.n_projections,
-                require_nonempty=self.require_nonempty,
-                threshold=self.threshold,
-                max_seconds=max_seconds,
-                strategy=(
-                    "level_batch" if checkpointer is not None else "depth_first"
-                ),
-                cancel_token=token,
-                checkpointer=checkpointer,
-            )
-            return search.run(resume_from=resume_from)
-        config = self.config or EvolutionaryConfig()
-        if max_seconds is not None and config.max_seconds is None:
-            config = EvolutionaryConfig(
-                **{**config.__dict__, "max_seconds": max_seconds}
-            )
-        search = EvolutionarySearch(
-            counter,
-            k,
-            self.n_projections,
-            config=config,
-            crossover=self.crossover,
-            selection=self.selection,
-            require_nonempty=self.require_nonempty,
-            threshold=self.threshold,
-            random_state=self.random_state,
-            cancel_token=token,
-            checkpointer=checkpointer,
+        engine_kwargs = {
+            "require_nonempty": self.require_nonempty,
+            "threshold": self.threshold,
+            "config": self.config,
+            "crossover": self.crossover,
+            "selection": self.selection,
+            "random_state": self.random_state,
+            "strategy": (
+                "level_batch" if checkpointer is not None else "depth_first"
+            ),
+            **self.engine_options,
+        }
+        engine = create_engine(
+            self.method, counter, k, self.n_projections, **engine_kwargs
         )
-        return search.run(resume_from=resume_from)
+        if controller is not None:
+            context = controller.build_context(
+                counter=counter,
+                checkpointer=checkpointer,
+                sink=sink,
+                resume_from=resume_from,
+            )
+            # The detector's own budget composes with the controller's
+            # remaining one; the engine takes the minimum of both.
+            context.max_seconds = (
+                self.max_seconds
+                if context.max_seconds is None
+                else context.merged_budget(self.max_seconds)
+            )
+        else:
+            context = RunContext(
+                counter=counter,
+                max_seconds=self.max_seconds,
+                resume_from=resume_from,
+            )
+            if sink is not None:
+                context.sink = sink
+        return engine.run(context=context)
 
     def _postprocess(
         self,
@@ -384,6 +420,7 @@ class SubspaceOutlierDetector:
         counter: CubeCounter,
         k: int,
         elapsed: float,
+        stats_sink: StatsAssemblySink,
     ) -> DetectionResult:
         """§2.3: map mined projections back to the covered points."""
         coverage: dict[int, list[int]] = {}
@@ -391,12 +428,7 @@ class SubspaceOutlierDetector:
             for point in counter.covered_points(projection.subspace):
                 coverage.setdefault(int(point), []).append(proj_index)
         outlier_indices = np.array(sorted(coverage), dtype=np.intp)
-        stats = dict(outcome.stats)
-        stats["total_elapsed_seconds"] = elapsed
-        stats["completed"] = float(outcome.completed)
-        stats["stopped_reason"] = outcome.stopped_reason
-        stats["counter_stats"] = counter.cache_stats()
-        stats["backend_health"] = counter.backend_health()
+        stats = stats_sink.assemble(outcome, counter, elapsed)
         if counter.health.degraded:
             logger.warning(
                 "counting backend degraded during detect: %s "

@@ -17,6 +17,7 @@ from typing import Mapping, Sequence
 import numpy as np
 
 from .._validation import check_matrix
+from ..engine.stats import merge_backend_health
 from ..exceptions import SearchCancelled, ValidationError
 from ..run.cancel import check_stop_reason
 from ..run.checkpoint import params_fingerprint
@@ -90,24 +91,9 @@ class MultiKResult:
         ``stats["backend_health"]`` counters (booleans OR together) so
         ensemble drivers can check one record instead of |K|.
         """
-        totals = {
-            "retries": 0,
-            "timeouts": 0,
-            "rebuilds": 0,
-            "fallbacks": 0,
-            "chunks_parallel": 0,
-            "chunks_serial": 0,
-            "pool_degraded": False,
-            "pool_unavailable": False,
-        }
-        for result in self.results.values():
-            health = result.backend_health
-            for key, value in totals.items():
-                if isinstance(value, bool):
-                    totals[key] = value or bool(health.get(key))
-                else:
-                    totals[key] = value + int(health.get(key, 0))
-        return totals
+        return merge_backend_health(
+            result.backend_health for result in self.results.values()
+        )
 
     @property
     def backend_degraded(self) -> bool:

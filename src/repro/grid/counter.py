@@ -30,6 +30,7 @@ from __future__ import annotations
 import logging
 import time
 from collections import OrderedDict
+from contextlib import contextmanager
 
 import numpy as np
 
@@ -187,6 +188,7 @@ class CubeCounter:
         self._pool = None
         self._pool_failed = False
         self.cancel_token = None
+        self.event_sink = None
         self._build_masks()
 
     def _build_masks(self) -> None:
@@ -364,6 +366,32 @@ class CubeCounter:
         """
         self.cancel_token = token
 
+    def set_event_sink(self, sink) -> None:
+        """Attach an :class:`~repro.engine.events.EventSink` to counting.
+
+        The fault-tolerant dispatcher reports worker trouble
+        (``chunk_retry`` events) through it.  Pass ``None`` to detach.
+        """
+        self.event_sink = sink
+
+    @contextmanager
+    def runtime_binding(self, token, sink=None):
+        """Scope a cancel token (and event sink) to one engine run.
+
+        Exception-safe: whatever was bound before is restored on exit
+        even when the search raises mid-batch, so a counter shared
+        across runs never leaks a stale token into the next one.
+        """
+        previous_token = self.cancel_token
+        previous_sink = self.event_sink
+        self.set_cancel_token(token)
+        self.set_event_sink(sink)
+        try:
+            yield self
+        finally:
+            self.set_cancel_token(previous_token)
+            self.set_event_sink(previous_sink)
+
     def _check_cancelled(self) -> None:
         token = self.cancel_token
         if token is not None and token.cancelled:
@@ -414,7 +442,9 @@ class CubeCounter:
             (sd[lo : lo + chunk], sr[lo : lo + chunk])
             for lo in range(0, n_cubes, chunk)
         ]
-        results = pool.map_chunks(chunks, cancel_token=self.cancel_token)
+        results = pool.map_chunks(
+            chunks, cancel_token=self.cancel_token, event_sink=self.event_sink
+        )
         if pool.is_degraded:
             # The pool exhausted its rebuild budget mid-run; release it
             # and run every later batch on the plain serial path.

@@ -47,6 +47,7 @@ from multiprocessing import shared_memory
 import numpy as np
 
 from ..core.params import CountingBackend, FaultPlan
+from ..engine.events import emit_event
 from ..exceptions import SearchCancelled
 from .counter import batch_counts
 from .health import BackendHealth
@@ -226,7 +227,9 @@ class CountingPool:
         return self._executor is None
 
     # ------------------------------------------------------------------
-    def map_chunks(self, chunks: list[tuple], cancel_token=None) -> list[tuple]:
+    def map_chunks(
+        self, chunks: list[tuple], cancel_token=None, event_sink=None
+    ) -> list[tuple]:
         """Evaluate chunks resiliently, results in submission order.
 
         Never fails because of worker trouble: chunks that cannot be
@@ -241,6 +244,11 @@ class CountingPool:
         :class:`~repro.exceptions.SearchCancelled` once it flips.  The
         search discards the partial batch, so cancellation never
         affects returned counts.
+
+        *event_sink* receives one ``chunk_retry`` event per recovery
+        action (pool retry or serial fallback) so run traces show
+        worker trouble as it happens, not only in the final health
+        counters.
         """
         n = len(chunks)
         base_id = self._next_chunk_id
@@ -300,9 +308,19 @@ class CountingPool:
             pending = []
             for idx in failed:
                 if attempts[idx] > self._max_retries:
+                    emit_event(
+                        event_sink, "chunk_retry",
+                        chunk_id=base_id + idx, attempt=attempts[idx],
+                        action="serial_fallback",
+                    )
                     self._run_serial(idx, chunks[idx], results)
                 else:
                     self.health.retries += 1
+                    emit_event(
+                        event_sink, "chunk_retry",
+                        chunk_id=base_id + idx, attempt=attempts[idx],
+                        action="retry",
+                    )
                     pending.append(idx)
             pending.extend(unsubmitted)
             if broken:

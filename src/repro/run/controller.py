@@ -49,6 +49,11 @@ class RunController:
     token:
         An externally-owned :class:`~repro.run.cancel.CancelToken`
         (e.g. a chaos-injection token in tests); a fresh one by default.
+    sink:
+        An :class:`~repro.engine.events.EventSink` receiving every
+        engine event of the run (e.g. a
+        :class:`~repro.engine.events.JsonlTraceSink` for the CLI's
+        ``--trace-file``); ``None`` disables run-wide tracing.
     """
 
     def __init__(
@@ -58,6 +63,7 @@ class RunController:
         checkpoint_dir=None,
         checkpoint_every: int = 1,
         token: CancelToken | None = None,
+        sink=None,
     ) -> None:
         if max_seconds is not None and max_seconds <= 0:
             raise ValidationError(
@@ -73,6 +79,7 @@ class RunController:
         self.store: CheckpointStore | None = (
             CheckpointStore(checkpoint_dir) if checkpoint_dir is not None else None
         )
+        self.sink = sink
         self._started_at = time.perf_counter()
 
     # ------------------------------------------------------------------
@@ -122,6 +129,47 @@ class RunController:
         return SearchCheckpointer(
             self.store, name, every=self.checkpoint_every, manifest=manifest
         )
+
+    def build_context(
+        self,
+        *,
+        counter=None,
+        checkpointer=None,
+        sink=None,
+        resume_from=None,
+    ):
+        """A :class:`~repro.engine.context.RunContext` for one engine run.
+
+        Bundles this controller's cancel token, *remaining* wall-clock
+        budget and event sink (composed with *sink* when both are set)
+        so the engine sees one coherent injection point.  The budget is
+        clamped to a tiny positive value when already spent: the engine
+        must still construct, then stop at its first boundary with
+        reason ``deadline`` rather than raise.
+        """
+        from ..engine.context import RunContext
+        from ..engine.events import CompositeSink
+
+        remaining = self.remaining_seconds()
+        if remaining is not None:
+            remaining = max(remaining, 1e-9)
+        sinks = [s for s in (self.sink, sink) if s is not None]
+        if not sinks:
+            resolved_sink = None
+        elif len(sinks) == 1:
+            resolved_sink = sinks[0]
+        else:
+            resolved_sink = CompositeSink(*sinks)
+        context = RunContext(
+            counter=counter,
+            cancel_token=self.token,
+            checkpointer=checkpointer,
+            max_seconds=remaining,
+            resume_from=resume_from,
+        )
+        if resolved_sink is not None:
+            context.sink = resolved_sink
+        return context
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -39,6 +39,8 @@ from typing import Mapping
 import numpy as np
 
 from .._validation import check_positive_int
+from ..engine.context import RunContext
+from ..engine.protocol import GeneratorEngine
 from ..exceptions import CheckpointError, SearchCancelled, ValidationError
 from ..core.results import ScoredProjection
 from ..core.subspace import Subspace
@@ -67,7 +69,7 @@ def search_space_size(n_dims: int, dimensionality: int, n_ranges: int) -> int:
     return math.comb(n_dims, dimensionality) * n_ranges**dimensionality
 
 
-class BruteForceSearch:
+class BruteForceSearch(GeneratorEngine):
     """Exhaustive cube search (Algorithm *BruteForce*, Figure 2).
 
     Parameters
@@ -152,29 +154,30 @@ class BruteForceSearch:
         self.checkpointer = checkpointer
 
     # ------------------------------------------------------------------
-    def run(self, *, resume_from=None) -> SearchOutcome:
-        """Enumerate every k-dimensional cube and return the best set.
+    def _iterate(self, context: RunContext):
+        """The enumeration as a generator (see :class:`GeneratorEngine`).
 
-        Parameters
-        ----------
-        resume_from:
-            ``None`` (fresh run), ``True`` (load the configured
-            checkpointer's latest level-boundary checkpoint), or a state
-            mapping.  A resumed run restores the breadth-first frontier,
-            best set and evaluation counter, and its final result is
-            bit-identical to the same run never having been interrupted.
+        ``run(resume_from=...)`` drives it to completion.  Under
+        ``level_batch`` each step is one level boundary; the depth-first
+        recursion has no serializable frontier, so it runs as a single
+        step.  A resumed run restores the breadth-first frontier, best
+        set and evaluation counter, and its final result is
+        bit-identical to the same run never having been interrupted.
         """
+        token = context.resolve_token(self.cancel_token)
+        checkpointer = context.resolve_checkpointer(self.checkpointer)
+        max_seconds = context.merged_budget(self.max_seconds)
         best = BestProjectionSet(
             self.n_projections,
             require_nonempty=self.require_nonempty,
             threshold=self.threshold,
         )
-        restored = self._load_resume_state(resume_from)
+        restored = self._load_resume_state(context.resume_from, checkpointer)
         start = time.perf_counter()
         state = _RunState(
-            deadline=None if self.max_seconds is None else start + self.max_seconds,
+            deadline=None if max_seconds is None else start + max_seconds,
             max_evaluations=self.max_evaluations,
-            token=self.cancel_token,
+            token=token,
         )
         elapsed_base = 0.0
         start_depth = 1
@@ -200,26 +203,46 @@ class BruteForceSearch:
             self.counter.n_ranges, self.strategy,
         )
         totals = {"elapsed_base": elapsed_base, "start": start}
-        previous_token = self.counter.cancel_token
-        self.counter.set_cancel_token(self.cancel_token)
-        try:
-            if self.strategy == "level_batch":
-                self._run_levels(
-                    best, state,
-                    start_depth=start_depth, start_level=start_level,
-                    totals=totals,
-                )
-            else:
-                all_points = np.ones(self.counter.n_points, dtype=bool)
-                self._extend(Subspace.empty(), all_points, -1, d, k, best, state)
-        except SearchCancelled:
-            # Cancellation struck inside the counting engine mid-batch;
-            # that batch's offers never happened, so the last
-            # level-boundary checkpoint remains the exact resume point.
-            state.latch("cancelled")
-        finally:
-            self.counter.set_cancel_token(previous_token)
-        elapsed = elapsed_base + (time.perf_counter() - start)
+        self._run = {
+            "best": best,
+            "state": state,
+            "totals": totals,
+        }
+        context.emit(
+            "run_started",
+            algorithm="brute_force",
+            strategy=self.strategy,
+            dimensionality=k,
+            n_projections=self.n_projections,
+            search_space_size=search_space_size(d, k, self.counter.n_ranges),
+            resumed=restored is not None,
+        )
+        with self.counter.runtime_binding(token, context.sink):
+            yield  # prepare boundary: state built, no cubes counted yet
+            try:
+                if self.strategy == "level_batch":
+                    yield from self._run_levels(
+                        best, state,
+                        start_depth=start_depth, start_level=start_level,
+                        totals=totals,
+                        checkpointer=checkpointer, context=context,
+                    )
+                else:
+                    all_points = np.ones(self.counter.n_points, dtype=bool)
+                    self._extend(Subspace.empty(), all_points, -1, d, k, best, state)
+            except SearchCancelled:
+                # Cancellation struck inside the counting engine mid-batch;
+                # that batch's offers never happened, so the last
+                # level-boundary checkpoint remains the exact resume point.
+                state.latch("cancelled")
+
+    def _build_outcome(self, context: RunContext) -> SearchOutcome:
+        run = self._require_run_state()
+        best, state, totals = run["best"], run["state"], run["totals"]
+        d, k = self.counter.n_dims, self.dimensionality
+        elapsed = totals["elapsed_base"] + (
+            time.perf_counter() - totals["start"]
+        )
         stopped_reason = state.stop_reason or "converged"
         if state.exhausted:
             logger.warning(
@@ -239,8 +262,15 @@ class BruteForceSearch:
             stopped_reason=stopped_reason,
         )
 
-    def _load_resume_state(self, resume_from) -> dict | None:
+    def _mark_abandoned(self, context: RunContext) -> None:
+        run = getattr(self, "_run", None)
+        if run is not None:
+            run["state"].latch("cancelled")
+
+    def _load_resume_state(self, resume_from, checkpointer=None) -> dict | None:
         """Normalize ``resume_from`` into a state dict (or None)."""
+        if checkpointer is None:
+            checkpointer = self.checkpointer
         if resume_from is None or resume_from is False:
             return None
         if self.strategy != "level_batch":
@@ -248,12 +278,12 @@ class BruteForceSearch:
                 "brute-force resume requires strategy='level_batch'"
             )
         if resume_from is True:
-            if self.checkpointer is None:
+            if checkpointer is None:
                 raise CheckpointError(
                     "resume_from=True needs a checkpointer; construct the "
                     "search with checkpointer=..."
                 )
-            state = self.checkpointer.load()
+            state = checkpointer.load()
         elif isinstance(resume_from, Mapping):
             state = dict(resume_from)
         else:
@@ -351,7 +381,9 @@ class BruteForceSearch:
         start_depth: int = 1,
         start_level: list[tuple[tuple, tuple]] | None = None,
         totals: dict | None = None,
-    ) -> None:
+        checkpointer=None,
+        context: RunContext | None = None,
+    ):
         """Breadth-first ``R_{i+1} = R_i ⊕ Q_1`` over batched counts.
 
         Each level's candidates go through ``count_batch`` in
@@ -360,29 +392,46 @@ class BruteForceSearch:
         the same subtree pruning the DFS applies).  Generation order is
         lexicographic, matching the DFS visit order exactly.
 
-        The top of the depth loop is the **safe boundary**: the frontier
-        is an explicit list, the best set has absorbed every completed
-        level, and nothing is half-counted.  The boundary snapshot is
-        taken *there*; a budget/cancellation exit mid-level saves that
-        snapshot, so a resumed run redoes the partial level from scratch
-        and lands bit-identically on the uninterrupted result.
+        A generator yielding at the top of the depth loop — the **safe
+        boundary**: the frontier is an explicit list, the best set has
+        absorbed every completed level, and nothing is half-counted.
+        The boundary snapshot is taken *there*; a budget/cancellation
+        exit mid-level saves that snapshot, so a resumed run redoes the
+        partial level from scratch and lands bit-identically on the
+        uninterrupted result.
         """
         counter = self.counter
+        if checkpointer is None:
+            checkpointer = self.checkpointer
+
+        def emit(type_: str, **payload) -> None:
+            if context is not None:
+                context.emit(type_, **payload)
+
         d, k, phi = counter.n_dims, self.dimensionality, counter.n_ranges
         chunk = max(1024, counter.backend.chunk_size)
         level = start_level if start_level is not None else [((), ())]
         totals = totals or {"elapsed_base": 0.0, "start": time.perf_counter()}
         for depth in range(start_depth, k + 1):
             # ---- safe boundary: level `depth` not yet generated ----
+            yield
             boundary_payload = None
-            if self.checkpointer is not None:
+            if checkpointer is not None:
                 boundary_payload = self._checkpoint_state(
                     depth, level, best, state, totals
                 )
-                self.checkpointer.maybe_save(depth, lambda: boundary_payload)
+                if checkpointer.maybe_save(depth, lambda: boundary_payload):
+                    emit(
+                        "checkpoint_written",
+                        boundary=depth, trigger="interval",
+                    )
             if state.check_boundary():
                 if boundary_payload is not None:
-                    self.checkpointer.save(boundary_payload)
+                    checkpointer.save(boundary_payload)
+                    emit(
+                        "checkpoint_written",
+                        boundary=depth, trigger=state.stop_reason or "stopped",
+                    )
                 return
             remaining = k - depth  # levels still to add after this one
             children: list[tuple[tuple, tuple]] = []
@@ -395,14 +444,31 @@ class BruteForceSearch:
             if depth == k:
                 self._score_leaves(children, best, state, chunk)
                 if state.exhausted and boundary_payload is not None:
-                    self.checkpointer.save(boundary_payload)
+                    checkpointer.save(boundary_payload)
+                    emit(
+                        "checkpoint_written",
+                        boundary=depth, trigger=state.stop_reason or "stopped",
+                    )
+                emit(
+                    "level_end",
+                    depth=depth,
+                    n_candidates=len(children),
+                    n_survivors=0,
+                    evaluations=state.evaluations,
+                    best_set_size=len(best),
+                )
                 return
             if self.require_nonempty:
                 survivors: list[tuple[tuple, tuple]] = []
                 for lo in range(0, len(children), chunk):
                     if state.check_budget():
                         if boundary_payload is not None:
-                            self.checkpointer.save(boundary_payload)
+                            checkpointer.save(boundary_payload)
+                            emit(
+                                "checkpoint_written",
+                                boundary=depth,
+                                trigger=state.stop_reason or "stopped",
+                            )
                         return
                     block = children[lo : lo + chunk]
                     counts = counter.count_batch(
@@ -414,6 +480,14 @@ class BruteForceSearch:
                 level = survivors
             else:
                 level = children
+            emit(
+                "level_end",
+                depth=depth,
+                n_candidates=len(children),
+                n_survivors=len(level),
+                evaluations=state.evaluations,
+                best_set_size=len(best),
+            )
 
     def _score_leaves(
         self,

@@ -18,6 +18,8 @@ from dataclasses import asdict
 from typing import Mapping
 
 from ..._validation import check_positive_int, check_rng
+from ...engine.context import RunContext
+from ...engine.protocol import GeneratorEngine
 from ...exceptions import CheckpointError, SearchCancelled, ValidationError
 from ...grid.counter import CubeCounter
 from ...run.checkpoint import encode_rng_state
@@ -41,7 +43,7 @@ _CROSSOVER_ALIASES = {
 }
 
 
-class EvolutionarySearch:
+class EvolutionarySearch(GeneratorEngine):
     """Algorithm *EvolutionaryOutlierSearch* (Figure 3).
 
     Parameters
@@ -131,21 +133,23 @@ class EvolutionarySearch:
         self.checkpointer = checkpointer
 
     # ------------------------------------------------------------------
-    def run(self, *, resume_from=None) -> SearchOutcome:
-        """Execute the GA (all restarts) and return the mined best set.
+    def _iterate(self, context: RunContext):
+        """The GA main loop as a generator (see :class:`GeneratorEngine`).
 
-        Parameters
-        ----------
-        resume_from:
-            ``None`` (fresh run), ``True`` (load the configured
-            checkpointer's latest checkpoint), or a state mapping from a
-            previous checkpoint.  A resumed run restores the RNG stream,
-            population, best set and every counter from the last
-            generation boundary, so its final result is bit-identical to
-            the same run never having been interrupted.
+        ``run(resume_from=...)`` drives this to completion; an external
+        driver can instead ``prepare``/``step`` it one generation
+        boundary at a time.  A resumed run restores the RNG stream,
+        population, best set and every counter from the last generation
+        boundary, so its final result is bit-identical to the same run
+        never having been interrupted.  Statement order inside the loop
+        matches the pre-protocol implementation — the differential
+        golden tests lock that down.
         """
-        rng = check_rng(self.random_state)
+        rng = context.rng if context.rng is not None else check_rng(self.random_state)
         cfg = self.config
+        token = context.resolve_token(self.cancel_token)
+        checkpointer = context.resolve_checkpointer(self.checkpointer)
+        max_seconds = context.merged_budget(cfg.max_seconds)
         evaluator = FitnessEvaluator(self.counter, self.dimensionality)
         mutation = BalancedMutation(
             cfg.mutation_swap_probability,
@@ -161,7 +165,7 @@ class EvolutionarySearch:
             threshold=self.threshold,
         )
 
-        state = self._load_resume_state(resume_from)
+        state = self._load_resume_state(context.resume_from, checkpointer)
         first_restart = 0
         history: list[GenerationRecord] = []
         start = time.perf_counter()
@@ -187,20 +191,39 @@ class EvolutionarySearch:
                 "(%d evaluations done)",
                 first_restart, int(state["generation"]), evaluator.n_evaluations,
             )
-        deadline = None if cfg.max_seconds is None else start + cfg.max_seconds
+        deadline = None if max_seconds is None else start + max_seconds
 
-        stopped_reason = "converged"
-        previous_token = self.counter.cancel_token
-        self.counter.set_cancel_token(self.cancel_token)
-        try:
+        self._run = {
+            "evaluator": evaluator,
+            "best": best,
+            "history": history,
+            "totals": totals,
+            "start": start,
+            "stopped_reason": "converged",
+        }
+        context.emit(
+            "run_started",
+            algorithm="evolutionary",
+            dimensionality=self.dimensionality,
+            n_projections=self.n_projections,
+            restarts=cfg.restarts,
+            resumed=state is not None,
+        )
+        with self.counter.runtime_binding(token, context.sink):
+            yield  # prepare boundary: state built, no search work yet
+            stopped_reason = "converged"
             for restart in range(first_restart, cfg.restarts):
-                generations, stopped_reason, dejong = self._run_population(
-                    rng, evaluator, mutation, convergence, best, deadline,
-                    restart, history, totals, restored=state,
+                generations, stopped_reason, dejong = yield from (
+                    self._run_population(
+                        rng, evaluator, mutation, convergence, best, deadline,
+                        restart, history, totals, restored=state,
+                        token=token, checkpointer=checkpointer, context=context,
+                    )
                 )
                 state = None
                 totals["generations"] += generations
                 totals["converged"] += int(dejong)
+                self._run["stopped_reason"] = stopped_reason
                 logger.debug(
                     "restart %d/%d: %d generations, stopped_reason=%s, best "
                     "set %d entries (best %.3f)",
@@ -216,10 +239,15 @@ class EvolutionarySearch:
                         "evolutionary search cancelled; returning best-so-far"
                     )
                     break
-        finally:
-            self.counter.set_cancel_token(previous_token)
+            self._run["stopped_reason"] = stopped_reason
 
-        elapsed = totals["elapsed_base"] + (time.perf_counter() - start)
+    def _build_outcome(self, context: RunContext) -> SearchOutcome:
+        run = self._require_run_state()
+        cfg = self.config
+        totals = run["totals"]
+        best = run["best"]
+        stopped_reason = run["stopped_reason"]
+        elapsed = totals["elapsed_base"] + (time.perf_counter() - run["start"])
         return SearchOutcome(
             projections=tuple(best.entries()),
             completed=stopped_reason not in ("deadline", "cancelled"),
@@ -228,25 +256,27 @@ class EvolutionarySearch:
                 "generations": totals["generations"],
                 "converged": totals["converged"] / cfg.restarts,
                 "restarts": cfg.restarts,
-                "evaluations": evaluator.n_evaluations,
+                "evaluations": run["evaluator"].n_evaluations,
                 "population_size": cfg.population_size,
                 "algorithm": f"evolutionary/{type(self.crossover).__name__}",
             },
-            history=tuple(history),
+            history=tuple(run["history"]),
             stopped_reason=stopped_reason,
         )
 
-    def _load_resume_state(self, resume_from) -> dict | None:
+    def _load_resume_state(self, resume_from, checkpointer=None) -> dict | None:
         """Normalize ``resume_from`` into a state dict (or None)."""
+        if checkpointer is None:
+            checkpointer = self.checkpointer
         if resume_from is None or resume_from is False:
             return None
         if resume_from is True:
-            if self.checkpointer is None:
+            if checkpointer is None:
                 raise CheckpointError(
                     "resume_from=True needs a checkpointer; construct the "
                     "search with checkpointer=..."
                 )
-            state = self.checkpointer.load()
+            state = checkpointer.load()
         elif isinstance(resume_from, Mapping):
             state = dict(resume_from)
         else:
@@ -274,12 +304,15 @@ class EvolutionarySearch:
         history: list | None = None,
         totals: dict | None = None,
         restored: dict | None = None,
-    ) -> tuple[int, str, bool]:
+        token=None,
+        checkpointer=None,
+        context: RunContext | None = None,
+    ):
         """One population until convergence/caps; feeds the shared best set.
 
-        Returns ``(generations, stopped_reason, dejong_converged)``.
-
-        The top of the ``while`` loop is the **safe boundary**: the
+        A generator returning ``(generations, stopped_reason,
+        dejong_converged)`` via ``yield from``; it yields at the top of
+        every ``while`` iteration — the **safe boundary**: the
         population of generation *g* is fully evaluated and no RNG draws
         have happened since.  Checkpoints are written there, the cancel
         token is polled there, and a cancellation that strikes *inside*
@@ -288,7 +321,15 @@ class EvolutionarySearch:
         batch count returns, so the boundary state stays exact.
         """
         cfg = self.config
-        token = self.cancel_token
+        if token is None:
+            token = self.cancel_token
+        if checkpointer is None:
+            checkpointer = self.checkpointer
+
+        def emit(type_: str, **payload) -> None:
+            if context is not None:
+                context.emit(type_, **payload)
+
         if restored is None:
             population = seed_population(
                 self.counter.n_dims,
@@ -321,6 +362,7 @@ class EvolutionarySearch:
         dejong = False
         while True:
             # ---- safe boundary: generation fully evaluated ----
+            yield
             boundary_rng = rng.bit_generator.state
             boundary_evals = evaluator.n_evaluations
 
@@ -339,20 +381,32 @@ class EvolutionarySearch:
                     history, totals,
                 )
 
-            if self.checkpointer is not None:
+            if checkpointer is not None:
                 boundary_index = generation
                 if totals is not None:
                     boundary_index += totals["generations"]
-                self.checkpointer.maybe_save(boundary_index, build_state)
+                if checkpointer.maybe_save(boundary_index, build_state):
+                    emit(
+                        "checkpoint_written",
+                        boundary=boundary_index, trigger="interval",
+                    )
             if token is not None and token.poll():
                 reason = "cancelled"
-                if self.checkpointer is not None:
-                    self.checkpointer.save(build_state())
+                if checkpointer is not None:
+                    checkpointer.save(build_state())
+                    emit(
+                        "checkpoint_written",
+                        boundary=generation, trigger="cancelled",
+                    )
                 break
             if deadline is not None and time.perf_counter() >= deadline:
                 reason = "deadline"
-                if self.checkpointer is not None:
-                    self.checkpointer.save(build_state())
+                if checkpointer is not None:
+                    checkpointer.save(build_state())
+                    emit(
+                        "checkpoint_written",
+                        boundary=generation, trigger="deadline",
+                    )
                 break
             if convergence.has_converged(population):
                 reason = "converged"
@@ -385,11 +439,26 @@ class EvolutionarySearch:
                 # offered anything, so the checkpoint below describes the
                 # last completed boundary exactly.
                 reason = "cancelled"
-                if self.checkpointer is not None:
-                    self.checkpointer.save(build_state())
+                if checkpointer is not None:
+                    checkpointer.save(build_state())
+                    emit(
+                        "checkpoint_written",
+                        boundary=generation, trigger="cancelled",
+                    )
                 break
             population, fitnesses = offspring, offspring_fitnesses
             generation += 1
+            best_entry = best.best()
+            emit(
+                "generation_end",
+                restart=restart,
+                generation=generation,
+                evaluations=evaluator.n_evaluations,
+                best_set_size=len(best),
+                best_coefficient=(
+                    best_entry.coefficient if best_entry is not None else None
+                ),
+            )
             if cfg.track_history and history is not None:
                 history.append(
                     self._snapshot(restart, generation, population, fitnesses, best)

@@ -11,8 +11,9 @@ Type I dimension swaps and Type II range flips), so the search-method
 ablation isolates exactly what recombination adds.
 
 All three maintain the same ``BestProjectionSet`` as the other
-searchers and return a ``SearchOutcome``, so they are drop-in
-comparable in the benchmarks.
+searchers, implement the :class:`~repro.engine.protocol.SearchEngine`
+protocol and return a ``SearchOutcome``, so they are drop-in comparable
+in the benchmarks and resolvable through the engine registry.
 """
 
 from __future__ import annotations
@@ -21,6 +22,8 @@ import math
 import time
 
 from .._validation import check_in_range, check_positive_int, check_rng
+from ..engine.context import RunContext
+from ..engine.protocol import GeneratorEngine
 from ..exceptions import SearchCancelled, ValidationError
 from ..grid.counter import CubeCounter
 from .best_set import BestProjectionSet
@@ -53,7 +56,7 @@ def _neighbor(solution: Solution, n_ranges: int, rng) -> Solution:
     return Solution(genes)
 
 
-class _SingleSolutionSearch:
+class _SingleSolutionSearch(GeneratorEngine):
     """Shared plumbing for the non-population searchers."""
 
     def __init__(
@@ -86,19 +89,51 @@ class _SingleSolutionSearch:
         self.random_state = random_state
         self.cancel_token = cancel_token
 
-    def _poll_cancelled(self) -> bool:
-        """Boundary poll of the cancel token (one unit of injection budget)."""
-        return self.cancel_token is not None and self.cancel_token.poll()
+    # ------------------------------------------------------------------
+    def _begin(self, context: RunContext):
+        """Shared run setup: seed state, bind budgets, emit run_started.
 
-    def _setup(self):
-        rng = check_rng(self.random_state)
+        Returns ``(rng, evaluator, best, token, deadline)``; the mutable
+        run bundle lands on ``self._run`` for :meth:`_build_outcome`.
+        """
+        rng = (
+            context.rng if context.rng is not None
+            else check_rng(self.random_state)
+        )
         evaluator = FitnessEvaluator(self.counter, self.dimensionality)
         best = BestProjectionSet(
             self.n_projections,
             require_nonempty=self.require_nonempty,
             threshold=self.threshold,
         )
-        return rng, evaluator, best
+        token = context.resolve_token(self.cancel_token)
+        start = time.perf_counter()
+        max_seconds = context.merged_budget(None)
+        deadline = None if max_seconds is None else start + max_seconds
+        self._run = {
+            "evaluator": evaluator,
+            "best": best,
+            "start": start,
+            "stopped_reason": "evaluation_cap",
+            "extra": {},
+        }
+        context.emit(
+            "run_started",
+            algorithm=type(self).__name__,
+            dimensionality=self.dimensionality,
+            n_projections=self.n_projections,
+            max_evaluations=self.max_evaluations,
+        )
+        return rng, evaluator, best, token, deadline
+
+    @staticmethod
+    def _stopped(token, deadline) -> str | None:
+        """Boundary check: poll the token, then the wall clock."""
+        if token is not None and token.poll():
+            return "cancelled"
+        if deadline is not None and time.perf_counter() >= deadline:
+            return "deadline"
+        return None
 
     def _evaluate(self, solution: Solution, evaluator, best) -> float:
         scored = evaluator.score(solution)
@@ -107,22 +142,17 @@ class _SingleSolutionSearch:
         best.offer(scored)
         return scored.coefficient
 
-    def _outcome(
-        self,
-        best,
-        evaluator,
-        start: float,
-        stopped_reason: str = "evaluation_cap",
-        **extra,
-    ) -> SearchOutcome:
+    def _build_outcome(self, context: RunContext) -> SearchOutcome:
+        run = self._require_run_state()
+        stopped_reason = run["stopped_reason"]
         stats = {
-            "elapsed_seconds": time.perf_counter() - start,
-            "evaluations": evaluator.n_evaluations,
+            "elapsed_seconds": time.perf_counter() - run["start"],
+            "evaluations": run["evaluator"].n_evaluations,
             "algorithm": type(self).__name__,
         }
-        stats.update(extra)
+        stats.update(run["extra"])
         return SearchOutcome(
-            projections=tuple(best.entries()),
+            projections=tuple(run["best"].entries()),
             completed=stopped_reason not in ("deadline", "cancelled"),
             stats=stats,
             stopped_reason=stopped_reason,
@@ -135,48 +165,46 @@ class RandomSearch(_SingleSolutionSearch):
     #: Draws scored per batch; the gap between cancellation checks.
     CHUNK = 512
 
-    def run(self) -> SearchOutcome:
+    def _iterate(self, context: RunContext):
         """Evaluate ``max_evaluations`` random feasible solutions.
 
         The solutions are drawn first (same generator stream as
         one-at-a-time evaluation) and then scored through the counter's
         batch engine in chunks; offers happen in draw order, so the
         resulting best set is identical to the sequential path, and the
-        cancel token is polled between chunks so a flip returns the
-        best-so-far partial outcome.
+        cancel token is polled between chunks (one step per chunk) so a
+        flip returns the best-so-far partial outcome.
         """
-        rng, evaluator, best = self._setup()
-        start = time.perf_counter()
-        solutions = [
-            random_solution(
-                self.counter.n_dims,
-                self.dimensionality,
-                self.counter.n_ranges,
-                rng,
-            )
-            for _ in range(self.max_evaluations)
-        ]
-        stopped_reason = "evaluation_cap"
-        previous_token = self.counter.cancel_token
-        self.counter.set_cancel_token(self.cancel_token)
-        try:
+        rng, evaluator, best, token, deadline = self._begin(context)
+        run = self._run
+        with self.counter.runtime_binding(token, context.sink):
+            yield  # prepare boundary: nothing drawn or counted yet
+            solutions = [
+                random_solution(
+                    self.counter.n_dims,
+                    self.dimensionality,
+                    self.counter.n_ranges,
+                    rng,
+                )
+                for _ in range(self.max_evaluations)
+            ]
             for lo in range(0, len(solutions), self.CHUNK):
-                if self._poll_cancelled():
-                    stopped_reason = "cancelled"
+                if lo:
+                    yield
+                stopped = self._stopped(token, deadline)
+                if stopped is not None:
+                    run["stopped_reason"] = stopped
                     break
                 try:
                     scored_chunk = evaluator.score_batch(
                         solutions[lo : lo + self.CHUNK]
                     )
                 except SearchCancelled:
-                    stopped_reason = "cancelled"
+                    run["stopped_reason"] = "cancelled"
                     break
                 for scored in scored_chunk:
                     if scored is not None:
                         best.offer(scored)
-        finally:
-            self.counter.set_cancel_token(previous_token)
-        return self._outcome(best, evaluator, start, stopped_reason)
 
 
 class HillClimbingSearch(_SingleSolutionSearch):
@@ -193,40 +221,43 @@ class HillClimbingSearch(_SingleSolutionSearch):
         super().__init__(*args, **kwargs)
         self.patience = check_positive_int(patience, "patience")
 
-    def run(self) -> SearchOutcome:
-        rng, evaluator, best = self._setup()
-        start = time.perf_counter()
+    def _iterate(self, context: RunContext):
+        rng, evaluator, best, token, deadline = self._begin(context)
+        run = self._run
         restarts = 0
-        current = random_solution(
-            self.counter.n_dims, self.dimensionality, self.counter.n_ranges, rng
-        )
-        current_fitness = self._evaluate(current, evaluator, best)
-        rejected = 0
-        stopped_reason = "evaluation_cap"
-        while evaluator.n_evaluations < self.max_evaluations:
-            if self._poll_cancelled():
-                stopped_reason = "cancelled"
-                break
-            candidate = _neighbor(current, self.counter.n_ranges, rng)
-            fitness = self._evaluate(candidate, evaluator, best)
-            if fitness < current_fitness:
-                current, current_fitness = candidate, fitness
-                rejected = 0
-            else:
-                rejected += 1
-                if rejected >= self.patience:
-                    restarts += 1
-                    current = random_solution(
-                        self.counter.n_dims,
-                        self.dimensionality,
-                        self.counter.n_ranges,
-                        rng,
-                    )
-                    current_fitness = self._evaluate(current, evaluator, best)
+        run["extra"]["restarts"] = restarts
+        with self.counter.runtime_binding(token, context.sink):
+            yield  # prepare boundary
+            current = random_solution(
+                self.counter.n_dims, self.dimensionality,
+                self.counter.n_ranges, rng,
+            )
+            current_fitness = self._evaluate(current, evaluator, best)
+            rejected = 0
+            while evaluator.n_evaluations < self.max_evaluations:
+                yield
+                stopped = self._stopped(token, deadline)
+                if stopped is not None:
+                    run["stopped_reason"] = stopped
+                    break
+                candidate = _neighbor(current, self.counter.n_ranges, rng)
+                fitness = self._evaluate(candidate, evaluator, best)
+                if fitness < current_fitness:
+                    current, current_fitness = candidate, fitness
                     rejected = 0
-        return self._outcome(
-            best, evaluator, start, stopped_reason, restarts=restarts
-        )
+                else:
+                    rejected += 1
+                    if rejected >= self.patience:
+                        restarts += 1
+                        run["extra"]["restarts"] = restarts
+                        current = random_solution(
+                            self.counter.n_dims,
+                            self.dimensionality,
+                            self.counter.n_ranges,
+                            rng,
+                        )
+                        current_fitness = self._evaluate(current, evaluator, best)
+                        rejected = 0
 
 
 class SimulatedAnnealingSearch(_SingleSolutionSearch):
@@ -251,35 +282,35 @@ class SimulatedAnnealingSearch(_SingleSolutionSearch):
         )
         self.cooling = check_in_range(cooling, "cooling", low=0.5, high=1.0)
 
-    def run(self) -> SearchOutcome:
-        rng, evaluator, best = self._setup()
-        start = time.perf_counter()
-        current = random_solution(
-            self.counter.n_dims, self.dimensionality, self.counter.n_ranges, rng
-        )
-        current_fitness = self._evaluate(current, evaluator, best)
-        temperature = self.initial_temperature
+    def _iterate(self, context: RunContext):
+        rng, evaluator, best, token, deadline = self._begin(context)
+        run = self._run
         accepted_worse = 0
-        stopped_reason = "evaluation_cap"
-        while evaluator.n_evaluations < self.max_evaluations:
-            if self._poll_cancelled():
-                stopped_reason = "cancelled"
-                break
-            candidate = _neighbor(current, self.counter.n_ranges, rng)
-            fitness = self._evaluate(candidate, evaluator, best)
-            delta = fitness - current_fitness
-            if delta < 0:
-                current, current_fitness = candidate, fitness
-            elif math.isfinite(delta) and temperature > 0:
-                if rng.random() < math.exp(-delta / temperature):
+        temperature = self.initial_temperature
+        run["extra"]["accepted_worse"] = accepted_worse
+        run["extra"]["final_temperature"] = temperature
+        with self.counter.runtime_binding(token, context.sink):
+            yield  # prepare boundary
+            current = random_solution(
+                self.counter.n_dims, self.dimensionality,
+                self.counter.n_ranges, rng,
+            )
+            current_fitness = self._evaluate(current, evaluator, best)
+            while evaluator.n_evaluations < self.max_evaluations:
+                yield
+                stopped = self._stopped(token, deadline)
+                if stopped is not None:
+                    run["stopped_reason"] = stopped
+                    break
+                candidate = _neighbor(current, self.counter.n_ranges, rng)
+                fitness = self._evaluate(candidate, evaluator, best)
+                delta = fitness - current_fitness
+                if delta < 0:
                     current, current_fitness = candidate, fitness
-                    accepted_worse += 1
-            temperature *= self.cooling
-        return self._outcome(
-            best,
-            evaluator,
-            start,
-            stopped_reason,
-            accepted_worse=accepted_worse,
-            final_temperature=temperature,
-        )
+                elif math.isfinite(delta) and temperature > 0:
+                    if rng.random() < math.exp(-delta / temperature):
+                        current, current_fitness = candidate, fitness
+                        accepted_worse += 1
+                        run["extra"]["accepted_worse"] = accepted_worse
+                temperature *= self.cooling
+                run["extra"]["final_temperature"] = temperature

@@ -6,7 +6,6 @@ import pytest
 from repro.core.detector import SubspaceOutlierDetector
 from repro.core.explain import explain_point, render_report
 from repro.exceptions import ValidationError
-from repro.search.evolutionary.config import EvolutionaryConfig
 
 
 @pytest.fixture

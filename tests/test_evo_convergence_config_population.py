@@ -4,7 +4,6 @@ import pytest
 
 from repro.core.subspace import Subspace
 from repro.exceptions import ValidationError
-from repro.grid.counter import CubeCounter
 from repro.search.evolutionary.config import EvolutionaryConfig
 from repro.search.evolutionary.convergence import (
     DeJongConvergence,

@@ -1,6 +1,5 @@
 """Tests for the evolutionary search engine (Figure 3)."""
 
-import numpy as np
 import pytest
 
 from repro.core.params import CountingBackend

@@ -3,7 +3,6 @@
 import subprocess
 import sys
 
-import numpy as np
 import pytest
 
 from repro import EvolutionaryConfig, SubspaceOutlierDetector
@@ -11,7 +10,7 @@ from repro.core.results import ScoredProjection
 from repro.core.subspace import Subspace
 from repro.data.registry import load_dataset
 from repro.eval.comparison import ComparisonRow, build_table1, render_table
-from repro.eval.harness import ExperimentResult, timed_detection
+from repro.eval.harness import timed_detection
 from repro.search.outcome import GenerationRecord, SearchOutcome
 
 

@@ -91,6 +91,83 @@ class TestResultRoundTrip:
             )
 
 
+class TestLifecycleFieldsRoundTrip:
+    """The PR-3 lifecycle fields must survive the JSON round trip."""
+
+    def test_stopped_reason_survives(self, fitted):
+        _, result, _ = fitted
+        restored = result_from_dict(json.loads(json.dumps(result_to_dict(result))))
+        assert restored.stats["stopped_reason"] == result.stats["stopped_reason"]
+        assert restored.stopped_reason == result.stopped_reason
+        assert restored.stats["completed"] == result.stats["completed"]
+
+    def test_backend_health_and_degraded_flag_survive(self, fitted):
+        _, result, _ = fitted
+        restored = result_from_dict(result_to_dict(result))
+        assert restored.backend_health == result.backend_health
+        assert restored.backend_degraded == result.backend_degraded
+
+    def test_degraded_run_round_trips_true(self, fitted):
+        _, result, _ = fitted
+        payload = result_to_dict(result)
+        payload["stats"]["backend_health"] = {
+            "retries": 2, "timeouts": 1, "rebuilds": 1,
+            "fallbacks": 3, "pool_degraded": True,
+        }
+        restored = result_from_dict(json.loads(json.dumps(payload)))
+        assert restored.backend_degraded is True
+        assert restored.backend_health["fallbacks"] == 3
+
+    def test_event_counters_survive(self, fitted):
+        _, result, _ = fitted
+        assert "events" in result.stats  # stats-assembly sink ran
+        restored = result_from_dict(json.loads(json.dumps(result_to_dict(result))))
+        assert restored.stats["events"] == result.stats["events"]
+
+
+class TestTraceSinkConfiguration:
+    """A detector configured with an event sink still persists cleanly."""
+
+    @pytest.fixture
+    def traced(self, rng, tmp_path):
+        from repro.engine.events import InMemoryEventSink
+
+        data = rng.normal(size=(150, 5))
+        sink = InMemoryEventSink()
+        detector = SubspaceOutlierDetector(
+            dimensionality=2,
+            n_ranges=4,
+            n_projections=5,
+            method="brute_force",
+            event_sink=sink,
+            random_state=0,
+        )
+        result = detector.detect(data)
+        return detector, result, data, sink
+
+    def test_sink_received_events(self, traced):
+        _, result, _, sink = traced
+        assert len(sink) > 0
+        assert sink.of_type("engine_finished")
+        # The sink sees the same event tally the stats record keeps.
+        assert result.stats["events"]["engine_finished"] == len(
+            sink.of_type("engine_finished")
+        )
+
+    def test_model_round_trip_unaffected_by_sink(self, traced, tmp_path):
+        detector, _, data, _ = traced
+        model = load_model(save_model(detector, tmp_path / "traced.json"))
+        np.testing.assert_allclose(
+            model.score(data), detector.score(data), equal_nan=True
+        )
+
+    def test_result_round_trip_with_sink_stats(self, traced):
+        _, result, _, _ = traced
+        restored = result_from_dict(json.loads(json.dumps(result_to_dict(result))))
+        assert restored.stats["events"] == result.stats["events"]
+        assert restored.stopped_reason == result.stopped_reason
+
+
 class TestDetectorScorePredict:
     def test_score_matches_result_scores(self, fitted):
         detector, result, data = fitted

@@ -2,7 +2,10 @@
 
 import pytest
 
+from repro.engine.events import InMemoryEventSink
 from repro.exceptions import ValidationError
+from repro.run.cancel import CancelToken
+from repro.search.evolutionary.population import FitnessEvaluator
 from repro.search.brute_force import BruteForceSearch
 from repro.search.local import (
     HillClimbingSearch,
@@ -78,6 +81,79 @@ class TestCommonBehaviour:
     def test_rejects_non_counter(self, searcher_cls):
         with pytest.raises(ValidationError):
             searcher_cls("counter", 2)
+
+
+class TestTokenRestoration:
+    """Regression: the counter's token/sink binding must survive exceptions.
+
+    The searchers install their cancel token (and event sink) on the
+    shared counter for the duration of a run; an exception escaping
+    mid-search used to leave the token behind, poisoning the next run
+    on the same counter.
+    """
+
+    def test_binding_restored_when_evaluation_raises(
+        self, small_counter, monkeypatch
+    ):
+        previous_token = CancelToken()
+        previous_sink = InMemoryEventSink()
+        small_counter.set_cancel_token(previous_token)
+        small_counter.set_event_sink(previous_sink)
+
+        calls = {"n": 0}
+        original = FitnessEvaluator.score
+
+        def flaky_score(self, solution):
+            calls["n"] += 1
+            if calls["n"] > 3:
+                raise RuntimeError("evaluator died mid-search")
+            return original(self, solution)
+
+        monkeypatch.setattr(FitnessEvaluator, "score", flaky_score)
+        search = HillClimbingSearch(
+            small_counter, 2, 5, max_evaluations=500, random_state=0
+        )
+        with pytest.raises(RuntimeError, match="mid-search"):
+            search.run()
+        assert small_counter.cancel_token is previous_token
+        assert small_counter.event_sink is previous_sink
+
+    def test_binding_restored_when_batch_scoring_raises(
+        self, small_counter, monkeypatch
+    ):
+        small_counter.set_cancel_token(None)
+        small_counter.set_event_sink(None)
+
+        def boom(self, solutions):
+            raise RuntimeError("batch scorer died")
+
+        monkeypatch.setattr(FitnessEvaluator, "score_batch", boom)
+        token = CancelToken()
+        search = RandomSearch(
+            small_counter, 2, 5, max_evaluations=600,
+            random_state=0, cancel_token=token,
+        )
+        with pytest.raises(RuntimeError, match="batch scorer"):
+            search.run()
+        assert small_counter.cancel_token is None
+        assert small_counter.event_sink is None
+
+    def test_binding_restored_when_run_abandoned(self, small_counter):
+        """finalize() before exhaustion closes the generator → restore."""
+        from repro.engine.context import RunContext
+
+        token = CancelToken()
+        search = SimulatedAnnealingSearch(
+            small_counter, 2, 5, max_evaluations=500,
+            random_state=0, cancel_token=token,
+        )
+        context = RunContext(counter=small_counter)
+        search.prepare(context)
+        assert search.step(context)
+        assert small_counter.cancel_token is token
+        outcome = search.finalize(context)
+        assert small_counter.cancel_token is None
+        assert outcome.stopped_reason == "cancelled"
 
 
 class TestHillClimbing:
