@@ -53,7 +53,7 @@ def test_track_curve(benchmark, counter, crossover):
     _CURVES[crossover] = list(outcome.history)
     assert outcome.history
     best = [r.best_coefficient for r in outcome.history]
-    assert all(b <= a + 1e-12 for a, b in zip(best, best[1:]))
+    assert all(b <= a + 1e-12 for a, b in zip(best, best[1:], strict=False))
 
 
 def test_report_and_shape(benchmark):

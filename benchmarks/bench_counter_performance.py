@@ -17,6 +17,7 @@ from pathlib import Path
 import numpy as np
 import pytest
 
+from repro._atomic import atomic_write_text
 from repro.core.subspace import Subspace
 from repro.grid.cells import CellAssignment
 from repro.grid.counter import CubeCounter
@@ -184,4 +185,6 @@ def test_report(benchmark):
         },
         "metrics": dict(_METRICS),
     }
-    _BENCH_JSON.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    atomic_write_text(
+        _BENCH_JSON, json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )

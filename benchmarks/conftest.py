@@ -17,6 +17,7 @@ from pathlib import Path
 
 import pytest
 
+from repro._atomic import atomic_write_text
 from repro.search.evolutionary.config import EvolutionaryConfig
 
 RESULTS_DIR = Path(__file__).parent / "results"
@@ -44,7 +45,7 @@ def pytest_terminal_summary(terminalreporter, exitstatus, config):
         for line in lines:
             terminalreporter.write_line(line)
         out_path = RESULTS_DIR / f"{experiment.replace(' ', '_').replace('/', '-')}.txt"
-        out_path.write_text("\n".join(lines) + "\n")
+        atomic_write_text(out_path, "\n".join(lines) + "\n")
     terminalreporter.write_line("")
     terminalreporter.write_line(f"(tables also written to {RESULTS_DIR})")
 

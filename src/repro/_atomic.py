@@ -24,7 +24,8 @@ import json
 import os
 import tempfile
 from pathlib import Path
-from typing import IO, Iterator
+from collections.abc import Iterator
+from typing import IO
 
 __all__ = ["atomic_writer", "atomic_write_text", "atomic_write_json"]
 

@@ -9,7 +9,8 @@ one-liners.
 
 from __future__ import annotations
 
-from typing import Any, Sequence
+from collections.abc import Sequence
+from typing import Any
 
 import numpy as np
 
@@ -22,6 +23,7 @@ __all__ = [
     "check_in_range",
     "check_matrix",
     "check_rng",
+    "check_dimension_subset",
 ]
 
 
@@ -115,7 +117,9 @@ def check_rng(random_state: Any) -> np.random.Generator:
     existing ``Generator`` (returned as-is), or a ``SeedSequence``.
     """
     if random_state is None:
-        return np.random.default_rng()
+        # random_state=None is the documented "fresh entropy" escape
+        # hatch of the public API; every deterministic path seeds it.
+        return np.random.default_rng()  # repro-lint: disable=RPL001
     if isinstance(random_state, np.random.Generator):
         return random_state
     if isinstance(random_state, (int, np.integer, np.random.SeedSequence)):

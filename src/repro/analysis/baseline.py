@@ -1,0 +1,148 @@
+"""Baseline file: grandfathered violations that keep the gate green.
+
+A baseline lets the linter gate CI from day one: pre-existing
+violations that are *justified* (deadline enforcement needs a clock;
+a streaming trace file cannot be written atomically) are recorded once
+with an explanation, and only **new** violations fail the build.
+
+Entries match violations by :meth:`~.violations.Violation.key`
+(code, path, enclosing qualname, message) — no line numbers, so the
+baseline survives unrelated edits.  Every entry must carry a
+non-empty ``justification``; an unexplained suppression is just a
+hidden bug.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from collections.abc import Iterable, Sequence
+
+from .._atomic import atomic_write_json
+from ..exceptions import ValidationError
+from .violations import Violation
+
+__all__ = ["Baseline", "BASELINE_VERSION"]
+
+BASELINE_VERSION = 1
+
+
+class Baseline:
+    """An in-memory baseline: justified violation keys."""
+
+    def __init__(self) -> None:
+        self._entries: dict[tuple[str, str, str, str], str] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # ------------------------------------------------------------------
+    def add(self, violation: Violation, justification: str) -> None:
+        """Grandfather *violation* with a mandatory *justification*."""
+        if not justification or not justification.strip():
+            raise ValidationError(
+                f"baseline entry for {violation.code} at {violation.path} "
+                "requires a non-empty justification"
+            )
+        self._entries[violation.key()] = justification.strip()
+
+    def contains(self, violation: Violation) -> bool:
+        return violation.key() in self._entries
+
+    def justification_for(self, violation: Violation) -> str:
+        """The recorded justification (ValidationError when absent)."""
+        try:
+            return self._entries[violation.key()]
+        except KeyError:
+            raise ValidationError(
+                f"no baseline entry for {violation.code} at {violation.path}"
+            ) from None
+
+    def split(
+        self, violations: Iterable[Violation]
+    ) -> tuple[list[Violation], list[Violation]]:
+        """Partition into (new, grandfathered)."""
+        fresh: list[Violation] = []
+        known: list[Violation] = []
+        for violation in violations:
+            (known if self.contains(violation) else fresh).append(violation)
+        return fresh, known
+
+    # ------------------------------------------------------------------
+    def to_json(self) -> dict[str, object]:
+        entries = [
+            {
+                "code": code,
+                "path": path,
+                "qualname": qualname,
+                "message": message,
+                "justification": justification,
+            }
+            for (code, path, qualname, message), justification in sorted(
+                self._entries.items()
+            )
+        ]
+        return {"version": BASELINE_VERSION, "entries": entries}
+
+    @classmethod
+    def from_json(cls, payload: object) -> "Baseline":
+        if not isinstance(payload, dict):
+            raise ValidationError("baseline file must contain a JSON object")
+        version = payload.get("version")
+        if version != BASELINE_VERSION:
+            raise ValidationError(
+                f"unsupported baseline version {version!r} "
+                f"(expected {BASELINE_VERSION})"
+            )
+        entries = payload.get("entries")
+        if not isinstance(entries, list):
+            raise ValidationError("baseline 'entries' must be a list")
+        baseline = cls()
+        for entry in entries:
+            if not isinstance(entry, dict):
+                raise ValidationError("each baseline entry must be an object")
+            try:
+                violation = Violation(
+                    path=str(entry["path"]),
+                    line=0,
+                    column=0,
+                    code=str(entry["code"]),
+                    message=str(entry["message"]),
+                    qualname=str(entry.get("qualname", "<module>")),
+                )
+                justification = str(entry["justification"])
+            except KeyError as exc:
+                raise ValidationError(
+                    f"baseline entry missing required field {exc}"
+                ) from None
+            baseline.add(violation, justification)
+        return baseline
+
+    # ------------------------------------------------------------------
+    def save(self, path: Path | str) -> Path:
+        """Atomically write the baseline (sorted, stable diffs)."""
+        return atomic_write_json(Path(path), self.to_json())
+
+    @classmethod
+    def load(cls, path: Path | str) -> "Baseline":
+        try:
+            payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            raise ValidationError(f"baseline file not found: {path}") from None
+        except json.JSONDecodeError as exc:
+            raise ValidationError(f"baseline file {path} is not valid JSON: {exc}") from None
+        return cls.from_json(payload)
+
+    @classmethod
+    def from_violations(
+        cls, violations: Sequence[Violation], justification: str
+    ) -> "Baseline":
+        """Baseline every violation with one shared justification.
+
+        Used by ``--update-baseline`` for bulk grandfathering; refine
+        the per-entry justifications by editing the file afterwards.
+        """
+        baseline = cls()
+        for violation in violations:
+            baseline.add(violation, justification)
+        return baseline

@@ -1,0 +1,141 @@
+"""``repro-lint`` / ``python -m repro.analysis`` — the lint CLI.
+
+Exit codes: 0 clean (all findings baselined or suppressed), 1 new
+violations, 2 usage errors (unknown rule code, unreadable baseline).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from collections.abc import Sequence
+
+from ..exceptions import ValidationError
+from .baseline import Baseline
+from .report import render_json, render_text
+from .rules import ALL_RULES
+from .runner import lint_paths
+
+__all__ = ["main", "build_parser", "DEFAULT_BASELINE_NAME"]
+
+#: Picked up from the working directory when ``--baseline`` is absent.
+DEFAULT_BASELINE_NAME = "repro-lint-baseline.json"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "AST invariant checker for the repro codebase: enforces the "
+            "determinism and architecture rules documented in "
+            "docs/determinism.md"
+        ),
+        epilog="rules: "
+        + "; ".join(f"{rule.code} {rule.name}" for rule in ALL_RULES),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="+",
+        help="files or directories to lint (e.g. src/)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help=(
+            "baseline file of grandfathered violations (JSON); default: "
+            f"{DEFAULT_BASELINE_NAME} in the working directory, if present"
+        ),
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file (report grandfathered findings too)",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help=(
+            "rewrite --baseline to absorb every current violation "
+            "(edit the justifications afterwards), then exit 0"
+        ),
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        metavar="RPLxxx",
+        help="run only these rule codes (repeatable)",
+    )
+    parser.add_argument(
+        "--ignore",
+        action="append",
+        metavar="RPLxxx",
+        help="skip these rule codes (repeatable)",
+    )
+    parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="also list baselined violations in the text report",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    options = parser.parse_args(argv)
+    if options.no_baseline and (options.baseline or options.update_baseline):
+        parser.error("--no-baseline conflicts with --baseline/--update-baseline")
+    if options.baseline is None and not options.no_baseline:
+        default = Path(DEFAULT_BASELINE_NAME)
+        if default.exists() or options.update_baseline:
+            options.baseline = default
+    try:
+        baseline = None
+        if options.baseline is not None and options.baseline.exists():
+            baseline = Baseline.load(options.baseline)
+        if options.update_baseline:
+            # Re-lint without the old baseline so every violation lands
+            # in the refreshed file, then carry old justifications over.
+            raw = lint_paths(
+                options.paths, select=options.select, ignore=options.ignore
+            )
+            refreshed = Baseline()
+            for violation in raw.violations:
+                if baseline is not None and baseline.contains(violation):
+                    refreshed.add(
+                        violation, baseline.justification_for(violation)
+                    )
+                else:
+                    refreshed.add(violation, "TODO: justify or fix")
+            refreshed.save(options.baseline)
+            print(
+                f"baseline updated: {len(refreshed)} entr(y/ies) -> "
+                f"{options.baseline}",
+                file=sys.stderr,
+            )
+            return 0
+        result = lint_paths(
+            options.paths,
+            baseline=baseline,
+            select=options.select,
+            ignore=options.ignore,
+        )
+    except ValidationError as exc:
+        print(f"repro-lint: error: {exc}", file=sys.stderr)
+        return 2
+    if options.format == "json":
+        print(render_json(result))
+    else:
+        print(render_text(result, verbose=options.verbose))
+    return result.exit_code
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,96 @@
+"""Lint configuration: which modules are exempt from which invariant.
+
+The defaults encode *this* repository's architecture decisions:
+
+* the wall-clock allowlist is the budget/telemetry layer — the run
+  controller owns the one run-wide deadline clock, the event bus
+  stamps trace timestamps, and the fault-tolerant dispatcher enforces
+  per-chunk timeouts and records latency telemetry;
+* ``repro/grid/parallel.py`` is the single module allowed to talk to
+  ``multiprocessing`` / ``concurrent.futures`` directly;
+* only ``repro/_atomic.py`` may open files for writing;
+* ``repro/core/*`` and ``repro/cli.py`` must resolve engines through
+  the registry rather than naming concrete searcher classes.
+
+Everything here is data, not code, so a downstream project embedding
+the framework can swap in its own :class:`LintConfig`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["LintConfig", "default_event_types"]
+
+
+def default_event_types() -> frozenset[str]:
+    """The registered event vocabulary, read from the live registry.
+
+    Falls back to the built-in vocabulary if ``repro.engine`` is not
+    importable (e.g. the framework linting a foreign tree).
+    """
+    try:
+        from ..engine.events import EVENT_TYPES
+
+        return frozenset(EVENT_TYPES)
+    except Exception:  # pragma: no cover - defensive fallback
+        return frozenset(
+            {
+                "run_started",
+                "generation_end",
+                "level_end",
+                "chunk_retry",
+                "checkpoint_written",
+                "engine_finished",
+            }
+        )
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Tunable knobs for the rule set (defaults = this repo's layout)."""
+
+    #: RPL001 — modules allowed to touch module-level / unseeded RNG.
+    rng_allowed_modules: tuple[str, ...] = ()
+
+    #: RPL002 — the budget/telemetry modules allowed to read wall clocks.
+    clock_allowed_modules: tuple[str, ...] = (
+        "repro/run/controller.py",
+        "repro/engine/events.py",
+        "repro/grid/health.py",
+        "repro/grid/parallel.py",
+        # The eval harness *measures* wall-clock: Table 1's time column
+        # is its output, so the clock is the instrument, not a leak.
+        "repro/eval/harness.py",
+        "repro/eval/sweeps.py",
+    )
+
+    #: RPL003 — modules allowed to open files for writing directly.
+    write_allowed_modules: tuple[str, ...] = ("repro/_atomic.py",)
+
+    #: RPL004 — modules that must resolve engines via the registry...
+    registry_only_modules: tuple[str, ...] = ("repro/core/*", "repro/cli.py")
+    #: ...and the concrete engine classes they must not instantiate.
+    engine_class_names: frozenset[str] = frozenset(
+        {
+            "EvolutionarySearch",
+            "BruteForceSearch",
+            "RandomSearch",
+            "HillClimbingSearch",
+            "SimulatedAnnealingSearch",
+        }
+    )
+
+    #: RPL005 — the registered event vocabulary.
+    event_types: frozenset[str] = field(default_factory=default_event_types)
+
+    #: RPL006 — modules allowed to import multiprocessing machinery.
+    parallel_allowed_modules: tuple[str, ...] = ("repro/grid/parallel.py",)
+
+    #: RPL007 — the numeric modules where float ``==`` is checked.
+    float_eq_modules: tuple[str, ...] = (
+        "repro/sparsity/*",
+        "repro/eval/*",
+        "repro/grid/discretizer.py",
+        "repro/grid/cells.py",
+    )

@@ -1,0 +1,66 @@
+"""``# repro-lint: disable=RPLxxx`` pragma parsing.
+
+Two scopes:
+
+* **line** — ``# repro-lint: disable=RPL002`` suppresses the named
+  codes (comma-separated; bare ``disable`` suppresses everything) for
+  violations reported on that physical line.  Put the pragma on the
+  line the violation points at, with a neighbouring comment saying
+  *why* — pragmas without justification defeat the purpose.
+* **file** — ``# repro-lint: disable-file=RPL001`` anywhere in the file
+  suppresses the named codes for the whole module.
+
+Pragmas are parsed textually (not from the AST) so they work on any
+line, including continuation lines and lines inside multi-line calls.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from .violations import Violation
+
+__all__ = ["PragmaIndex", "ALL_CODES_SENTINEL"]
+
+#: Marker meaning "every code" (a bare ``disable`` with no ``=RPL...``).
+ALL_CODES_SENTINEL = "*"
+
+_PRAGMA_RE = re.compile(
+    r"#\s*repro-lint:\s*(?P<scope>disable-file|disable)"
+    r"(?:\s*=\s*(?P<codes>[A-Z]{3}\d{3}(?:\s*,\s*[A-Z]{3}\d{3})*))?"
+)
+
+
+@dataclass
+class PragmaIndex:
+    """Parsed suppression pragmas for one source file."""
+
+    line_codes: dict[int, set[str]] = field(default_factory=dict)
+    file_codes: set[str] = field(default_factory=set)
+
+    @classmethod
+    def from_source(cls, text: str) -> "PragmaIndex":
+        index = cls()
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            match = _PRAGMA_RE.search(line)
+            if match is None:
+                continue
+            codes_text = match.group("codes")
+            codes = (
+                {code.strip() for code in codes_text.split(",")}
+                if codes_text
+                else {ALL_CODES_SENTINEL}
+            )
+            if match.group("scope") == "disable-file":
+                index.file_codes |= codes
+            else:
+                index.line_codes.setdefault(lineno, set()).update(codes)
+        return index
+
+    def suppresses(self, violation: Violation) -> bool:
+        """Whether this file's pragmas silence *violation*."""
+        for scope in (self.file_codes, self.line_codes.get(violation.line, set())):
+            if ALL_CODES_SENTINEL in scope or violation.code in scope:
+                return True
+        return False

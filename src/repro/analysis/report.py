@@ -1,0 +1,58 @@
+"""Reporters: human-readable text and machine-readable JSON.
+
+The JSON schema (``version`` / ``summary`` / ``violations`` /
+``baselined``) is part of the tool's contract — CI annotations and the
+framework tests both consume it — so changes must bump ``version``.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+
+from .runner import LintResult
+
+__all__ = ["render_text", "render_json", "REPORT_VERSION"]
+
+REPORT_VERSION = 1
+
+
+def render_text(result: LintResult, *, verbose: bool = False) -> str:
+    """The human reporter: one line per violation + a summary."""
+    lines = [violation.render() for violation in result.violations]
+    if verbose and result.baselined:
+        lines.append("")
+        lines.append(f"baselined ({len(result.baselined)} grandfathered):")
+        lines.extend(f"  {violation.render()}" for violation in result.baselined)
+    by_code = Counter(violation.code for violation in result.violations)
+    summary = (
+        f"{len(result.violations)} violation(s) in {result.files_checked} "
+        f"file(s) [{result.suppressed} pragma-suppressed, "
+        f"{len(result.baselined)} baselined]"
+    )
+    if by_code:
+        breakdown = ", ".join(
+            f"{code}: {count}" for code, count in sorted(by_code.items())
+        )
+        summary += f" — {breakdown}"
+    if lines:
+        lines.append("")
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    """The JSON reporter (schema locked by the framework tests)."""
+    payload = {
+        "version": REPORT_VERSION,
+        "summary": {
+            "files_checked": result.files_checked,
+            "violations": len(result.violations),
+            "baselined": len(result.baselined),
+            "suppressed": result.suppressed,
+            "exit_code": result.exit_code,
+        },
+        "violations": [v.to_json() for v in result.violations],
+        "baselined": [v.to_json() for v in result.baselined],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

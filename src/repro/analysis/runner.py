@@ -1,0 +1,117 @@
+"""Drive the rules over a file tree and fold in pragmas + baseline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from collections.abc import Sequence
+
+from ..exceptions import ValidationError
+from .baseline import Baseline
+from .config import LintConfig
+from .pragmas import PragmaIndex
+from .rules import ALL_RULES, RuleVisitor, rules_by_code
+from .sources import ModuleSource, iter_python_files
+from .violations import Violation
+
+__all__ = ["LintResult", "lint_paths", "lint_source", "select_rules"]
+
+
+@dataclass
+class LintResult:
+    """Everything one lint run produced.
+
+    ``violations`` are the *actionable* findings (not suppressed, not
+    grandfathered); ``baselined`` are matches absorbed by the baseline;
+    ``errors`` are files that could not be parsed (reported as
+    violations of pseudo-code ``RPL000`` so they still fail the gate).
+    """
+
+    violations: list[Violation] = field(default_factory=list)
+    baselined: list[Violation] = field(default_factory=list)
+    suppressed: int = 0
+    files_checked: int = 0
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.violations else 0
+
+
+def select_rules(
+    select: Sequence[str] | None = None,
+    ignore: Sequence[str] | None = None,
+) -> list[RuleVisitor]:
+    """Instantiate the rule set, honouring ``--select`` / ``--ignore``."""
+    registry = rules_by_code()
+    for code in list(select or []) + list(ignore or []):
+        if code not in registry:
+            raise ValidationError(
+                f"unknown rule code {code!r}; known: {', '.join(sorted(registry))}"
+            )
+    chosen = list(select) if select else sorted(registry)
+    if ignore:
+        chosen = [code for code in chosen if code not in set(ignore)]
+    return [registry[code]() for code in chosen]
+
+
+def lint_source(
+    module: ModuleSource,
+    rules: Sequence[RuleVisitor],
+    config: LintConfig,
+) -> tuple[list[Violation], int]:
+    """All un-suppressed violations in one module + suppressed count."""
+    pragmas = PragmaIndex.from_source(module.text)
+    kept: list[Violation] = []
+    suppressed = 0
+    for rule in rules:
+        for violation in rule.check(module, config):
+            if pragmas.suppresses(violation):
+                suppressed += 1
+            else:
+                kept.append(violation)
+    return kept, suppressed
+
+
+def lint_paths(
+    paths: Sequence[Path | str],
+    *,
+    config: LintConfig | None = None,
+    baseline: Baseline | None = None,
+    select: Sequence[str] | None = None,
+    ignore: Sequence[str] | None = None,
+) -> LintResult:
+    """Lint every python file under *paths*.
+
+    Parse failures become ``RPL000`` violations rather than crashes, so
+    one broken file cannot hide findings in the rest of the tree.
+    """
+    config = config if config is not None else LintConfig()
+    rules = select_rules(select, ignore)
+    result = LintResult()
+    for file_path in iter_python_files([Path(p) for p in paths]):
+        try:
+            module = ModuleSource.parse(file_path)
+        except (SyntaxError, UnicodeDecodeError) as exc:
+            lineno = getattr(exc, "lineno", None) or 1
+            result.violations.append(
+                Violation(
+                    path=str(file_path),
+                    line=int(lineno),
+                    column=0,
+                    code="RPL000",
+                    message=f"file does not parse: {exc.__class__.__name__}",
+                )
+            )
+            continue
+        result.files_checked += 1
+        found, suppressed = lint_source(module, rules, config)
+        result.suppressed += suppressed
+        if baseline is not None:
+            fresh, known = baseline.split(found)
+            result.violations.extend(fresh)
+            result.baselined.extend(known)
+        else:
+            result.violations.extend(found)
+    result.violations.sort()
+    result.baselined.sort()
+    return result

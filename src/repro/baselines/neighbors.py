@@ -13,7 +13,7 @@ discusses.  Self-distances are always excluded.
 
 from __future__ import annotations
 
-from typing import Iterator
+from collections.abc import Iterator
 
 import numpy as np
 

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import logging
 import time
-from typing import Mapping, Sequence
+from collections.abc import Mapping, Sequence
 
 import numpy as np
 

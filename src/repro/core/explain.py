@@ -11,7 +11,7 @@ the grid metadata back into such human-readable findings.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 

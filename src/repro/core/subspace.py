@@ -16,7 +16,7 @@ paper round-trip verbatim.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Iterator, Sequence
+from collections.abc import Iterable, Iterator, Sequence
 
 import numpy as np
 
@@ -59,7 +59,7 @@ class Subspace:
             raise ValidationError(f"dimension indices must be >= 0, got {dims}")
         if any(r < 0 for r in ranges):
             raise ValidationError(f"range indices must be >= 0, got {ranges}")
-        if any(a >= b for a, b in zip(dims, dims[1:])):
+        if any(a >= b for a, b in zip(dims, dims[1:], strict=False)):
             raise ValidationError(f"dims must be strictly ascending, got {dims}")
         object.__setattr__(self, "dims", dims)
         object.__setattr__(self, "ranges", ranges)
@@ -126,7 +126,7 @@ class Subspace:
         return len(self.dims)
 
     def __iter__(self) -> Iterator[tuple[int, int]]:
-        return iter(zip(self.dims, self.ranges))
+        return iter(zip(self.dims, self.ranges, strict=True))
 
     def range_for(self, dim: int) -> int | None:
         """Return the 0-based range fixed for *dim*, or None if free."""
@@ -152,7 +152,7 @@ class Subspace:
         """
         if self.uses_dimension(dim):
             raise ValidationError(f"dimension {dim} is already fixed in {self!r}")
-        return Subspace.from_pairs(list(zip(self.dims, self.ranges)) + [(dim, range_index)])
+        return Subspace.from_pairs(list(zip(self.dims, self.ranges, strict=True)) + [(dim, range_index)])
 
     def restricted_to(self, dims: Sequence[int]) -> "Subspace":
         """Return the sub-cube using only the fixed dims listed in *dims*."""
@@ -161,8 +161,8 @@ class Subspace:
 
     def is_subspace_of(self, other: "Subspace") -> bool:
         """True if every (dim, range) pair of self also appears in other."""
-        pairs = set(zip(other.dims, other.ranges))
-        return all(pair in pairs for pair in zip(self.dims, self.ranges))
+        pairs = set(zip(other.dims, other.ranges, strict=True))
+        return all(pair in pairs for pair in zip(self.dims, self.ranges, strict=True))
 
     # ------------------------------------------------------------------
     # Coverage

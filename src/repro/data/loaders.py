@@ -12,7 +12,7 @@ import csv
 import io
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Mapping, Sequence
+from collections.abc import Mapping, Sequence
 
 import numpy as np
 
@@ -93,7 +93,7 @@ class Dataset:
         if self.labels is None:
             raise DatasetError(f"{self.name} has no labels")
         codes, counts = np.unique(self.labels, return_counts=True)
-        return {int(c): float(n) / self.n_points for c, n in zip(codes, counts)}
+        return {int(c): float(n) / self.n_points for c, n in zip(codes, counts, strict=True)}
 
     def rare_labels(self, threshold: float = 0.05) -> set[int]:
         """Class codes occurring in less than *threshold* of records.

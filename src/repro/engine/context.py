@@ -59,7 +59,7 @@ class RunContext:
     sink: EventSink = field(default_factory=NullSink)
     resume_from: Any = None
 
-    def emit(self, type: str, **payload) -> None:
+    def emit(self, type: str, **payload: Any) -> None:
         """Emit one typed event to the context's sink."""
         emit_event(self.sink, type, **payload)
 

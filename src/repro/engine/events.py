@@ -27,7 +27,8 @@ import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Mapping
+from collections.abc import Mapping
+from typing import IO, Any
 
 from ..exceptions import ValidationError
 
@@ -85,7 +86,7 @@ class Event:
     timestamp: float = field(default_factory=time.time)
 
 
-def emit_event(sink: "EventSink | None", type: str, **payload) -> None:
+def emit_event(sink: "EventSink | None", type: str, **payload: Any) -> None:
     """Build an :class:`Event` and hand it to *sink* (no-op when None).
 
     This is the one place events are constructed, so the vocabulary
@@ -118,7 +119,7 @@ class EventSink:
     def __enter__(self) -> "EventSink":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
 
@@ -163,9 +164,9 @@ class JsonlTraceSink(EventSink):
     JSON-native are stringified rather than dropped.
     """
 
-    def __init__(self, path) -> None:
+    def __init__(self, path: str | Path) -> None:
         self.path = Path(path)
-        self._file = None
+        self._file: IO[str] | None = None
         self._seq = 0
         self._lock = threading.Lock()
 
@@ -180,7 +181,10 @@ class JsonlTraceSink(EventSink):
         with self._lock:
             if self._file is None:
                 self.path.parent.mkdir(parents=True, exist_ok=True)
-                self._file = self.path.open("w", encoding="utf-8")
+                # The trace is an append-only flight recorder flushed
+                # per line; a killed run must leave the prefix behind,
+                # which atomic replace-on-close would throw away.
+                self._file = self.path.open("w", encoding="utf-8")  # repro-lint: disable=RPL003
             self._file.write(line + "\n")
             self._file.flush()
             self._seq += 1

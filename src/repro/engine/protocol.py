@@ -30,7 +30,8 @@ shape, which is what the differential golden tests lock down.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import TYPE_CHECKING
+from collections.abc import Iterator
+from typing import TYPE_CHECKING, Any
 
 from ..exceptions import SearchError
 from .context import RunContext
@@ -57,7 +58,9 @@ class SearchEngine(ABC):
         """Assemble the outcome from the current state."""
 
     # ------------------------------------------------------------------
-    def run(self, *, resume_from=None, context: RunContext | None = None):
+    def run(
+        self, *, resume_from: object = None, context: RunContext | None = None
+    ) -> "SearchOutcome":
         """Drive the full protocol: prepare, step until done, finalize.
 
         ``resume_from`` is the legacy keyword the pre-protocol searchers
@@ -70,7 +73,7 @@ class SearchEngine(ABC):
         return self.finalize(context)
 
     def _resolve_context(
-        self, context: RunContext | None, resume_from
+        self, context: RunContext | None, resume_from: object
     ) -> RunContext:
         """Default context from the engine's own constructor arguments."""
         if context is None:
@@ -97,7 +100,7 @@ class GeneratorEngine(SearchEngine):
       :meth:`finalize` is called before the generator is exhausted.
     """
 
-    _iterator = None
+    _iterator: Iterator[None] | None = None
 
     # ------------------------------------------------------------------
     def prepare(self, context: RunContext) -> None:
@@ -119,7 +122,7 @@ class GeneratorEngine(SearchEngine):
             return False
         return True
 
-    def finalize(self, context: RunContext):
+    def finalize(self, context: RunContext) -> "SearchOutcome":
         if self._iterator is not None:
             # Abandoned mid-run: close the generator so its try/finally
             # blocks (counter token/sink restoration) run immediately,
@@ -142,10 +145,14 @@ class GeneratorEngine(SearchEngine):
         return outcome
 
     # ------------------------------------------------------------------
-    def _iterate(self, context: RunContext):  # pragma: no cover - interface
+    def _iterate(
+        self, context: RunContext
+    ) -> Iterator[None]:  # pragma: no cover - interface
         raise NotImplementedError
 
-    def _build_outcome(self, context: RunContext):  # pragma: no cover
+    def _build_outcome(
+        self, context: RunContext
+    ) -> "SearchOutcome":  # pragma: no cover
         raise NotImplementedError
 
     def _mark_abandoned(self, context: RunContext) -> None:
@@ -162,7 +169,7 @@ class GeneratorEngine(SearchEngine):
         return run
 
     # ------------------------------------------------------------------
-    def _resolve_counter(self, context: RunContext):
+    def _resolve_counter(self, context: RunContext) -> Any:
         """The counter this run counts through (context wins)."""
         counter = context.counter if context.counter is not None else getattr(
             self, "counter", None

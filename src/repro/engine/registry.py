@@ -23,9 +23,20 @@ from __future__ import annotations
 
 import inspect
 from dataclasses import dataclass
-from typing import Callable
+from collections.abc import Callable
+from typing import TYPE_CHECKING, Any
 
 from ..exceptions import ValidationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..search.brute_force import BruteForceSearch
+    from ..search.evolutionary.engine import EvolutionarySearch
+    from ..search.local import (
+        HillClimbingSearch,
+        RandomSearch,
+        SimulatedAnnealingSearch,
+    )
+    from .protocol import SearchEngine
 
 __all__ = [
     "EngineSpec",
@@ -76,7 +87,7 @@ def register_engine(
     supports_checkpoint: bool = False,
     description: str = "",
     replace: bool = False,
-):
+) -> Callable:
     """Register an engine factory (usable directly or as a decorator)."""
     if not name or not isinstance(name, str):
         raise ValidationError(f"engine name must be a non-empty string, got {name!r}")
@@ -124,11 +135,11 @@ def engine_spec(name: str) -> EngineSpec:
 
 def create_engine(
     name: str,
-    counter,
+    counter: Any,
     dimensionality: int,
     n_projections: int | None = 20,
-    **kwargs,
-):
+    **kwargs: Any,
+) -> "SearchEngine":
     """Construct the engine registered under *name*.
 
     Keyword arguments not applicable to the chosen engine are dropped,
@@ -159,31 +170,41 @@ def create_engine(
 _COMMON = ("require_nonempty", "threshold", "cancel_token")
 
 
-def _evolutionary(counter, dimensionality, n_projections, **kwargs):
+def _evolutionary(
+    counter: Any, dimensionality: int, n_projections: int | None, **kwargs: Any
+) -> "EvolutionarySearch":
     from ..search.evolutionary.engine import EvolutionarySearch
 
     return EvolutionarySearch(counter, dimensionality, n_projections, **kwargs)
 
 
-def _brute_force(counter, dimensionality, n_projections, **kwargs):
+def _brute_force(
+    counter: Any, dimensionality: int, n_projections: int | None, **kwargs: Any
+) -> "BruteForceSearch":
     from ..search.brute_force import BruteForceSearch
 
     return BruteForceSearch(counter, dimensionality, n_projections, **kwargs)
 
 
-def _random(counter, dimensionality, n_projections, **kwargs):
+def _random(
+    counter: Any, dimensionality: int, n_projections: int | None, **kwargs: Any
+) -> "RandomSearch":
     from ..search.local import RandomSearch
 
     return RandomSearch(counter, dimensionality, n_projections, **kwargs)
 
 
-def _hill_climbing(counter, dimensionality, n_projections, **kwargs):
+def _hill_climbing(
+    counter: Any, dimensionality: int, n_projections: int | None, **kwargs: Any
+) -> "HillClimbingSearch":
     from ..search.local import HillClimbingSearch
 
     return HillClimbingSearch(counter, dimensionality, n_projections, **kwargs)
 
 
-def _simulated_annealing(counter, dimensionality, n_projections, **kwargs):
+def _simulated_annealing(
+    counter: Any, dimensionality: int, n_projections: int | None, **kwargs: Any
+) -> "SimulatedAnnealingSearch":
     from ..search.local import SimulatedAnnealingSearch
 
     return SimulatedAnnealingSearch(

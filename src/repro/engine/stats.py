@@ -10,9 +10,13 @@ classic stats dictionary — same keys as before, plus an additive
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping
+from collections.abc import Iterable, Mapping
+from typing import TYPE_CHECKING, Any
 
 from .events import Event, EventSink
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..search.outcome import SearchOutcome
 
 __all__ = ["StatsAssemblySink", "merge_backend_health"]
 
@@ -71,7 +75,9 @@ class StatsAssemblySink(EventSink):
             self.finished_payload = dict(event.payload)
 
     # ------------------------------------------------------------------
-    def assemble(self, outcome, counter, elapsed: float) -> dict:
+    def assemble(
+        self, outcome: "SearchOutcome", counter: Any, elapsed: float
+    ) -> dict:
         """The backward-compatible stats dict for a finished detection.
 
         Reproduces exactly the keys ``detector._postprocess`` set before

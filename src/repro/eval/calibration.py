@@ -16,7 +16,7 @@ coefficient gets an honest p-value.
 
 from __future__ import annotations
 
-from typing import Callable
+from collections.abc import Callable
 
 import numpy as np
 

@@ -10,8 +10,9 @@ quality.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import Sequence
+from collections.abc import Sequence
 
 from ..data.loaders import Dataset
 from ..search.evolutionary.config import EvolutionaryConfig
@@ -110,7 +111,7 @@ def _fmt_time(cell: ExperimentResult | None) -> str:
 
 
 def _fmt_quality(cell: ExperimentResult | None, star: bool = False) -> str:
-    if cell is None or not cell.completed or cell.quality != cell.quality:
+    if cell is None or not cell.completed or math.isnan(cell.quality):
         return "-"
     text = f"{cell.quality:.2f}"
     return f"{text} (*)" if star else text

@@ -8,9 +8,10 @@ of the best 20 non-empty projections ("quality").
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass, field
-from typing import Mapping
+from collections.abc import Mapping
 
 from ..core.detector import SubspaceOutlierDetector
 from ..core.results import DetectionResult
@@ -58,7 +59,7 @@ class ExperimentResult:
             "dataset": self.dataset,
             "algorithm": self.algorithm,
             "time_s": round(self.elapsed_seconds, 4),
-            "quality": round(self.quality, 4) if self.quality == self.quality else None,
+            "quality": None if math.isnan(self.quality) else round(self.quality, 4),
             "completed": self.completed,
             "n_outliers": self.result.n_outliers,
         }

@@ -11,7 +11,7 @@ plus set-overlap helpers used when comparing methods.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable
+from collections.abc import Iterable
 
 import numpy as np
 

@@ -16,7 +16,7 @@ experiment ...``) and downstream users all run the *same* procedure.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping
+from collections.abc import Mapping
 
 import numpy as np
 

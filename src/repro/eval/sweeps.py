@@ -9,8 +9,9 @@ for table rendering or downstream analysis.
 
 from __future__ import annotations
 
+import math
 import time
-from typing import Iterable, Mapping, Sequence
+from collections.abc import Iterable, Mapping, Sequence
 
 from .._validation import check_matrix
 from ..core.detector import SubspaceOutlierDetector
@@ -104,9 +105,9 @@ def render_sweep(rows: Sequence[Mapping], parameter: str) -> str:
     lines = [header, "-" * len(header)]
     for row in rows:
         quality = row["quality"]
-        quality_text = f"{quality:.3f}" if quality == quality else "-"
+        quality_text = "-" if math.isnan(quality) else f"{quality:.3f}"
         best = row["best_coefficient"]
-        best_text = f"{best:.3f}" if best == best else "-"
+        best_text = "-" if math.isnan(best) else f"{best:.3f}"
         lines.append(
             f"{str(row[parameter]):>14}{quality_text:>10}{best_text:>9}"
             f"{row['n_outliers']:>10}{row['n_projections_mined']:>8}"

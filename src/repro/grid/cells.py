@@ -11,7 +11,7 @@ again when *explaining* an outlier.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 

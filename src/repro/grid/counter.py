@@ -318,7 +318,7 @@ class CubeCounter:
         if miss_keys:
             counts = self._count_keys(miss_keys)
             if cache is not None:
-                for key, cnt in zip(miss_keys, counts):
+                for key, cnt in zip(miss_keys, counts, strict=True):
                     cache[key] = int(cnt)
                     if len(cache) > self.cache_size:
                         cache.popitem(last=False)

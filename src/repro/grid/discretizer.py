@@ -17,7 +17,7 @@ projections from incompletely observed records (§1.2).
 from __future__ import annotations
 
 import abc
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 

@@ -26,7 +26,7 @@ import json
 import logging
 import os
 from pathlib import Path
-from typing import Callable, Mapping
+from collections.abc import Callable, Mapping
 
 import numpy as np
 
@@ -47,7 +47,7 @@ logger = logging.getLogger(__name__)
 CHECKPOINT_FORMAT_VERSION = 1
 
 
-def encode_rng_state(state) -> dict:
+def encode_rng_state(state: Mapping[str, object]) -> dict[str, object]:
     """Make a ``Generator.bit_generator.state`` dict JSON-serializable.
 
     PCG64 (the default) already uses plain Python ints; MT19937 carries
@@ -56,7 +56,7 @@ def encode_rng_state(state) -> dict:
     numpy coerces sequences back on assignment.
     """
 
-    def convert(value):
+    def convert(value: object) -> object:
         if isinstance(value, Mapping):
             return {key: convert(item) for key, item in value.items()}
         if isinstance(value, np.ndarray):
@@ -65,7 +65,9 @@ def encode_rng_state(state) -> dict:
             return int(value)
         return value
 
-    return convert(state)
+    converted = convert(state)
+    assert isinstance(converted, dict)
+    return converted
 
 
 def data_fingerprint(codes: np.ndarray) -> str:
@@ -92,7 +94,7 @@ def params_fingerprint(params: Mapping) -> str:
 class CheckpointStore:
     """Named atomic JSON checkpoints in one directory, with rollback."""
 
-    def __init__(self, directory) -> None:
+    def __init__(self, directory: str | os.PathLike[str]) -> None:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
 

@@ -21,13 +21,21 @@ Typical use::
 
 from __future__ import annotations
 
+import os
 import time
-from typing import Mapping
+from collections.abc import Mapping
+from contextlib import AbstractContextManager
+from typing import TYPE_CHECKING
 
 from ..exceptions import ValidationError
 from .cancel import CancelToken
 from .checkpoint import CheckpointStore, SearchCheckpointer
 from .signals import exit_code_for_signal, installed_signal_handlers
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..engine.context import RunContext
+    from ..engine.events import EventSink
+    from ..grid.counter import CubeCounter
 
 __all__ = ["RunController"]
 
@@ -60,10 +68,10 @@ class RunController:
         self,
         *,
         max_seconds: float | None = None,
-        checkpoint_dir=None,
+        checkpoint_dir: str | os.PathLike[str] | None = None,
         checkpoint_every: int = 1,
         token: CancelToken | None = None,
-        sink=None,
+        sink: "EventSink | None" = None,
     ) -> None:
         if max_seconds is not None and max_seconds <= 0:
             raise ValidationError(
@@ -111,7 +119,7 @@ class RunController:
         return None
 
     # ------------------------------------------------------------------
-    def signal_handlers(self):
+    def signal_handlers(self) -> AbstractContextManager[CancelToken]:
         """Context manager routing SIGINT/SIGTERM into the cancel token."""
         return installed_signal_handlers(self.token)
 
@@ -133,11 +141,11 @@ class RunController:
     def build_context(
         self,
         *,
-        counter=None,
-        checkpointer=None,
-        sink=None,
-        resume_from=None,
-    ):
+        counter: "CubeCounter | None" = None,
+        checkpointer: SearchCheckpointer | None = None,
+        sink: "EventSink | None" = None,
+        resume_from: object = None,
+    ) -> "RunContext":
         """A :class:`~repro.engine.context.RunContext` for one engine run.
 
         Bundles this controller's cancel token, *remaining* wall-clock

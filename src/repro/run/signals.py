@@ -23,7 +23,9 @@ import logging
 import os
 import signal
 import threading
-from typing import Iterator
+from types import FrameType
+from collections.abc import Iterator
+from typing import Any
 
 from .cancel import CancelToken
 
@@ -53,9 +55,9 @@ def installed_signal_handlers(token: CancelToken) -> Iterator[CancelToken]:
         yield token
         return
 
-    previous: dict[int, object] = {}
+    previous: dict[int, Any] = {}
 
-    def _handle(signum, frame):
+    def _handle(signum: int, frame: FrameType | None) -> None:
         if token.cancelled:
             # Second signal: the operator means it. Restore the old
             # disposition and re-deliver so default semantics apply.

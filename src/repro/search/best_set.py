@@ -19,7 +19,7 @@ generations) are kept once.
 from __future__ import annotations
 
 import heapq
-from typing import Iterator
+from collections.abc import Iterator
 
 from .._validation import check_positive_int
 from ..core.results import ScoredProjection

@@ -34,7 +34,7 @@ from __future__ import annotations
 import logging
 import math
 import time
-from typing import Mapping
+from collections.abc import Mapping
 
 import numpy as np
 
@@ -344,7 +344,7 @@ class BruteForceSearch(GeneratorEngine):
                     counts, self.counter.n_points, self.counter.n_ranges, k
                 )
                 state.evaluations += len(counts)
-                for rng, (count, coeff) in enumerate(zip(counts, coefficients)):
+                for rng, (count, coeff) in enumerate(zip(counts, coefficients, strict=True)):
                     best.offer(
                         ScoredProjection(
                             partial.extended(dim, rng), int(count), float(coeff)
@@ -475,7 +475,7 @@ class BruteForceSearch(GeneratorEngine):
                         [Subspace(dm, rg) for dm, rg in block]
                     )
                     survivors.extend(
-                        child for child, count in zip(block, counts) if count > 0
+                        child for child, count in zip(block, counts, strict=True) if count > 0
                     )
                 level = survivors
             else:
@@ -508,7 +508,7 @@ class BruteForceSearch(GeneratorEngine):
             coefficients = sparsity_coefficients(counts, n, phi, k)
             state.evaluations += len(block)
             for subspace, count, coefficient in zip(
-                subspaces, counts, coefficients
+                subspaces, counts, coefficients, strict=True
             ):
                 best.offer(
                     ScoredProjection(subspace, int(count), float(coefficient))

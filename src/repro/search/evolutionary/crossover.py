@@ -172,7 +172,7 @@ class OptimizedCrossover(CrossoverOperator):
             assignment = self._best_type2_assignment(
                 parent_a, parent_b, type2, evaluator, rng
             )
-            for pos, src in zip(type2, assignment):
+            for pos, src in zip(type2, assignment, strict=True):
                 genes[pos] = (parent_b if src else parent_a).genes[pos]
                 source[pos] = src
 
@@ -240,12 +240,12 @@ class OptimizedCrossover(CrossoverOperator):
             genes = [WILDCARD_GENE] * n_dims
             for pos in type2:
                 genes[pos] = parent_a.genes[pos]
-            for pos, src in zip(free, bits):
+            for pos, src in zip(free, bits, strict=True):
                 genes[pos] = (parent_b if src else parent_a).genes[pos]
             fitness = evaluator.partial_fitness(Solution(genes))
             if fitness < best_fitness:
                 best_fitness = fitness
-                best_choice = dict(zip(free, bits))
+                best_choice = dict(zip(free, bits, strict=True))
         return best_choice
 
     def _greedy_type2(self, parent_a, parent_b, type2, free, evaluator):

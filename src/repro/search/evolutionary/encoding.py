@@ -15,7 +15,7 @@ values" — can be reproduced literally.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from collections.abc import Iterable, Sequence
 
 import numpy as np
 

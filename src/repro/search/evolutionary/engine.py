@@ -15,7 +15,7 @@ import logging
 import time
 from collections import Counter
 from dataclasses import asdict
-from typing import Mapping
+from collections.abc import Mapping
 
 from ..._validation import check_positive_int, check_rng
 from ...engine.context import RunContext

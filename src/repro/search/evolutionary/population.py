@@ -119,7 +119,7 @@ class FitnessEvaluator:
             counts, self.counter.n_points, self.counter.n_ranges, self.dimensionality
         )
         for i, subspace, count, coefficient in zip(
-            indices, subspaces, counts, coefficients
+            indices, subspaces, counts, coefficients, strict=True
         ):
             results[i] = ScoredProjection(subspace, int(count), float(coefficient))
         return results

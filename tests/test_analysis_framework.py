@@ -1,0 +1,261 @@
+"""Framework tests: pragmas, baseline, reporters, runner and CLI.
+
+These lock the parts of ``repro.analysis`` that other tooling depends
+on — the pragma grammar, the line-number-free baseline matching, the
+JSON report schema (``REPORT_VERSION``) and the CLI exit-code
+contract (0 clean / 1 violations / 2 usage error).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis import Baseline, PragmaIndex, Violation, lint_paths
+from repro.analysis.cli import main as lint_main
+from repro.analysis.report import REPORT_VERSION, render_json, render_text
+from repro.analysis.runner import select_rules
+from repro.exceptions import ValidationError
+
+UNSEEDED = "import numpy as np\nrng = np.random.default_rng()\n"
+
+
+def _violation(**overrides):
+    payload = {
+        "path": "repro/sample.py",
+        "line": 3,
+        "column": 4,
+        "code": "RPL001",
+        "message": "unseeded rng",
+        "qualname": "Sampler.draw",
+    }
+    payload.update(overrides)
+    return Violation(**payload)
+
+
+class TestPragmas:
+    def test_line_pragma_suppresses_named_code_on_that_line(self):
+        index = PragmaIndex.from_source(
+            "x = 1\ny = clock()  # repro-lint: disable=RPL002\n"
+        )
+        assert index.suppresses(_violation(code="RPL002", line=2))
+        assert not index.suppresses(_violation(code="RPL002", line=1))
+        assert not index.suppresses(_violation(code="RPL001", line=2))
+
+    def test_bare_disable_suppresses_every_code(self):
+        index = PragmaIndex.from_source("y = f()  # repro-lint: disable\n")
+        assert index.suppresses(_violation(code="RPL007", line=1))
+
+    def test_file_pragma_suppresses_everywhere(self):
+        index = PragmaIndex.from_source(
+            "# repro-lint: disable-file=RPL001\nx = 1\ny = 2\n"
+        )
+        assert index.suppresses(_violation(code="RPL001", line=3))
+        assert not index.suppresses(_violation(code="RPL002", line=3))
+
+    def test_comma_separated_codes(self):
+        index = PragmaIndex.from_source(
+            "z = g()  # repro-lint: disable=RPL001, RPL003\n"
+        )
+        assert index.suppresses(_violation(code="RPL001", line=1))
+        assert index.suppresses(_violation(code="RPL003", line=1))
+        assert not index.suppresses(_violation(code="RPL002", line=1))
+
+    def test_pragma_end_to_end(self, tmp_path):
+        target = tmp_path / "repro" / "mod.py"
+        target.parent.mkdir()
+        target.write_text(
+            "import numpy as np\n"
+            "rng = np.random.default_rng()  # repro-lint: disable=RPL001\n"
+        )
+        result = lint_paths([tmp_path])
+        assert result.violations == []
+        assert result.suppressed == 1
+
+
+class TestBaseline:
+    def test_round_trip_preserves_entries_and_justifications(self, tmp_path):
+        baseline = Baseline()
+        violation = _violation()
+        baseline.add(violation, "measured deadline enforcement")
+        path = tmp_path / "baseline.json"
+        baseline.save(path)
+
+        loaded = Baseline.load(path)
+        assert loaded.contains(violation)
+        assert (
+            loaded.justification_for(violation)
+            == "measured deadline enforcement"
+        )
+
+    def test_matching_ignores_line_and_column(self, tmp_path):
+        baseline = Baseline()
+        baseline.add(_violation(line=3, column=4), "justified")
+        moved = _violation(line=99, column=0)
+        assert baseline.contains(moved)
+
+    def test_empty_justification_is_rejected(self):
+        with pytest.raises(ValidationError, match="justification"):
+            Baseline().add(_violation(), "   ")
+
+    def test_unknown_version_is_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"version": 99, "entries": []}))
+        with pytest.raises(ValidationError, match="version"):
+            Baseline.load(path)
+
+    def test_corrupt_file_is_a_usage_error(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text("{not json")
+        with pytest.raises(ValidationError, match="not valid JSON"):
+            Baseline.load(path)
+
+    def test_baseline_absorbs_known_violations_in_runner(self, tmp_path):
+        target = tmp_path / "repro" / "mod.py"
+        target.parent.mkdir()
+        target.write_text(UNSEEDED)
+        raw = lint_paths([tmp_path])
+        assert len(raw.violations) == 1
+
+        baseline = Baseline.from_violations(raw.violations, "grandfathered")
+        gated = lint_paths([tmp_path], baseline=baseline)
+        assert gated.violations == []
+        assert len(gated.baselined) == 1
+        assert gated.exit_code == 0
+
+
+class TestRunner:
+    def test_unknown_rule_code_raises(self):
+        with pytest.raises(ValidationError, match="unknown rule code"):
+            select_rules(select=["RPL999"])
+
+    def test_ignore_removes_codes(self):
+        rules = select_rules(ignore=["RPL001", "RPL002"])
+        assert sorted(r.code for r in rules) == [
+            "RPL003", "RPL004", "RPL005", "RPL006", "RPL007", "RPL008",
+        ]
+
+    def test_parse_failure_becomes_rpl000(self, tmp_path):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def broken(:\n")
+        result = lint_paths([tmp_path])
+        assert [v.code for v in result.violations] == ["RPL000"]
+        assert result.exit_code == 1
+
+    def test_pycache_and_hidden_dirs_are_skipped(self, tmp_path):
+        (tmp_path / "__pycache__").mkdir()
+        (tmp_path / "__pycache__" / "cached.py").write_text(UNSEEDED)
+        (tmp_path / ".hidden").mkdir()
+        (tmp_path / ".hidden" / "secret.py").write_text(UNSEEDED)
+        (tmp_path / "visible.py").write_text("x = 1\n")
+        result = lint_paths([tmp_path])
+        assert result.files_checked == 1
+        assert result.violations == []
+
+
+class TestReporters:
+    def _result(self, tmp_path):
+        target = tmp_path / "repro" / "mod.py"
+        target.parent.mkdir()
+        target.write_text(UNSEEDED)
+        return lint_paths([tmp_path])
+
+    def test_json_schema_is_locked(self, tmp_path):
+        payload = json.loads(render_json(self._result(tmp_path)))
+        assert payload["version"] == REPORT_VERSION
+        assert sorted(payload) == [
+            "baselined", "summary", "version", "violations",
+        ]
+        assert sorted(payload["summary"]) == [
+            "baselined", "exit_code", "files_checked", "suppressed",
+            "violations",
+        ]
+        (record,) = payload["violations"]
+        assert sorted(record) == [
+            "code", "column", "line", "message", "path", "qualname",
+        ]
+        assert record["code"] == "RPL001"
+
+    def test_text_report_contains_location_and_summary(self, tmp_path):
+        text = render_text(self._result(tmp_path))
+        assert "repro/mod.py:2:" in text
+        assert "RPL001" in text
+        assert "1 violation(s)" in text
+
+    def test_verbose_text_lists_baselined(self, tmp_path):
+        raw = self._result(tmp_path)
+        baseline = Baseline.from_violations(raw.violations, "grandfathered")
+        gated = lint_paths([tmp_path / "repro"], baseline=baseline)
+        text = render_text(gated, verbose=True)
+        assert "baselined (1 grandfathered):" in text
+
+
+class TestCli:
+    def _write_dirty_tree(self, tmp_path):
+        target = tmp_path / "repro" / "mod.py"
+        target.parent.mkdir()
+        target.write_text(UNSEEDED)
+        return target
+
+    def test_exit_zero_on_clean_tree(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n")
+        assert lint_main([str(clean)]) == 0
+
+    def test_exit_one_on_violations(self, tmp_path, capsys):
+        self._write_dirty_tree(tmp_path)
+        assert lint_main([str(tmp_path), "--no-baseline"]) == 1
+        assert "RPL001" in capsys.readouterr().out
+
+    def test_exit_two_on_unknown_rule(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n")
+        assert lint_main([str(clean), "--select", "RPL999"]) == 2
+        assert "unknown rule code" in capsys.readouterr().err
+
+    def test_baseline_flag_gates_known_violations(self, tmp_path, capsys):
+        self._write_dirty_tree(tmp_path)
+        baseline_path = tmp_path / "baseline.json"
+        assert (
+            lint_main(
+                [
+                    str(tmp_path),
+                    "--update-baseline",
+                    "--baseline",
+                    str(baseline_path),
+                ]
+            )
+            == 0
+        )
+        assert baseline_path.exists()
+        assert (
+            lint_main([str(tmp_path), "--baseline", str(baseline_path)]) == 0
+        )
+        assert (
+            lint_main([str(tmp_path), "--no-baseline"]) == 1
+        )
+
+    def test_json_format_emits_schema(self, tmp_path, capsys):
+        self._write_dirty_tree(tmp_path)
+        assert lint_main([str(tmp_path), "--no-baseline", "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == REPORT_VERSION
+        assert payload["summary"]["violations"] == 1
+
+    def test_select_limits_rules(self, tmp_path, capsys):
+        self._write_dirty_tree(tmp_path)
+        assert (
+            lint_main(
+                [str(tmp_path), "--no-baseline", "--select", "RPL003"]
+            )
+            == 0
+        )
+
+    def test_repo_gate_is_green(self, capsys, monkeypatch, tmp_path):
+        """The acceptance invariant: ``repro-lint src/`` exits 0."""
+        from pathlib import Path
+
+        repo_root = Path(__file__).resolve().parents[1]
+        monkeypatch.chdir(repo_root)
+        assert lint_main(["src"]) == 0

@@ -1,0 +1,439 @@
+"""Per-rule fixtures for the repro-lint rule set (RPL001-RPL008).
+
+Every rule gets at least one positive fixture (the invariant broken →
+exactly the expected code fires) and one negative fixture (compliant
+code → silence), exercised through the same ``lint_source`` path the
+CLI uses so scope tracking, allowlists and import-alias resolution are
+all covered.
+"""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+
+from repro.analysis.config import LintConfig
+from repro.analysis.runner import lint_source, select_rules
+from repro.analysis.sources import ModuleSource
+
+
+def lint_text(
+    text: str,
+    *,
+    path: str = "repro/sample.py",
+    select: list[str] | None = None,
+    config: LintConfig | None = None,
+):
+    source = textwrap.dedent(text)
+    module = ModuleSource(path=path, text=source, tree=ast.parse(source))
+    rules = select_rules(select=select)
+    found, _ = lint_source(module, rules, config or LintConfig())
+    return found
+
+
+def codes(violations) -> list[str]:
+    return [v.code for v in violations]
+
+
+class TestRPL001UnseededRng:
+    def test_flags_module_level_numpy_random(self):
+        found = lint_text(
+            """
+            import numpy as np
+            x = np.random.rand(10)
+            """,
+            select=["RPL001"],
+        )
+        assert codes(found) == ["RPL001"]
+        assert "numpy.random.rand" in found[0].message
+
+    def test_flags_unseeded_default_rng(self):
+        found = lint_text(
+            """
+            import numpy as np
+            rng = np.random.default_rng()
+            """,
+            select=["RPL001"],
+        )
+        assert codes(found) == ["RPL001"]
+        assert "unseeded" in found[0].message
+
+    def test_seeded_default_rng_is_clean(self):
+        found = lint_text(
+            """
+            import numpy as np
+            rng = np.random.default_rng(42)
+            """,
+            select=["RPL001"],
+        )
+        assert found == []
+
+    def test_flags_stdlib_random_calls_and_imports(self):
+        found = lint_text(
+            """
+            import random
+            from random import shuffle
+            value = random.random()
+            """,
+            select=["RPL001"],
+        )
+        assert codes(found) == ["RPL001", "RPL001"]
+
+    def test_respects_import_alias(self):
+        found = lint_text(
+            """
+            import numpy.random as nr
+            nr.normal(0, 1)
+            """,
+            select=["RPL001"],
+        )
+        assert codes(found) == ["RPL001"]
+
+    def test_allowlisted_module_is_exempt(self):
+        config = LintConfig(rng_allowed_modules=("repro/sample.py",))
+        found = lint_text(
+            """
+            import numpy as np
+            x = np.random.rand(10)
+            """,
+            select=["RPL001"],
+            config=config,
+        )
+        assert found == []
+
+    def test_qualname_tracks_enclosing_scope(self):
+        found = lint_text(
+            """
+            import numpy as np
+
+            class Sampler:
+                def draw(self):
+                    return np.random.rand()
+            """,
+            select=["RPL001"],
+        )
+        assert found[0].qualname == "Sampler.draw"
+
+
+class TestRPL002WallClock:
+    def test_flags_time_calls(self):
+        found = lint_text(
+            """
+            import time
+            t = time.perf_counter()
+            """,
+            select=["RPL002"],
+        )
+        assert codes(found) == ["RPL002"]
+
+    def test_flags_from_import_and_datetime_now(self):
+        found = lint_text(
+            """
+            from time import monotonic
+            from datetime import datetime
+            a = monotonic()
+            b = datetime.now()
+            """,
+            select=["RPL002"],
+        )
+        assert codes(found) == ["RPL002", "RPL002"]
+
+    def test_budget_module_is_exempt(self):
+        found = lint_text(
+            """
+            import time
+            t = time.perf_counter()
+            """,
+            path="repro/run/controller.py",
+            select=["RPL002"],
+        )
+        assert found == []
+
+    def test_unrelated_attribute_named_time_is_clean(self):
+        found = lint_text(
+            """
+            class Budget:
+                def time(self):
+                    return 0.0
+
+            b = Budget()
+            b.time()
+            """,
+            select=["RPL002"],
+        )
+        assert found == []
+
+
+class TestRPL003NonAtomicWrite:
+    def test_flags_builtin_open_write_mode(self):
+        found = lint_text(
+            """
+            with open("out.json", "w") as fh:
+                fh.write("{}")
+            """,
+            select=["RPL003"],
+        )
+        assert codes(found) == ["RPL003"]
+
+    def test_flags_path_open_write_mode_first_positional(self):
+        found = lint_text(
+            """
+            from pathlib import Path
+            with Path("out.json").open("w", encoding="utf-8") as fh:
+                fh.write("{}")
+            """,
+            select=["RPL003"],
+        )
+        assert codes(found) == ["RPL003"]
+
+    def test_flags_write_text_and_json_dump(self):
+        found = lint_text(
+            """
+            import json
+            from pathlib import Path
+            Path("out.txt").write_text("data")
+            json.dump({}, object())
+            """,
+            select=["RPL003"],
+        )
+        assert codes(found) == ["RPL003", "RPL003"]
+
+    def test_read_mode_and_default_mode_are_clean(self):
+        found = lint_text(
+            """
+            from pathlib import Path
+            with open("in.json") as fh:
+                fh.read()
+            with Path("in.json").open("rb") as fh:
+                fh.read()
+            """,
+            select=["RPL003"],
+        )
+        assert found == []
+
+    def test_non_literal_mode_is_flagged(self):
+        found = lint_text(
+            """
+            def touch(path, mode):
+                return open(path, mode)
+            """,
+            select=["RPL003"],
+        )
+        assert codes(found) == ["RPL003"]
+        assert "non-literal" in found[0].message
+
+    def test_atomic_module_is_exempt(self):
+        found = lint_text(
+            """
+            with open("tmp", "w") as fh:
+                fh.write("x")
+            """,
+            path="repro/_atomic.py",
+            select=["RPL003"],
+        )
+        assert found == []
+
+
+class TestRPL004RegistryOnly:
+    def test_flags_engine_construction_in_core(self):
+        found = lint_text(
+            """
+            from repro.search.brute_force import BruteForceSearch
+            engine = BruteForceSearch(None, 4, 20)
+            """,
+            path="repro/core/detector.py",
+            select=["RPL004"],
+        )
+        assert codes(found) == ["RPL004", "RPL004"]
+
+    def test_registry_call_is_clean(self):
+        found = lint_text(
+            """
+            from repro.engine import create_engine
+            engine = create_engine("brute_force", None, 4, 20)
+            """,
+            path="repro/core/detector.py",
+            select=["RPL004"],
+        )
+        assert found == []
+
+    def test_rule_only_applies_to_core_and_cli(self):
+        found = lint_text(
+            """
+            from repro.search.brute_force import BruteForceSearch
+            engine = BruteForceSearch(None, 4, 20)
+            """,
+            path="repro/search/helpers.py",
+            select=["RPL004"],
+        )
+        assert found == []
+
+
+class TestRPL005RegisteredEvents:
+    def test_flags_unregistered_event_type(self):
+        found = lint_text(
+            """
+            def run(context):
+                context.emit("totally_unknown_event", step=1)
+            """,
+            select=["RPL005"],
+        )
+        assert codes(found) == ["RPL005"]
+
+    def test_registered_event_is_clean(self):
+        from repro.engine.events import EVENT_TYPES
+
+        event = sorted(EVENT_TYPES)[0]
+        found = lint_text(
+            f"""
+            def run(context):
+                context.emit({event!r}, step=1)
+            """,
+            select=["RPL005"],
+        )
+        assert found == []
+
+    def test_locally_registered_event_is_clean(self):
+        found = lint_text(
+            """
+            from repro.engine.events import register_event_type
+
+            register_event_type("my_plugin_event")
+
+            def run(context):
+                context.emit("my_plugin_event", step=1)
+            """,
+            select=["RPL005"],
+        )
+        assert found == []
+
+    def test_dynamic_event_name_is_not_flagged(self):
+        # Syntactic rule: only literal event names are judged.
+        found = lint_text(
+            """
+            def run(context, name):
+                context.emit(name, step=1)
+            """,
+            select=["RPL005"],
+        )
+        assert found == []
+
+
+class TestRPL006BareParallelism:
+    def test_flags_multiprocessing_and_futures_imports(self):
+        found = lint_text(
+            """
+            import multiprocessing
+            from concurrent.futures import ProcessPoolExecutor
+            """,
+            select=["RPL006"],
+        )
+        assert codes(found) == ["RPL006", "RPL006"]
+
+    def test_dispatcher_module_is_exempt(self):
+        found = lint_text(
+            """
+            import multiprocessing
+            """,
+            path="repro/grid/parallel.py",
+            select=["RPL006"],
+        )
+        assert found == []
+
+    def test_similarly_named_module_is_clean(self):
+        found = lint_text(
+            """
+            import concurrency_helpers
+            """,
+            select=["RPL006"],
+        )
+        assert found == []
+
+
+class TestRPL007FloatEquality:
+    def test_flags_float_literal_comparison_in_numeric_module(self):
+        found = lint_text(
+            """
+            def check(x):
+                return x == 0.5
+            """,
+            path="repro/sparsity/coefficient.py",
+            select=["RPL007"],
+        )
+        assert codes(found) == ["RPL007"]
+
+    def test_flags_nan_self_comparison(self):
+        found = lint_text(
+            """
+            def is_valid(q):
+                return q == q
+            """,
+            path="repro/eval/harness.py",
+            select=["RPL007"],
+        )
+        assert codes(found) == ["RPL007"]
+        assert "NaN probe" in found[0].message
+
+    def test_integer_comparison_is_clean(self):
+        found = lint_text(
+            """
+            def check(n):
+                return n == 0
+            """,
+            path="repro/sparsity/coefficient.py",
+            select=["RPL007"],
+        )
+        assert found == []
+
+    def test_rule_scoped_to_numeric_modules(self):
+        found = lint_text(
+            """
+            def check(x):
+                return x == 0.5
+            """,
+            path="repro/data/loaders.py",
+            select=["RPL007"],
+        )
+        assert found == []
+
+
+class TestRPL008MutableDefaults:
+    def test_flags_literal_and_constructor_defaults(self):
+        found = lint_text(
+            """
+            def configure(options=[], table=dict()):
+                return options, table
+            """,
+            select=["RPL008"],
+        )
+        assert codes(found) == ["RPL008", "RPL008"]
+
+    def test_private_functions_are_exempt(self):
+        found = lint_text(
+            """
+            def _internal(cache={}):
+                return cache
+            """,
+            select=["RPL008"],
+        )
+        assert found == []
+
+    def test_none_and_tuple_defaults_are_clean(self):
+        found = lint_text(
+            """
+            def configure(options=None, shape=(2, 3)):
+                return options, shape
+            """,
+            select=["RPL008"],
+        )
+        assert found == []
+
+    def test_keyword_only_defaults_are_checked(self):
+        found = lint_text(
+            """
+            def configure(*, extras={"a": 1}):
+                return extras
+            """,
+            select=["RPL008"],
+        )
+        assert codes(found) == ["RPL008"]

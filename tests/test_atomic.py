@@ -1,0 +1,112 @@
+"""Failure-path tests for the shared atomic-write helpers.
+
+The determinism contract (docs/determinism.md, RPL003) routes every
+persisted artifact through ``repro._atomic``; these tests pin down the
+crash-safety properties that make that worthwhile: an interrupted or
+failing write must never corrupt an existing target, and must never
+leave temp-file litter behind.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro._atomic import atomic_write_json, atomic_write_text, atomic_writer
+
+
+def _no_temp_litter(directory):
+    return [p.name for p in directory.iterdir() if p.suffix == ".tmp"]
+
+
+class TestAtomicWriter:
+    def test_round_trip(self, tmp_path):
+        target = tmp_path / "out.txt"
+        with atomic_writer(target) as handle:
+            handle.write("hello\n")
+        assert target.read_text() == "hello\n"
+        assert _no_temp_litter(tmp_path) == []
+
+    def test_body_exception_leaves_target_untouched(self, tmp_path):
+        target = tmp_path / "out.txt"
+        target.write_text("original")
+        with pytest.raises(RuntimeError):
+            with atomic_writer(target) as handle:
+                handle.write("partial garbage")
+                raise RuntimeError("killed mid-write")
+        assert target.read_text() == "original"
+        assert _no_temp_litter(tmp_path) == []
+
+    def test_body_exception_without_existing_target(self, tmp_path):
+        target = tmp_path / "fresh.txt"
+        with pytest.raises(ValueError):
+            with atomic_writer(target) as handle:
+                handle.write("doomed")
+                raise ValueError("boom")
+        assert not target.exists()
+        assert _no_temp_litter(tmp_path) == []
+
+    def test_replace_failure_cleans_temp_and_keeps_target(
+        self, tmp_path, monkeypatch
+    ):
+        target = tmp_path / "out.txt"
+        target.write_text("original")
+
+        def failing_replace(src, dst):
+            raise OSError("disk detached")
+
+        monkeypatch.setattr(os, "replace", failing_replace)
+        with pytest.raises(OSError, match="disk detached"):
+            atomic_write_text(target, "replacement")
+        monkeypatch.undo()
+        assert target.read_text() == "original"
+        assert _no_temp_litter(tmp_path) == []
+
+    def test_keyboard_interrupt_is_not_swallowed(self, tmp_path):
+        target = tmp_path / "out.txt"
+        target.write_text("original")
+        with pytest.raises(KeyboardInterrupt):
+            with atomic_writer(target) as handle:
+                handle.write("partial")
+                raise KeyboardInterrupt
+        assert target.read_text() == "original"
+        assert _no_temp_litter(tmp_path) == []
+
+
+class TestAtomicWriteText:
+    def test_overwrites_existing(self, tmp_path):
+        target = tmp_path / "data.txt"
+        target.write_text("old")
+        returned = atomic_write_text(target, "new")
+        assert returned == target
+        assert target.read_text() == "new"
+
+    def test_accepts_str_path(self, tmp_path):
+        target = tmp_path / "str_path.txt"
+        atomic_write_text(str(target), "content")
+        assert target.read_text() == "content"
+
+
+class TestAtomicWriteJson:
+    def test_round_trip(self, tmp_path):
+        target = tmp_path / "payload.json"
+        atomic_write_json(target, {"a": 1, "b": [2, 3]})
+        assert json.loads(target.read_text()) == {"a": 1, "b": [2, 3]}
+
+    def test_unserializable_payload_never_touches_target(self, tmp_path):
+        """Encoding happens before any file operation (RPL003 rationale)."""
+        target = tmp_path / "payload.json"
+        target.write_text('{"keep": true}')
+        with pytest.raises(TypeError):
+            atomic_write_json(target, {"bad": object()})
+        assert json.loads(target.read_text()) == {"keep": True}
+        assert _no_temp_litter(tmp_path) == []
+
+    def test_unserializable_payload_creates_nothing(self, tmp_path):
+        target = tmp_path / "never.json"
+        with pytest.raises(TypeError):
+            atomic_write_json(target, {"bad": {1, 2}})
+        assert not target.exists()
+        assert list(tmp_path.iterdir()) == []

@@ -64,7 +64,7 @@ def _check_grid(cells, max_k, backend=None):
     dense = CubeCounter(cells, backend=backend)
     packed = PackedCubeCounter(cells, backend=backend)
     try:
-        for cube, want in zip(cubes, expected):
+        for cube, want in zip(cubes, expected, strict=True):
             assert dense.count(cube) == want, cube
             assert packed.count(cube) == want, cube
         # Fresh counters for the batch path so the memo cannot mask a

@@ -124,7 +124,7 @@ class TestPipelineIntegration:
         xs = latent + rng.normal(scale=0.1, size=120)
         ys = latent + rng.normal(scale=0.1, size=120)
         xs[3], ys[3] = np.quantile(xs, 0.05), np.quantile(ys, 0.95)
-        rows += [f"{a:.5f},{b:.5f}" for a, b in zip(xs, ys)]
+        rows += [f"{a:.5f},{b:.5f}" for a, b in zip(xs, ys, strict=True)]
         dataset = load_arff(_io.StringIO("\n".join(rows) + "\n"))
 
         from repro import SubspaceOutlierDetector

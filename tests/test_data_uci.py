@@ -48,7 +48,7 @@ class TestArrhythmia:
     def test_table2_class_distribution_exact(self):
         dataset = arrhythmia()
         codes, counts = np.unique(dataset.labels, return_counts=True)
-        assert dict(zip(codes.tolist(), counts.tolist())) == ARRHYTHMIA_CLASS_COUNTS
+        assert dict(zip(codes.tolist(), counts.tolist(), strict=True)) == ARRHYTHMIA_CLASS_COUNTS
 
     def test_table2_marginals(self):
         dataset = arrhythmia()

@@ -150,4 +150,4 @@ class TestElitism:
             random_state=7,
         ).run()
         best = [r.population_best for r in outcome.history]
-        assert all(b <= a + 1e-12 for a, b in zip(best, best[1:]))
+        assert all(b <= a + 1e-12 for a, b in zip(best, best[1:], strict=False))

@@ -156,7 +156,7 @@ class TestOptimizedCrossover:
 
         for bits in itertools.product([0, 1], repeat=2):
             genes = list(s1.genes)
-            for pos, b in zip((0, 1), bits):
+            for pos, b in zip((0, 1), bits, strict=True):
                 genes[pos] = (s2 if b else s1).genes[pos]
             candidates.append(evaluator.partial_fitness(Solution(genes)))
         assert evaluator.partial_fitness(c1) == pytest.approx(min(candidates))

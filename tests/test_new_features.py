@@ -127,7 +127,7 @@ class TestHistoryTracking:
             random_state=1,
         ).run()
         best = [r.best_coefficient for r in outcome.history]
-        assert all(b <= a + 1e-12 for a, b in zip(best, best[1:]))
+        assert all(b <= a + 1e-12 for a, b in zip(best, best[1:], strict=False))
 
     def test_restarts_recorded(self, small_counter):
         outcome = EvolutionarySearch(

@@ -105,7 +105,7 @@ class TestColumnPermutationEquivariance:
             dims = projection.subspace.dims
             ranges = projection.subspace.ranges
             if mapping is not None:
-                pairs = sorted((mapping[d], r) for d, r in zip(dims, ranges))
+                pairs = sorted((mapping[d], r) for d, r in zip(dims, ranges, strict=True))
                 dims = tuple(d for d, _ in pairs)
                 ranges = tuple(r for _, r in pairs)
             return dims, ranges

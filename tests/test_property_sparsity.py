@@ -150,7 +150,7 @@ class TestEquiDepthBucketBalance:
         array = np.array(column, dtype=float).reshape(-1, 1)
         codes = EquiDepthDiscretizer(phi).fit_transform(array).codes[:, 0]
         by_value: dict[float, set] = {}
-        for value, code in zip(array[:, 0], codes):
+        for value, code in zip(array[:, 0], codes, strict=True):
             if not np.isnan(value):
                 by_value.setdefault(value, set()).add(int(code))
         for value, buckets in by_value.items():

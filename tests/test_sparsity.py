@@ -101,7 +101,7 @@ class TestHelpers:
     def test_vectorized_matches_scalar(self):
         counts = np.array([0, 1, 5, 50])
         vec = sparsity_coefficients(counts, 1000, 10, 2)
-        for c, v in zip(counts, vec):
+        for c, v in zip(counts, vec, strict=True):
             assert v == pytest.approx(sparsity_coefficient(int(c), 1000, 10, 2))
 
     def test_vectorized_rejects_bad_counts(self):
