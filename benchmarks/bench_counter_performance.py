@@ -5,43 +5,91 @@ Not a paper table — this measures the reproduction's own engine-room
 bit-packed counter vs naive row scanning, at a scale larger than any
 paper dataset, plus the memoisation hit rate a GA-shaped workload
 achieves, plus the batched kernel's speedup over per-cube counting on
-a GA-population-sized batch (the headline number for the batch API).
+a GA-population-sized batch (the headline number for the batch API) —
+now measured per counting backend (serial numpy kernel vs the native
+compiled kernel) and appended to the tracked perf trajectory in
+``BENCH_engine.json`` (see ``repro.bench.trajectory``), which
+``benchmarks/check_regression.py`` gates in CI.
+
+Environment knobs:
+
+- ``REPRO_BENCH_JSON`` — trajectory output path (default:
+  ``BENCH_engine.json`` at the repo root).
+- ``REPRO_BENCH_PROFILE=ci`` — shrink the workload for the CI
+  bench-gate job and skip the absolute-speedup assertions (timings on
+  shared runners are noisy; the regression gate compares run-to-run
+  instead).
 """
 
 from __future__ import annotations
 
-import json
+import os
 import time
+from datetime import datetime, timezone
 from pathlib import Path
 
 import numpy as np
 import pytest
 
-from repro._atomic import atomic_write_text
+from repro.bench import append_entry
+from repro.core.params import CountingBackend
 from repro.core.subspace import Subspace
 from repro.grid.cells import CellAssignment
 from repro.grid.counter import CubeCounter
+from repro.grid.native import kernel_info
 from repro.grid.packed_counter import PackedCubeCounter
 
-N_POINTS = 100_000
-N_DIMS = 32
-PHI = 8
-N_CUBES = 300
+PROFILE = os.environ.get("REPRO_BENCH_PROFILE", "full")
+FULL = PROFILE != "ci"
 
-# The batch scenario mirrors the paper's running example (d=20, phi=10,
-# k=4) with a GA population of 500 strings over N=50k points.
-BATCH_N = 50_000
-BATCH_D = 20
-BATCH_PHI = 10
-BATCH_K = 4
-BATCH_P = 500
+if FULL:
+    N_POINTS = 100_000
+    N_DIMS = 32
+    PHI = 8
+    N_CUBES = 300
+    # The batch scenario mirrors the paper's running example (d=20,
+    # phi=10, k=4) with a GA population of 500 strings over N=50k points.
+    BATCH_N = 50_000
+    BATCH_D = 20
+    BATCH_PHI = 10
+    BATCH_K = 4
+    BATCH_P = 500
+else:
+    # Small enough for a CI job, large enough that the batched timings
+    # are well clear of fixed per-call overhead (the regression gate
+    # compares them run-to-run at a 20% threshold, so they must not
+    # jitter at that scale).
+    N_POINTS = 5_000
+    N_DIMS = 16
+    PHI = 8
+    N_CUBES = 60
+    BATCH_N = 30_000
+    BATCH_D = 20
+    BATCH_PHI = 10
+    BATCH_K = 4
+    BATCH_P = 400
+
+#: Best-of-N repetitions for the batched timings — the min is far more
+#: stable than the mean on shared machines; the noisier CI runners get
+#: more repetitions, and each repetition times INNER consecutive calls
+#: so a sub-millisecond kernel is still measured over several
+#: milliseconds (the 20% regression gate needs timings that do not
+#: jitter at that scale between two runs of the same commit).
+REPS = 3 if FULL else 9
+INNER = 1 if FULL else 10
 
 _LINES: list[str] = []
 
-#: Machine-readable metrics, dumped to BENCH_engine.json at the repo
-#: root by test_report so the perf trajectory has tracked data points.
+#: Scalar summary metrics for this run's trajectory entry.
 _METRICS: dict[str, float] = {}
-_BENCH_JSON = Path(__file__).resolve().parents[1] / "BENCH_engine.json"
+#: Per-backend timing records for this run's trajectory entry.
+_BACKENDS: dict[str, dict] = {}
+_BENCH_JSON = Path(
+    os.environ.get(
+        "REPRO_BENCH_JSON",
+        Path(__file__).resolve().parents[1] / "BENCH_engine.json",
+    )
+)
 
 
 @pytest.fixture(scope="module")
@@ -72,6 +120,19 @@ def _timed_count_all(counter, cubes, metric_key):
     counts = _count_all(counter, cubes)
     _METRICS[metric_key] = time.perf_counter() - t0
     return counts
+
+
+def _best_of(fn, reps=REPS, inner=INNER):
+    """Return (result, best_seconds) where each of *reps* samples times
+    *inner* consecutive calls and reports the per-call average."""
+    best = float("inf")
+    result = None
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        for _ in range(inner):
+            result = fn()
+        best = min(best, (time.perf_counter() - t0) / inner)
+    return result, best
 
 
 def test_boolean_mask_counter(benchmark, cells, cubes):
@@ -118,8 +179,9 @@ def test_cache_effectiveness(benchmark, cells, cubes):
 
 
 def test_batch_speedup(benchmark):
-    # Acceptance: count_batch on a population-sized batch must beat
-    # per-cube counting by >= 3x.
+    # Acceptance (full profile): count_batch on a population-sized batch
+    # must beat per-cube counting by >= 3x, and the native backend must
+    # beat the serial batched path by >= 2x when a compiled tier is up.
     rng = np.random.default_rng(7)
     codes = rng.integers(0, BATCH_PHI, size=(BATCH_N, BATCH_D)).astype(np.int16)
     cells = CellAssignment(codes, BATCH_PHI)
@@ -136,22 +198,50 @@ def test_batch_speedup(benchmark):
     reference = _count_all(per_cube, population)
     per_cube_seconds = time.perf_counter() - t0
 
-    batched = PackedCubeCounter(cells, cache_size=0)
-    counts = benchmark.pedantic(
-        lambda: batched.count_batch(population), rounds=1, iterations=1
+    serial = PackedCubeCounter(cells, cache_size=0)
+    counts, batch_seconds = benchmark.pedantic(
+        lambda: _best_of(lambda: serial.count_batch(population)),
+        rounds=1, iterations=1,
     )
-    batch_seconds = batched.cache_stats()["batch_seconds"]
+
+    native = PackedCubeCounter(
+        cells, cache_size=0, backend=CountingBackend(kind="native")
+    )
+    native_counts, native_seconds = _best_of(
+        lambda: native.count_batch(population)
+    )
+    tier = kernel_info()["tier"]
+
     speedup = per_cube_seconds / batch_seconds
+    native_speedup = batch_seconds / native_seconds
     _LINES.append(
         f"{'batch API speedup':<22}{speedup:>11.1f}x  "
         f"(p={BATCH_P}, k={BATCH_K}, N={BATCH_N:,}: "
         f"{per_cube_seconds:.2f}s per-cube vs {batch_seconds:.2f}s batched)"
     )
+    _LINES.append(
+        f"{'native vs batched':<22}{native_speedup:>11.1f}x  "
+        f"(kernel tier '{tier}': {native_seconds * 1e3:.2f}ms vs "
+        f"{batch_seconds * 1e3:.2f}ms serial)"
+    )
     _METRICS["batch_speedup"] = speedup
     _METRICS["batch_seconds"] = batch_seconds
     _METRICS["per_cube_seconds"] = per_cube_seconds
+    _METRICS["native_batch_seconds"] = native_seconds
+    _METRICS["native_speedup_vs_batch"] = native_speedup
+    _BACKENDS["serial"] = {"batch_seconds": batch_seconds}
+    _BACKENDS["native"] = {
+        "batch_seconds": native_seconds,
+        "kernel_tier": tier,
+    }
     assert counts.tolist() == reference
-    assert speedup >= 3.0
+    assert native_counts.tolist() == reference
+    if FULL:
+        assert speedup >= 3.0
+        if tier != "numpy":
+            # Pure-numpy fallback (no compiler, no numba) is correct but
+            # not fast; the 2x gate only applies to compiled tiers.
+            assert native_speedup >= 2.0
 
 
 def test_report(benchmark):
@@ -168,9 +258,14 @@ def test_report(benchmark):
     from conftest import register_report
 
     register_report("Substrate - cube counting engines", lines)
-    payload = {
-        "benchmark": "counter_performance",
-        "params": {
+    # Clock read lives here in benchmarks/, never in src/ (lint RPL002);
+    # repro.bench takes the timestamp as data.
+    append_entry(
+        _BENCH_JSON,
+        benchmark="counter_performance",
+        timestamp=datetime.now(timezone.utc).isoformat(),
+        params={
+            "profile": PROFILE,
             "n_points": N_POINTS,
             "n_dims": N_DIMS,
             "phi": PHI,
@@ -183,8 +278,6 @@ def test_report(benchmark):
                 "population": BATCH_P,
             },
         },
-        "metrics": dict(_METRICS),
-    }
-    atomic_write_text(
-        _BENCH_JSON, json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        metrics=dict(_METRICS),
+        backends=dict(_BACKENDS),
     )

@@ -1,0 +1,21 @@
+#!/usr/bin/env python
+"""Fail when the latest benchmark entry regressed vs the best prior run.
+
+Thin CLI over :func:`repro.bench.trajectory.regression_main` so the CI
+``bench-gate`` job (and a developer at the shell) can gate a trajectory
+file produced by ``bench_counter_performance.py``::
+
+    PYTHONPATH=src python benchmarks/check_regression.py BENCH_engine.json
+
+Exit codes: 0 ok / nothing to compare, 1 regression beyond the
+threshold (default 20%), 2 malformed trajectory file.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.bench.trajectory import regression_main
+
+if __name__ == "__main__":
+    sys.exit(regression_main())

@@ -1,0 +1,21 @@
+"""Tracked benchmark trajectories and the perf-regression gate."""
+
+from .trajectory import (
+    SCHEMA_VERSION,
+    RegressionFinding,
+    append_entry,
+    check_regression,
+    load_trajectory,
+    regression_main,
+    validate_trajectory,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "RegressionFinding",
+    "append_entry",
+    "check_regression",
+    "load_trajectory",
+    "regression_main",
+    "validate_trajectory",
+]

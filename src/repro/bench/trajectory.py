@@ -1,0 +1,349 @@
+"""Benchmark trajectories: append-only perf history + regression gate.
+
+``BENCH_*.json`` artifacts used to be single snapshots — the latest
+run overwrote the previous one, so a performance regression was
+invisible unless someone remembered the old number.  A *trajectory*
+keeps every run::
+
+    {
+      "benchmark": "counter_performance",
+      "schema_version": 2,
+      "entries": [
+        {
+          "timestamp": "2026-08-08T12:00:00+00:00",   # or null
+          "params":   {...},                           # run configuration
+          "metrics":  {...},                           # scalar summary
+          "backends": {                                # per-backend timings
+            "serial": {"batch_seconds": 0.0029, ...},
+            "native": {"batch_seconds": 0.0011, "kernel_tier": "c", ...}
+          }
+        },
+        ...
+      ]
+    }
+
+The schema is locked by ``tests/test_bench_trajectory.py`` (mirroring
+the JSON lint-report lock) because :func:`check_regression` — and the
+CI ``bench-gate`` job built on it — parses these files blindly; a
+silent shape change would turn the gate into a no-op.
+
+Legacy v1 snapshots (top-level ``metrics``, no ``entries``) migrate on
+load: the snapshot becomes the first entry with a ``null`` timestamp,
+its ``batch_seconds`` attributed to the ``serial`` backend, so the
+pre-trajectory history stays comparable.
+
+Timestamps are *inputs* here: reading the clock stays in the caller
+(the benchmark scripts), keeping this module — and everything under
+``src/`` — free of wall-clock reads per the determinism lint (RPL002).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from collections.abc import Sequence
+from dataclasses import dataclass
+from pathlib import Path
+
+from .._atomic import atomic_write_text
+from ..exceptions import ValidationError
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "RegressionFinding",
+    "append_entry",
+    "check_regression",
+    "load_trajectory",
+    "regression_main",
+    "validate_trajectory",
+]
+
+SCHEMA_VERSION = 2
+
+#: Locked key sets — ``tests/test_bench_trajectory.py`` pins these.
+TOP_KEYS = ("benchmark", "entries", "schema_version")
+ENTRY_KEYS = ("backends", "metrics", "params", "timestamp")
+
+#: The per-backend field the regression gate compares by default.
+DEFAULT_METRIC = "batch_seconds"
+
+#: Default tolerated slowdown: latest may be at most 20% above the
+#: best prior run before the gate fails.
+DEFAULT_THRESHOLD = 0.20
+
+
+def _new_trajectory(benchmark: str) -> dict:
+    return {
+        "benchmark": benchmark,
+        "schema_version": SCHEMA_VERSION,
+        "entries": [],
+    }
+
+
+def _migrate_v1(doc: dict) -> dict:
+    """Lift a legacy single-snapshot document into a one-entry trajectory."""
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, dict):
+        raise ValidationError(
+            "legacy benchmark snapshot has no 'metrics' mapping to migrate"
+        )
+    backends: dict = {}
+    if "batch_seconds" in metrics:
+        # The v1 batch timing was the serial batched path.
+        backends["serial"] = {"batch_seconds": metrics["batch_seconds"]}
+    entry = {
+        "timestamp": None,
+        "params": doc.get("params", {}),
+        "metrics": metrics,
+        "backends": backends,
+    }
+    migrated = _new_trajectory(str(doc.get("benchmark", "unknown")))
+    migrated["entries"].append(entry)
+    return migrated
+
+
+def validate_trajectory(doc: dict) -> None:
+    """Raise :class:`ValidationError` unless *doc* matches the schema."""
+    if not isinstance(doc, dict):
+        raise ValidationError("trajectory document must be a JSON object")
+    if sorted(doc) != sorted(TOP_KEYS):
+        raise ValidationError(
+            f"trajectory top-level keys must be {sorted(TOP_KEYS)}, "
+            f"got {sorted(doc)}"
+        )
+    if doc["schema_version"] != SCHEMA_VERSION:
+        raise ValidationError(
+            f"unsupported trajectory schema_version {doc['schema_version']!r} "
+            f"(expected {SCHEMA_VERSION})"
+        )
+    if not isinstance(doc["benchmark"], str) or not doc["benchmark"]:
+        raise ValidationError("trajectory 'benchmark' must be a non-empty string")
+    if not isinstance(doc["entries"], list):
+        raise ValidationError("trajectory 'entries' must be a list")
+    for position, entry in enumerate(doc["entries"]):
+        if not isinstance(entry, dict) or sorted(entry) != sorted(ENTRY_KEYS):
+            raise ValidationError(
+                f"entry {position} keys must be {sorted(ENTRY_KEYS)}, got "
+                f"{sorted(entry) if isinstance(entry, dict) else type(entry).__name__}"
+            )
+        if entry["timestamp"] is not None and not isinstance(
+            entry["timestamp"], str
+        ):
+            raise ValidationError(
+                f"entry {position} timestamp must be an ISO string or null"
+            )
+        for field in ("params", "metrics", "backends"):
+            if not isinstance(entry[field], dict):
+                raise ValidationError(
+                    f"entry {position} {field!r} must be a mapping"
+                )
+        for backend, record in entry["backends"].items():
+            if not isinstance(record, dict):
+                raise ValidationError(
+                    f"entry {position} backend {backend!r} record must be "
+                    "a mapping"
+                )
+
+
+def load_trajectory(path: str | Path, benchmark: str | None = None) -> dict:
+    """Load (and, if necessary, migrate) a trajectory file.
+
+    A missing file yields a fresh empty trajectory (*benchmark* is then
+    required).  Legacy v1 snapshots are migrated in memory; the file is
+    rewritten in trajectory form on the next :func:`append_entry`.
+    """
+    path = Path(path)
+    if not path.exists():
+        if benchmark is None:
+            raise ValidationError(
+                f"trajectory file {path} does not exist and no benchmark "
+                "name was given to create one"
+            )
+        return _new_trajectory(benchmark)
+    try:
+        doc = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ValidationError(
+            f"trajectory file {path} is not valid JSON: {exc}"
+        ) from exc
+    if isinstance(doc, dict) and "entries" not in doc:
+        doc = _migrate_v1(doc)
+    validate_trajectory(doc)
+    if benchmark is not None and doc["benchmark"] != benchmark:
+        raise ValidationError(
+            f"trajectory file {path} tracks benchmark {doc['benchmark']!r}, "
+            f"not {benchmark!r}"
+        )
+    return doc
+
+
+def append_entry(
+    path: str | Path,
+    *,
+    benchmark: str,
+    timestamp: str | None,
+    params: dict,
+    metrics: dict,
+    backends: dict,
+) -> dict:
+    """Append one timestamped run to the trajectory at *path*.
+
+    Loads (migrating a legacy snapshot if present), validates the new
+    entry against the locked schema, and writes the whole document back
+    atomically.  Returns the updated trajectory.
+    """
+    doc = load_trajectory(path, benchmark=benchmark)
+    entry = {
+        "timestamp": timestamp,
+        "params": dict(params),
+        "metrics": dict(metrics),
+        "backends": {name: dict(record) for name, record in backends.items()},
+    }
+    doc["entries"].append(entry)
+    validate_trajectory(doc)
+    atomic_write_text(
+        Path(path), json.dumps(doc, indent=2, sort_keys=True) + "\n"
+    )
+    return doc
+
+
+# ----------------------------------------------------------------------
+# the regression gate
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RegressionFinding:
+    """Latest-vs-best comparison for one backend's tracked metric.
+
+    ``ratio`` is ``latest / best`` for time-like metrics (lower is
+    better): 1.0 means matching the best run ever recorded, 1.25 means
+    25% slower.  ``regressed`` applies the gate threshold.
+    """
+
+    backend: str
+    metric: str
+    latest: float
+    best: float
+    ratio: float
+    regressed: bool
+
+    def describe(self) -> str:
+        state = "REGRESSION" if self.regressed else "ok"
+        return (
+            f"{self.backend:<16} {self.metric}: latest {self.latest:.6f}s "
+            f"vs best {self.best:.6f}s ({self.ratio:.2f}x) [{state}]"
+        )
+
+
+def check_regression(
+    doc: dict,
+    *,
+    metric: str = DEFAULT_METRIC,
+    threshold: float = DEFAULT_THRESHOLD,
+) -> list[RegressionFinding]:
+    """Compare the latest entry against the best prior run, per backend.
+
+    For each backend in the latest entry that also has prior data, the
+    latest *metric* (lower is better) is compared against the minimum
+    across all earlier entries; a finding is ``regressed`` when it
+    exceeds ``best * (1 + threshold)``.  Fewer than two entries — or a
+    backend with no history — produces no finding: a brand-new backend
+    cannot regress.
+    """
+    if threshold < 0:
+        raise ValidationError(f"threshold must be >= 0, got {threshold}")
+    validate_trajectory(doc)
+    entries = doc["entries"]
+    if len(entries) < 2:
+        return []
+    latest = entries[-1]
+    findings: list[RegressionFinding] = []
+    for backend in sorted(latest["backends"]):
+        value = latest["backends"][backend].get(metric)
+        if not isinstance(value, (int, float)):
+            continue
+        prior = [
+            record.get(metric)
+            for entry in entries[:-1]
+            for name, record in entry["backends"].items()
+            if name == backend and isinstance(record.get(metric), (int, float))
+        ]
+        if not prior:
+            continue
+        best = min(prior)
+        if best <= 0:
+            continue
+        ratio = float(value) / float(best)
+        findings.append(
+            RegressionFinding(
+                backend=backend,
+                metric=metric,
+                latest=float(value),
+                best=float(best),
+                ratio=ratio,
+                regressed=ratio > 1.0 + threshold,
+            )
+        )
+    return findings
+
+
+def regression_main(argv: Sequence[str] | None = None) -> int:
+    """CLI for the gate: exit 1 on regression, 2 on a malformed file.
+
+    This is what ``benchmarks/check_regression.py`` (and the CI
+    ``bench-gate`` job) invokes after a benchmark run appends its
+    entry.
+    """
+    parser = argparse.ArgumentParser(
+        prog="check_regression",
+        description=(
+            "Fail if the latest benchmark entry regressed against the "
+            "best prior run."
+        ),
+    )
+    parser.add_argument(
+        "path",
+        nargs="?",
+        default="BENCH_engine.json",
+        help="trajectory file (default: BENCH_engine.json)",
+    )
+    parser.add_argument(
+        "--metric",
+        default=DEFAULT_METRIC,
+        help=f"per-backend field to compare (default: {DEFAULT_METRIC})",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help=(
+            "tolerated fractional slowdown vs the best prior run "
+            f"(default: {DEFAULT_THRESHOLD:g} = "
+            f"{DEFAULT_THRESHOLD:.0%})"
+        ),
+    )
+    args = parser.parse_args(argv)
+    try:
+        doc = load_trajectory(args.path)
+        findings = check_regression(
+            doc, metric=args.metric, threshold=args.threshold
+        )
+    except ValidationError as exc:
+        print(f"check_regression: {exc}")
+        return 2
+    if not findings:
+        print(
+            f"{args.path}: {len(doc['entries'])} entries — nothing to "
+            "compare yet (need a backend with at least two runs)"
+        )
+        return 0
+    for finding in findings:
+        print(finding.describe())
+    regressed = [finding for finding in findings if finding.regressed]
+    if regressed:
+        print(
+            f"FAIL: {len(regressed)} backend(s) regressed more than "
+            f"{args.threshold:.0%} vs their best recorded run"
+        )
+        return 1
+    print(f"ok: within {args.threshold:.0%} of the best recorded runs")
+    return 0

@@ -39,6 +39,7 @@ from .data.loaders import load_csv
 from .data.registry import DATASETS, load_dataset
 from .engine.registry import engine_names
 from .eval.comparison import build_table1, render_table
+from .grid.backends import registered_backends
 from .exceptions import ReproError, SearchCancelled
 from .persist import load_model, result_to_dict, save_model
 from .run.controller import RunController
@@ -217,9 +218,15 @@ def _add_detector_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--count-backend",
-        choices=["serial", "process"],
+        choices=registered_backends(),
         default="serial",
-        help="how batched cube counts execute",
+        help=(
+            "how batched cube counts execute (from the backend "
+            "registry): 'native' runs the compiled AND+popcount kernel "
+            "(numba, else a cc-compiled library, else a numpy "
+            "fallback); 'process'/'process-native' fan chunks out to a "
+            "shared-memory worker pool"
+        ),
     )
     parser.add_argument(
         "--count-workers",

@@ -103,13 +103,18 @@ class CountingBackend:
     Attributes
     ----------
     kind:
-        ``"serial"`` evaluates batches in-process with the vectorized
-        AND/popcount kernel; ``"process"`` additionally fans chunks of
-        a batch out to a pool of worker processes that attach to the
-        counter's membership masks through shared memory.  Counts are
-        integers, chunk boundaries are deterministic, and chunk results
-        are reassembled in submission order, so both kinds return
-        bit-identical results for any worker count.
+        Name of a registered counting backend (see
+        :mod:`repro.grid.backends`).  ``"serial"`` evaluates batches
+        in-process with the vectorized numpy AND/popcount kernel;
+        ``"native"`` runs the compiled kernel (numba → C → numpy
+        fallback) in-process; ``"process"`` / ``"process-native"``
+        additionally fan chunks of a batch out to a pool of worker
+        processes that attach to the counter's membership masks through
+        shared memory and run the same kernel.  Counts are integers,
+        chunk boundaries are deterministic, chunk results are
+        reassembled in submission order, and every kernel is proven
+        bit-identical to the reference before it serves counts — so all
+        kinds return bit-identical results for any worker count.
     n_workers:
         Size of the process pool (``None`` → ``os.cpu_count()``).
         Ignored by the serial backend.
@@ -146,10 +151,11 @@ class CountingBackend:
     fault_plan: FaultPlan | None = None
 
     def __post_init__(self) -> None:
-        if self.kind not in ("serial", "process"):
-            raise ValidationError(
-                f"kind must be 'serial' or 'process', got {self.kind!r}"
-            )
+        # Late import: the registry lives in the grid layer, which
+        # imports this module for the policy dataclasses.
+        from ..grid.backends import get_backend
+
+        get_backend(self.kind)  # raises with the menu of valid names
         if self.n_workers is not None:
             check_positive_int(self.n_workers, "n_workers")
         check_positive_int(self.chunk_size, "chunk_size")

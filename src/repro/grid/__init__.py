@@ -1,11 +1,25 @@
 """Grid discretization substrate: equi-depth ranges and cube counting."""
 
+from .backends import (
+    BackendConformanceError,
+    BackendSpec,
+    get_backend,
+    register_backend,
+    register_kernel,
+    registered_backends,
+    registered_kernels,
+    resolve_kernel,
+    verify_kernel,
+)
 from .cells import CellAssignment, MISSING_CELL
+from .counter import CubeCounter, batch_counts
 from .discretizer import EquiDepthDiscretizer, EquiWidthDiscretizer, GridDiscretizer
-from .counter import CubeCounter
+from .native import available_tiers, kernel_info, native_batch_counts
 from .packed_counter import PackedCubeCounter
 
 __all__ = [
+    "BackendConformanceError",
+    "BackendSpec",
     "CellAssignment",
     "MISSING_CELL",
     "GridDiscretizer",
@@ -13,4 +27,15 @@ __all__ = [
     "EquiWidthDiscretizer",
     "CubeCounter",
     "PackedCubeCounter",
+    "available_tiers",
+    "batch_counts",
+    "get_backend",
+    "kernel_info",
+    "native_batch_counts",
+    "register_backend",
+    "register_kernel",
+    "registered_backends",
+    "registered_kernels",
+    "resolve_kernel",
+    "verify_kernel",
 ]

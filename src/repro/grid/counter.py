@@ -23,6 +23,14 @@ cheap:
   of a partial cube along one dimension in a single ``bincount`` — the
   inner loop of the depth-first brute-force enumeration and the
   optimized crossover's greedy stage.
+
+The batch kernel itself is pluggable: the counter resolves its
+:class:`~repro.core.params.CountingBackend` through the backend
+registry (:mod:`repro.grid.backends`), which pairs an execution
+strategy (in-process or pool) with a named kernel — the numpy
+reference (:mod:`repro.grid.kernels`) or the compiled native kernel
+(:mod:`repro.grid.native`).  Every kernel is proven bit-identical to
+the reference before it serves counts.
 """
 
 from __future__ import annotations
@@ -38,8 +46,10 @@ from .._validation import check_positive_int
 from ..core.params import CountingBackend
 from ..core.subspace import Subspace
 from ..exceptions import SearchCancelled, ValidationError
+from .backends import get_backend, resolve_kernel
 from .cells import CellAssignment
 from .health import BackendHealth
+from .kernels import batch_counts
 
 __all__ = ["CubeCounter", "batch_counts"]
 
@@ -49,89 +59,6 @@ logger = logging.getLogger(__name__)
 #: this many words (bools for the dense counter, uint64 for the packed
 #: one) — bounds peak memory without changing any count.
 _MAX_ACC_WORDS = 1 << 26
-
-
-def _resolve_batch_masks(
-    stack: np.ndarray,
-    dims_arr: np.ndarray,
-    rng_arr: np.ndarray,
-    stats: dict,
-) -> np.ndarray:
-    """AND-of-masks for a batch of same-k cubes, sharing common prefixes.
-
-    ``stack`` is the ``(d, φ, W)`` mask array; ``dims_arr`` / ``rng_arr``
-    are ``(B, k)`` index arrays.  The recursion resolves each *distinct*
-    ``(k-1)``-prefix exactly once and broadcasts it to the rows sharing
-    it, so sibling cubes (same prefix, different last range) pay for the
-    shared AND chain a single time.
-    """
-    k = dims_arr.shape[1]
-    if k == 1:
-        # Fancy indexing copies, so callers may AND into the result.
-        return stack[dims_arr[:, 0], rng_arr[:, 0]]
-    base = stack.shape[0] * stack.shape[1]
-    if base ** (k - 1) < 1 << 62:
-        # Encode each (k-1)-prefix as a single int64 so the duplicate
-        # scan is a 1-D unique — far cheaper than unique(axis=0).
-        codes = (dims_arr[:, 0] * stack.shape[1] + rng_arr[:, 0]).astype(
-            np.int64
-        )
-        for level in range(1, k - 1):
-            codes = codes * base + (
-                dims_arr[:, level] * stack.shape[1] + rng_arr[:, level]
-            )
-        _, index, inverse = np.unique(
-            codes, return_index=True, return_inverse=True
-        )
-        n_uniq = len(index)
-    else:  # pragma: no cover - needs astronomically deep cubes
-        prefix = np.concatenate([dims_arr[:, :-1], rng_arr[:, :-1]], axis=1)
-        _, index, inverse = np.unique(
-            prefix, axis=0, return_index=True, return_inverse=True
-        )
-        n_uniq = len(index)
-    if n_uniq == len(dims_arr):
-        # No two cubes share a prefix at this level (a GA population of
-        # distinct strings): the unique machinery cannot help deeper
-        # either, so AND the chain flat without further sorting.
-        acc = stack[dims_arr[:, 0], rng_arr[:, 0]]
-        for level in range(1, k):
-            np.bitwise_and(
-                acc, stack[dims_arr[:, level], rng_arr[:, level]], out=acc
-            )
-            stats["words_and"] += acc.size
-        return acc
-    inverse = inverse.reshape(-1)
-    parents = _resolve_batch_masks(
-        stack, dims_arr[index, :-1], rng_arr[index, :-1], stats
-    )
-    stats["prefix_reuse"] += len(dims_arr) - n_uniq
-    acc = parents[inverse]
-    np.bitwise_and(acc, stack[dims_arr[:, -1], rng_arr[:, -1]], out=acc)
-    stats["words_and"] += acc.size
-    return acc
-
-
-def batch_counts(
-    stack: np.ndarray,
-    dims_arr: np.ndarray,
-    rng_arr: np.ndarray,
-    packed: bool,
-) -> tuple[np.ndarray, dict]:
-    """Counts for a batch of same-k cubes over a mask ``stack``.
-
-    Module-level (rather than a method) so pool workers can run the
-    identical kernel against a shared-memory view of the stack.
-    Returns ``(counts, stats)`` with ``stats`` holding the number of
-    words ANDed and the prefix reuses.
-    """
-    stats = {"words_and": 0, "prefix_reuse": 0}
-    acc = _resolve_batch_masks(stack, dims_arr, rng_arr, stats)
-    if packed:
-        counts = np.bitwise_count(acc).sum(axis=1, dtype=np.int64)
-    else:
-        counts = acc.sum(axis=1, dtype=np.int64)
-    return counts, stats
 
 
 class CubeCounter:
@@ -173,6 +100,12 @@ class CubeCounter:
         self.cells = cells
         self.cache_size = check_positive_int(cache_size, "cache_size", minimum=0)
         self.backend = backend or CountingBackend()
+        # Resolve the execution strategy now (unknown kinds fail fast
+        # with the registry's menu); the kernel itself resolves lazily
+        # on the first batch, since resolving the native kernel may
+        # JIT/compile.
+        self._spec = get_backend(self.backend.kind)
+        self._kernel = None
         self._cache: OrderedDict[tuple, int] | None = (
             OrderedDict() if self.cache_size else None
         )
@@ -397,21 +330,35 @@ class CubeCounter:
         if token is not None and token.cancelled:
             raise SearchCancelled("batched counting interrupted mid-batch")
 
+    @property
+    def batch_kernel(self):
+        """The batch kernel this counter's backend runs (lazy-resolved).
+
+        Resolution verifies the kernel against the numpy reference the
+        first time (see :func:`repro.grid.backends.resolve_kernel`), so
+        a native kernel that cannot reproduce the reference counts
+        raises here instead of silently serving wrong numbers.
+        """
+        if self._kernel is None:
+            self._kernel = resolve_kernel(self._spec.kernel)
+        return self._kernel
+
     def _count_group(self, dims_arr: np.ndarray, rng_arr: np.ndarray) -> np.ndarray:
         """Counts for one same-k group of distinct cubes."""
         n_cubes = len(dims_arr)
         backend = self.backend
-        if backend.kind == "process" and n_cubes > backend.chunk_size:
+        if self._spec.uses_pool and n_cubes > backend.chunk_size:
             pool = self._ensure_pool()
             if pool is not None:
                 return self._count_group_parallel(pool, dims_arr, rng_arr)
         # Serial path, memory-capped: chunk so the (B, W) accumulator
         # stays bounded.  Sorting first keeps sibling cubes together so
         # prefix sharing survives the chunking.
+        kernel = self.batch_kernel
         words = self._stack.shape[2]
         max_rows = max(1, _MAX_ACC_WORDS // max(1, words))
         if n_cubes <= max_rows:
-            counts, stats = batch_counts(
+            counts, stats = kernel(
                 self._stack, dims_arr, rng_arr, self._packed_stack
             )
             self._absorb_kernel_stats(stats)
@@ -421,7 +368,7 @@ class CubeCounter:
         for lo in range(0, n_cubes, max_rows):
             self._check_cancelled()
             sel = order[lo : lo + max_rows]
-            counts, stats = batch_counts(
+            counts, stats = kernel(
                 self._stack, dims_arr[sel], rng_arr[sel], self._packed_stack
             )
             self._absorb_kernel_stats(stats)
@@ -488,7 +435,11 @@ class CubeCounter:
             from .parallel import CountingPool
 
             self._pool = CountingPool(
-                self._stack, self._packed_stack, self.backend, self.health
+                self._stack,
+                self._packed_stack,
+                self.backend,
+                self.health,
+                kernel=self._spec.kernel,
             )
         except Exception as exc:  # pragma: no cover - environment-dependent
             logger.warning(
@@ -579,7 +530,17 @@ class CubeCounter:
             "parallel_chunks": self.n_parallel_chunks,
             "batch_seconds": self.batch_seconds,
             "backend": self.backend.kind,
+            "kernel": self._spec.kernel,
         }
+
+    def kernel_info(self) -> dict:
+        """Which kernel (and, for native, which tier) serves batches."""
+        info = {"backend": self._spec.name, "kernel": self._spec.kernel}
+        if self._spec.kernel == "native":
+            from .native import kernel_info
+
+            info.update(kernel_info())
+        return info
 
     def backend_health(self) -> dict:
         """Fault-tolerance telemetry for this counter's backend.

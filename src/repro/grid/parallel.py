@@ -2,13 +2,17 @@
 
 The counter's membership-mask stack is copied once into POSIX shared
 memory; each pool worker attaches a zero-copy numpy view over it at
-initialization and then runs the *same* batch kernel
-(:func:`repro.grid.counter.batch_counts`) the serial path uses.  Task
-payloads are only the small ``(chunk_id, attempt, dims, ranges)`` index
-arrays, and chunk results are reassembled in submission order, so
+initialization and then runs the *same* batch kernel the serial path
+uses — resolved by name from the backend registry
+(:mod:`repro.grid.backends`), so a ``process`` backend runs the numpy
+reference kernel (:func:`repro.grid.kernels.batch_counts`) and a
+``process-native`` backend runs the compiled native kernel
+(:func:`repro.grid.native.native_batch_counts`) inside every worker.
+Task payloads are only the small ``(chunk_id, attempt, dims, ranges)``
+index arrays, and chunk results are reassembled in submission order, so
 results are bit-identical to the serial backend for any worker count —
 including when chunks are retried, the pool is rebuilt, or individual
-chunks degrade to the serial kernel.
+chunks degrade to the in-process kernel.
 
 Fault tolerance (the dispatcher in :meth:`CountingPool.map_chunks`):
 
@@ -49,7 +53,7 @@ import numpy as np
 from ..core.params import CountingBackend, FaultPlan
 from ..engine.events import emit_event
 from ..exceptions import SearchCancelled
-from .counter import batch_counts
+from .backends import resolve_kernel
 from .health import BackendHealth
 
 __all__ = ["CountingPool"]
@@ -95,6 +99,7 @@ _WORKER_STACK: np.ndarray | None = None
 _WORKER_SHM: shared_memory.SharedMemory | None = None
 _WORKER_PACKED = False
 _WORKER_FAULT: FaultPlan | None = None
+_WORKER_KERNEL = None
 
 
 def _init_worker(
@@ -102,10 +107,12 @@ def _init_worker(
     shape: tuple,
     dtype_str: str,
     packed: bool,
+    kernel_name: str,
     fault: FaultPlan | None,
     poison_init: bool,
 ) -> None:
     global _WORKER_STACK, _WORKER_SHM, _WORKER_PACKED, _WORKER_FAULT
+    global _WORKER_KERNEL
     if poison_init:
         raise RuntimeError(
             "injected shared-memory attach failure "
@@ -117,6 +124,10 @@ def _init_worker(
     )
     _WORKER_PACKED = packed
     _WORKER_FAULT = fault
+    # Resolved per worker (verification is cached per process); the
+    # native kernel's compiled library is content-addressed on disk, so
+    # sibling workers share one build.
+    _WORKER_KERNEL = resolve_kernel(kernel_name)
 
 
 def _count_chunk(task: tuple) -> tuple:
@@ -128,7 +139,9 @@ def _count_chunk(task: tuple) -> tuple:
             time.sleep(fault.delay_seconds)
         if fault.kill_worker_on_chunk == chunk_id:
             os._exit(1)
-    counts, stats = batch_counts(_WORKER_STACK, dims_arr, rng_arr, _WORKER_PACKED)
+    counts, stats = _WORKER_KERNEL(
+        _WORKER_STACK, dims_arr, rng_arr, _WORKER_PACKED
+    )
     return counts, stats["words_and"], stats["prefix_reuse"]
 
 
@@ -149,6 +162,11 @@ class CountingPool:
     health:
         The counter's :class:`~repro.grid.health.BackendHealth`; every
         degradation event and chunk latency is recorded into it.
+    kernel:
+        Registered kernel name (see :mod:`repro.grid.backends`) every
+        worker — and the in-process serial recovery path — runs, so
+        chunk results are bit-identical wherever a chunk ends up
+        executing.
     """
 
     def __init__(
@@ -157,10 +175,13 @@ class CountingPool:
         packed: bool,
         backend: CountingBackend,
         health: BackendHealth | None = None,
+        kernel: str = "numpy",
     ):
         stack = np.ascontiguousarray(stack)
         self.health = health if health is not None else BackendHealth()
         self._packed = packed
+        self._kernel_name = kernel
+        self._kernel = resolve_kernel(kernel)
         self._timeout = backend.timeout
         self._max_retries = backend.max_retries
         self._backoff = backend.retry_backoff
@@ -214,6 +235,7 @@ class CountingPool:
                 self._shape,
                 self._dtype.str,
                 self._packed,
+                self._kernel_name,
                 self._fault,
                 poison,
             ),
@@ -330,7 +352,9 @@ class CountingPool:
     def _run_serial(self, idx: int, chunk: tuple, results: list) -> None:
         """Recover one chunk with the in-process kernel (bit-identical)."""
         dims_arr, rng_arr = chunk
-        counts, stats = batch_counts(self._local, dims_arr, rng_arr, self._packed)
+        counts, stats = self._kernel(
+            self._local, dims_arr, rng_arr, self._packed
+        )
         results[idx] = (counts, stats["words_and"], stats["prefix_reuse"])
         self.health.chunks_serial += 1
         self.health.fallbacks += 1

@@ -1,0 +1,230 @@
+"""Benchmark trajectory format: schema lock, migration, regression gate.
+
+``BENCH_engine.json`` is parsed blindly by the CI ``bench-gate`` job
+(``benchmarks/check_regression.py``), so its shape is locked the same
+way the lint JSON reporter's is (see ``test_analysis_framework.py``):
+the exact key sets are asserted here, and any change must be a
+deliberate schema-version bump, not drift.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.trajectory import (
+    DEFAULT_METRIC,
+    DEFAULT_THRESHOLD,
+    ENTRY_KEYS,
+    SCHEMA_VERSION,
+    TOP_KEYS,
+    append_entry,
+    check_regression,
+    load_trajectory,
+    regression_main,
+    validate_trajectory,
+)
+from repro.exceptions import ValidationError
+
+
+def _entry(ts="2026-08-08T00:00:00+00:00", serial=0.004, native=None):
+    backends = {"serial": {"batch_seconds": serial}}
+    if native is not None:
+        backends["native"] = {"batch_seconds": native, "kernel_tier": "c"}
+    return {
+        "timestamp": ts,
+        "params": {"k": 4, "population": 500},
+        "metrics": {"batch_seconds": serial},
+        "backends": backends,
+    }
+
+
+def _doc(*entries):
+    return {
+        "benchmark": "counter_performance",
+        "schema_version": SCHEMA_VERSION,
+        "entries": list(entries),
+    }
+
+
+class TestSchemaLock:
+    """The trajectory format is a contract — lock it."""
+
+    def test_schema_is_locked(self):
+        # Deliberate duplication: changing the format must fail here
+        # and force a conscious schema_version bump.
+        assert SCHEMA_VERSION == 2
+        assert sorted(TOP_KEYS) == ["benchmark", "entries", "schema_version"]
+        assert sorted(ENTRY_KEYS) == [
+            "backends", "metrics", "params", "timestamp",
+        ]
+        assert DEFAULT_METRIC == "batch_seconds"
+        assert DEFAULT_THRESHOLD == 0.20
+
+    def test_written_file_matches_locked_shape(self, tmp_path):
+        path = tmp_path / "t.json"
+        entry = _entry(native=0.001)
+        append_entry(
+            path,
+            benchmark="counter_performance",
+            timestamp=entry["timestamp"],
+            params=entry["params"],
+            metrics=entry["metrics"],
+            backends=entry["backends"],
+        )
+        payload = json.loads(path.read_text())
+        assert sorted(payload) == sorted(TOP_KEYS)
+        assert payload["schema_version"] == SCHEMA_VERSION
+        (written,) = payload["entries"]
+        assert sorted(written) == sorted(ENTRY_KEYS)
+
+    def test_extra_top_key_rejected(self):
+        doc = _doc(_entry())
+        doc["extra"] = 1
+        with pytest.raises(ValidationError, match="top-level keys"):
+            validate_trajectory(doc)
+
+    def test_missing_entry_key_rejected(self):
+        entry = _entry()
+        del entry["backends"]
+        with pytest.raises(ValidationError, match="entry 0 keys"):
+            validate_trajectory(_doc(entry))
+
+    def test_wrong_schema_version_rejected(self):
+        doc = _doc()
+        doc["schema_version"] = 99
+        with pytest.raises(ValidationError, match="schema_version"):
+            validate_trajectory(doc)
+
+    def test_non_string_timestamp_rejected(self):
+        entry = _entry()
+        entry["timestamp"] = 12345
+        with pytest.raises(ValidationError, match="timestamp"):
+            validate_trajectory(_doc(entry))
+
+
+class TestLoadAndMigrate:
+    def test_missing_file_yields_fresh_trajectory(self, tmp_path):
+        doc = load_trajectory(tmp_path / "none.json", benchmark="x")
+        assert doc == {"benchmark": "x", "schema_version": SCHEMA_VERSION,
+                       "entries": []}
+
+    def test_missing_file_without_benchmark_raises(self, tmp_path):
+        with pytest.raises(ValidationError, match="does not exist"):
+            load_trajectory(tmp_path / "none.json")
+
+    def test_v1_snapshot_migrates(self, tmp_path):
+        # The pre-trajectory BENCH_engine.json shape: one flat snapshot.
+        path = tmp_path / "v1.json"
+        path.write_text(json.dumps({
+            "benchmark": "counter_performance",
+            "params": {"batch": {"k": 4}},
+            "metrics": {"batch_seconds": 0.00457, "batch_speedup": 3.31},
+        }))
+        doc = load_trajectory(path)
+        validate_trajectory(doc)
+        (entry,) = doc["entries"]
+        assert entry["timestamp"] is None
+        # The v1 batch timing was the serial batched path.
+        assert entry["backends"] == {"serial": {"batch_seconds": 0.00457}}
+        assert entry["metrics"]["batch_speedup"] == 3.31
+
+    def test_benchmark_name_mismatch_raises(self, tmp_path):
+        path = tmp_path / "t.json"
+        path.write_text(json.dumps(_doc()))
+        with pytest.raises(ValidationError, match="tracks benchmark"):
+            load_trajectory(path, benchmark="other")
+
+    def test_malformed_json_raises(self, tmp_path):
+        path = tmp_path / "t.json"
+        path.write_text("{not json")
+        with pytest.raises(ValidationError, match="not valid JSON"):
+            load_trajectory(path)
+
+    def test_append_accumulates(self, tmp_path):
+        path = tmp_path / "t.json"
+        for serial in (0.004, 0.003, 0.005):
+            append_entry(
+                path, benchmark="b", timestamp=None, params={},
+                metrics={}, backends={"serial": {"batch_seconds": serial}},
+            )
+        doc = load_trajectory(path)
+        assert [e["backends"]["serial"]["batch_seconds"]
+                for e in doc["entries"]] == [0.004, 0.003, 0.005]
+
+
+class TestRegressionGate:
+    def test_single_entry_nothing_to_compare(self):
+        assert check_regression(_doc(_entry())) == []
+
+    def test_within_threshold_passes(self):
+        doc = _doc(_entry(serial=0.004), _entry(serial=0.0045))
+        findings = check_regression(doc)
+        assert [f.regressed for f in findings] == [False]
+        assert findings[0].ratio == pytest.approx(0.0045 / 0.004)
+
+    def test_regression_beyond_threshold_flagged(self):
+        doc = _doc(_entry(serial=0.004), _entry(serial=0.006))
+        (finding,) = check_regression(doc)
+        assert finding.regressed
+        assert finding.backend == "serial"
+        assert "REGRESSION" in finding.describe()
+
+    def test_compares_against_best_not_latest(self):
+        # 0.0049 is faster than the previous run but >20% above the
+        # best ever — still a regression: the gate is monotone.
+        doc = _doc(
+            _entry(serial=0.003), _entry(serial=0.006), _entry(serial=0.0049)
+        )
+        (finding,) = check_regression(doc)
+        assert finding.best == 0.003
+        assert finding.regressed
+
+    def test_new_backend_cannot_regress(self):
+        doc = _doc(_entry(), _entry(native=0.001))
+        backends = [f.backend for f in check_regression(doc)]
+        assert backends == ["serial"]  # native has no history yet
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValidationError, match="threshold"):
+            check_regression(_doc(), threshold=-0.1)
+
+
+class TestRegressionCLI:
+    def _write(self, tmp_path, doc):
+        path = tmp_path / "BENCH.json"
+        path.write_text(json.dumps(doc))
+        return str(path)
+
+    def test_exit_0_when_ok(self, tmp_path, capsys):
+        path = self._write(
+            tmp_path, _doc(_entry(serial=0.004), _entry(serial=0.004))
+        )
+        assert regression_main([path]) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_exit_0_with_nothing_to_compare(self, tmp_path, capsys):
+        path = self._write(tmp_path, _doc(_entry()))
+        assert regression_main([path]) == 0
+        assert "nothing to compare" in capsys.readouterr().out
+
+    def test_exit_1_on_regression(self, tmp_path, capsys):
+        path = self._write(
+            tmp_path, _doc(_entry(serial=0.004), _entry(serial=0.010))
+        )
+        assert regression_main([path]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_exit_2_on_malformed(self, tmp_path, capsys):
+        path = tmp_path / "BENCH.json"
+        path.write_text("[]")
+        assert regression_main([str(path)]) == 2
+        assert "check_regression:" in capsys.readouterr().out
+
+    def test_threshold_flag(self, tmp_path):
+        path = self._write(
+            tmp_path, _doc(_entry(serial=0.004), _entry(serial=0.0045))
+        )
+        assert regression_main([path, "--threshold", "0.05"]) == 1
+        assert regression_main([path, "--threshold", "0.20"]) == 0

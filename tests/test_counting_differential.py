@@ -8,11 +8,18 @@ values:
 2. ``CubeCounter.count`` (boolean masks + memo),
 3. ``PackedCubeCounter.count`` (uint8 bitsets + popcount),
 4. ``count_batch`` on both counters (the vectorized prefix-sharing
-   kernel), under the serial AND the process-pool backend.
+   kernel), under EVERY registered counting backend.
 
 Any divergence — on any enumerable cube, including empty and
 degenerate ones — is a bug in one of the engines, so the assertions
 are strict equality on integer counts.
+
+The conformance classes parametrize over the backend registry
+(``repro.grid.backends``), so a newly registered backend is swept
+automatically; the native backend is additionally pinned to each of
+its kernel tiers (compiled and the pure-numpy fallback that runs when
+neither numba nor a C compiler is available), and the pool-wrapped
+native backend is exercised under ``FaultPlan`` chaos.
 
 The default run sweeps a handful of seeds; ``-m slow`` unlocks the
 deep sweep (more seeds, exhaustive cube enumeration at higher k).
@@ -25,15 +32,26 @@ import itertools
 import numpy as np
 import pytest
 
-from repro.core.params import CountingBackend
+from repro.core.params import CountingBackend, FaultPlan
 from repro.core.subspace import Subspace
+from repro.grid.backends import registered_backends
 from repro.grid.counter import CubeCounter
 from repro.grid.discretizer import CellAssignment
+from repro.grid.native import available_tiers, forced_tier
 from repro.grid.packed_counter import PackedCubeCounter
 
 from conftest import naive_cube_count
 
 PROCESS_BACKEND = CountingBackend(kind="process", n_workers=2, chunk_size=16)
+
+
+def conformance_backend(kind: str) -> CountingBackend | None:
+    """A small-but-real backend config for the conformance sweep."""
+    if kind == "serial":
+        return None  # the default path most of the suite runs under
+    if kind in ("process", "process-native"):
+        return CountingBackend(kind=kind, n_workers=2, chunk_size=16)
+    return CountingBackend(kind=kind)
 
 
 def random_cells(rng, n_points, n_dims, n_ranges, missing=0.0) -> CellAssignment:
@@ -161,6 +179,82 @@ class TestProcessDifferential:
         finally:
             serial.close()
             parallel.close()
+
+
+class TestBackendConformance:
+    """Every registered backend must be count-identical to the naive
+    reference — on the same grids, including missing values.  New
+    backends join this sweep just by registering."""
+
+    @pytest.mark.parametrize("kind", registered_backends())
+    def test_backend_matches_reference(self, kind):
+        rng = np.random.default_rng(21)
+        _check_grid(
+            random_cells(rng, 140, 4, 3),
+            max_k=3,
+            backend=conformance_backend(kind),
+        )
+
+    @pytest.mark.parametrize("kind", registered_backends())
+    def test_backend_matches_with_missing(self, kind):
+        rng = np.random.default_rng(22)
+        _check_grid(
+            random_cells(rng, 110, 4, 4, missing=0.2),
+            max_k=3,
+            backend=conformance_backend(kind),
+        )
+
+    @pytest.mark.parametrize("tier", available_tiers())
+    def test_native_every_tier(self, tier):
+        # Pin each kernel tier explicitly — in particular 'numpy', the
+        # fallback taken when numba and a C compiler are both absent.
+        rng = np.random.default_rng(23)
+        with forced_tier(tier):
+            _check_grid(
+                random_cells(rng, 130, 4, 3, missing=0.1),
+                max_k=3,
+                backend=CountingBackend(kind="native"),
+            )
+
+    def test_native_fallback_without_numba(self):
+        # The no-numba story: force the pure-numpy tier (always
+        # available) and demand exact agreement.
+        rng = np.random.default_rng(24)
+        with forced_tier("numpy"):
+            _check_grid(
+                random_cells(rng, 90, 4, 4),
+                max_k=3,
+                backend=CountingBackend(kind="native"),
+            )
+
+    @pytest.mark.parametrize(
+        "fault",
+        [
+            FaultPlan(kill_worker_on_chunk=1, trigger_limit=1),
+            FaultPlan(fail_shm_attach_once=True),
+        ],
+        ids=["kill-worker", "shm-attach-fail"],
+    )
+    def test_pool_wrapped_native_under_chaos(self, fault):
+        # The native kernel inside pool workers must survive worker
+        # death and shm-attach failures without corrupting a count.
+        rng = np.random.default_rng(25)
+        cells = random_cells(rng, 120, 4, 3, missing=0.1)
+        cubes = list(all_cubes(4, 3, 3))
+        expected = [naive_cube_count(cells.codes, c) for c in cubes]
+        counter = PackedCubeCounter(
+            cells,
+            backend=CountingBackend(
+                kind="process-native",
+                n_workers=2,
+                chunk_size=8,
+                fault_plan=fault,
+            ),
+        )
+        try:
+            assert counter.count_batch(cubes).tolist() == expected
+        finally:
+            counter.close()
 
 
 @pytest.mark.slow

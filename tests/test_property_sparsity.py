@@ -11,6 +11,10 @@ enumerate:
   ``ceil(n/φ)`` for distinct values), keeps ties together, maps NaN to
   the missing sentinel, and stays a partition of the observed rows no
   matter how pathological the tie structure.
+* The counting kernels' core identity — popcount(AND of membership
+  masks) equals the brute boolean-intersection count — holds for
+  arbitrary mask widths (ragged final words included), all-zero and
+  all-one masks, on every kernel tier the native backend can select.
 """
 
 from __future__ import annotations
@@ -19,10 +23,14 @@ import math
 
 import numpy as np
 from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+import pytest
 
 from repro.core.params import empty_cube_sparsity
 from repro.grid.cells import MISSING_CELL
 from repro.grid.discretizer import EquiDepthDiscretizer
+from repro.grid.kernels import batch_counts
+from repro.grid.native import available_tiers, forced_tier, native_batch_counts
 from repro.sparsity.coefficient import (
     expected_count,
     sparsity_coefficient,
@@ -173,3 +181,94 @@ class TestEquiDepthBucketBalance:
         array = np.full((10, 1), np.nan)
         codes = EquiDepthDiscretizer(4).fit_transform(array).codes[:, 0]
         assert np.all(codes == MISSING_CELL)
+
+
+# ----------------------------------------------------------------------
+# popcount kernel identity
+# ----------------------------------------------------------------------
+def _pack_stack(stack: np.ndarray) -> np.ndarray:
+    """Pack a boolean (d, φ, N) stack the way PackedCubeCounter does:
+    bits along the point axis, rows padded to a uint64 boundary (the
+    padding stays zero), viewed as uint64 words."""
+    d, phi, n = stack.shape
+    n_bytes = -(-n // 8)
+    n_words = -(-n_bytes // 8)
+    packed8 = np.zeros((d, phi, n_words * 8), dtype=np.uint8)
+    packed8[:, :, :n_bytes] = np.packbits(stack, axis=-1)
+    return packed8.view(np.uint64)
+
+
+def _brute_counts(stack, dims_arr, rng_arr):
+    """The defining identity's right-hand side: materialize the boolean
+    intersection per cube and count True rows."""
+    out = []
+    for dims, rngs in zip(dims_arr, rng_arr, strict=True):
+        acc = np.ones(stack.shape[2], dtype=bool)
+        for dim, rng in zip(dims, rngs, strict=True):
+            acc &= stack[dim, rng]
+        out.append(int(acc.sum()))
+    return out
+
+
+class TestPopcountKernelIdentity:
+    """popcount(AND of masks) == brute boolean intersection — for every
+    kernel the backend registry can select, on arbitrary mask widths
+    (ragged final words included) and degenerate all-zero / all-one
+    masks."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(data=st.data())
+    def test_matches_brute_intersection(self, data):
+        n = data.draw(st.integers(1, 150), label="n_points")
+        d = data.draw(st.integers(1, 3), label="d")
+        phi = data.draw(st.integers(1, 3), label="phi")
+        stack = data.draw(hnp.arrays(np.bool_, (d, phi, n)), label="stack")
+        k = data.draw(st.integers(1, d), label="k")
+        n_cubes = data.draw(st.integers(1, 6), label="n_cubes")
+        dims_arr = np.empty((n_cubes, k), dtype=np.int64)
+        rng_arr = np.empty((n_cubes, k), dtype=np.int64)
+        for i in range(n_cubes):
+            order = data.draw(st.permutations(range(d)), label=f"dims{i}")
+            dims_arr[i] = sorted(order[:k])
+            for j in range(k):
+                rng_arr[i, j] = data.draw(
+                    st.integers(0, phi - 1), label=f"rng{i}.{j}"
+                )
+        expected = _brute_counts(stack, dims_arr, rng_arr)
+        packed = _pack_stack(stack)
+        ref_bool, _ = batch_counts(stack, dims_arr, rng_arr, packed=False)
+        ref_packed, _ = batch_counts(packed, dims_arr, rng_arr, packed=True)
+        assert ref_bool.tolist() == expected
+        assert ref_packed.tolist() == expected
+        for tier in available_tiers():
+            with forced_tier(tier):
+                got_bool, _ = native_batch_counts(
+                    stack, dims_arr, rng_arr, False
+                )
+                got_packed, _ = native_batch_counts(
+                    packed, dims_arr, rng_arr, True
+                )
+            assert got_bool.tolist() == expected, tier
+            assert got_packed.tolist() == expected, tier
+
+    @pytest.mark.parametrize("n", [1, 7, 63, 64, 65, 127, 200])
+    @pytest.mark.parametrize("fill", [False, True], ids=["zeros", "ones"])
+    def test_degenerate_masks_at_ragged_widths(self, n, fill):
+        # All-zero and all-one stacks at widths straddling word
+        # boundaries: counts must be exactly 0 or exactly n, and the
+        # zero padding in the ragged final word must stay inert.
+        stack = np.full((2, 2, n), fill, dtype=bool)
+        dims_arr = np.array([[0, 1], [0, 1]], dtype=np.int64)
+        rng_arr = np.array([[0, 1], [1, 0]], dtype=np.int64)
+        expected = [n if fill else 0] * 2
+        packed = _pack_stack(stack)
+        for tier in available_tiers():
+            with forced_tier(tier):
+                got_bool, _ = native_batch_counts(
+                    stack, dims_arr, rng_arr, False
+                )
+                got_packed, _ = native_batch_counts(
+                    packed, dims_arr, rng_arr, True
+                )
+            assert got_bool.tolist() == expected, tier
+            assert got_packed.tolist() == expected, tier
