@@ -24,6 +24,7 @@ Environment knobs:
 from __future__ import annotations
 
 import os
+import tempfile
 import time
 from datetime import datetime, timezone
 from pathlib import Path
@@ -38,6 +39,7 @@ from repro.grid.cells import CellAssignment
 from repro.grid.counter import CubeCounter
 from repro.grid.native import kernel_info
 from repro.grid.packed_counter import PackedCubeCounter
+from repro.grid.sharded import ShardedCounter, ShardedMaskStore
 
 PROFILE = os.environ.get("REPRO_BENCH_PROFILE", "full")
 FULL = PROFILE != "ci"
@@ -212,6 +214,24 @@ def test_batch_speedup(benchmark):
     )
     tier = kernel_info()["tier"]
 
+    # The out-of-core counter over the same data: 8 mmapped row shards
+    # streamed through the native kernel.  The interesting number is the
+    # overhead vs the all-in-RAM native path (mmap opens + per-shard
+    # kernel launches + the accumulator), tracked run-to-run like the
+    # other backends.
+    with tempfile.TemporaryDirectory() as mask_dir:
+        store = ShardedMaskStore.build(
+            cells, mask_dir, shard_rows=-(-BATCH_N // 8)
+        )
+        sharded = ShardedCounter(
+            store, cache_size=0, backend=CountingBackend(kind="native")
+        )
+        sharded_counts, sharded_seconds = _best_of(
+            lambda: sharded.count_batch(population)
+        )
+        n_shards = store.n_shards
+        sharded.close()
+
     speedup = per_cube_seconds / batch_seconds
     native_speedup = batch_seconds / native_seconds
     _LINES.append(
@@ -224,18 +244,32 @@ def test_batch_speedup(benchmark):
         f"(kernel tier '{tier}': {native_seconds * 1e3:.2f}ms vs "
         f"{batch_seconds * 1e3:.2f}ms serial)"
     )
+    sharded_overhead = sharded_seconds / native_seconds
+    _LINES.append(
+        f"{'sharded (out-of-core)':<22}{sharded_overhead:>11.1f}x  "
+        f"(vs native in-RAM: {sharded_seconds * 1e3:.2f}ms over "
+        f"{n_shards} mmapped shards)"
+    )
     _METRICS["batch_speedup"] = speedup
     _METRICS["batch_seconds"] = batch_seconds
     _METRICS["per_cube_seconds"] = per_cube_seconds
     _METRICS["native_batch_seconds"] = native_seconds
     _METRICS["native_speedup_vs_batch"] = native_speedup
+    _METRICS["sharded_batch_seconds"] = sharded_seconds
+    _METRICS["sharded_overhead_vs_native"] = sharded_overhead
     _BACKENDS["serial"] = {"batch_seconds": batch_seconds}
     _BACKENDS["native"] = {
         "batch_seconds": native_seconds,
         "kernel_tier": tier,
     }
+    _BACKENDS["sharded"] = {
+        "batch_seconds": sharded_seconds,
+        "kernel_tier": tier,
+        "n_shards": n_shards,
+    }
     assert counts.tolist() == reference
     assert native_counts.tolist() == reference
+    assert sharded_counts.tolist() == reference
     if FULL:
         assert speedup >= 3.0
         if tier != "numpy":

@@ -27,7 +27,12 @@ from pathlib import Path
 from collections.abc import Iterator
 from typing import IO
 
-__all__ = ["atomic_writer", "atomic_write_text", "atomic_write_json"]
+__all__ = [
+    "atomic_writer",
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "atomic_write_json",
+]
 
 
 @contextlib.contextmanager
@@ -52,6 +57,30 @@ def atomic_writer(path, *, newline: str | None = None) -> Iterator[IO[str]]:
         with contextlib.suppress(OSError):
             os.unlink(tmp_name)
         raise
+
+
+def atomic_write_bytes(path, data: bytes) -> Path:
+    """Atomically replace *path* with binary *data*; returns the path.
+
+    Same temp-file + fsync + ``os.replace`` protocol as the text
+    helpers, so a kill mid-write never leaves a truncated binary
+    artifact (mask shards, packed arrays) behind.
+    """
+    path = Path(path)
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=f".{path.name}.", suffix=".tmp", dir=path.parent or "."
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            os.unlink(tmp_name)
+        raise
+    return path
 
 
 def atomic_write_text(path, text: str) -> Path:

@@ -217,6 +217,31 @@ def _add_detector_arguments(parser: argparse.ArgumentParser) -> None:
         help="use the bit-packed cube counter (8x less mask memory)",
     )
     parser.add_argument(
+        "--mmap-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "count out-of-core: write the packed membership masks to "
+            "DIR in row shards and stream them back through read-only "
+            "mmap views, so peak counting memory is one shard instead "
+            "of the whole mask stack (counts stay bit-identical); a "
+            "directory already holding the store for identical data is "
+            "reused, and with --checkpoint-dir an interrupted run "
+            "resumes mid-dataset"
+        ),
+    )
+    parser.add_argument(
+        "--shard-rows",
+        type=int,
+        default=None,
+        metavar="ROWS",
+        help=(
+            "rows per mask shard for --mmap-dir (default: 2^20); "
+            "smaller shards lower peak memory and checkpoint more "
+            "often, larger shards amortize per-shard overhead"
+        ),
+    )
+    parser.add_argument(
         "--count-backend",
         choices=registered_backends(),
         default="serial",
@@ -374,6 +399,8 @@ def _detector(args, dataset, controller=None) -> SubspaceOutlierDetector:
         threshold=args.threshold,
         config=config,
         packed=getattr(args, "packed", False),
+        mmap_dir=getattr(args, "mmap_dir", None),
+        shard_rows=getattr(args, "shard_rows", None),
         counting=counting,
         random_state=args.seed,
         controller=controller,
@@ -435,6 +462,8 @@ def _cmd_multik(args) -> int:
             population_size=args.population, max_generations=args.generations
         ),
         "packed": args.packed,
+        "mmap_dir": getattr(args, "mmap_dir", None),
+        "shard_rows": getattr(args, "shard_rows", None),
         "random_state": args.seed,
     }
     try:

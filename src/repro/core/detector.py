@@ -36,6 +36,12 @@ from ..exceptions import NotFittedError, ValidationError
 from ..grid.counter import CubeCounter
 from ..grid.discretizer import EquiDepthDiscretizer, GridDiscretizer
 from ..grid.packed_counter import PackedCubeCounter
+from ..grid.sharded import (
+    DEFAULT_SHARD_ROWS,
+    ShardCheckpointer,
+    ShardedCounter,
+    ShardedMaskStore,
+)
 from ..run.checkpoint import data_fingerprint, params_fingerprint
 from ..run.controller import RunController
 from ..search.evolutionary.config import EvolutionaryConfig
@@ -88,6 +94,23 @@ class SubspaceOutlierDetector:
         Use the bit-packed cube counter
         (:class:`~repro.grid.packed_counter.PackedCubeCounter`) — 8x
         less mask memory, identical results; worthwhile for large N·d.
+    mmap_dir:
+        Directory for an out-of-core
+        :class:`~repro.grid.sharded.ShardedMaskStore`.  When set, the
+        packed membership masks are written there in row shards and
+        counting streams them back through read-only mmap views
+        (:class:`~repro.grid.sharded.ShardedCounter`) — peak counting
+        memory becomes one shard plus the batch accumulator, and
+        counts stay bit-identical to the in-memory counters.  A
+        directory already holding the store for byte-identical data is
+        reused, so resumed runs skip the packing pass.  With a
+        checkpointing *controller*, per-shard progress of the in-flight
+        batch is recorded too, so a killed run resumes mid-dataset.
+        See ``docs/scaling.md``.
+    shard_rows:
+        Rows per mask shard for *mmap_dir* (default
+        :data:`~repro.grid.sharded.DEFAULT_SHARD_ROWS`); shard sizing
+        trades per-shard overhead against peak memory.
     counting:
         A :class:`~repro.core.params.CountingBackend` controlling how
         batched cube counts execute (serial in-process by default; a
@@ -148,6 +171,8 @@ class SubspaceOutlierDetector:
         discretizer: GridDiscretizer | None = None,
         max_seconds: float | None = None,
         packed: bool = False,
+        mmap_dir=None,
+        shard_rows: int | None = None,
         counting: CountingBackend | None = None,
         random_state=None,
         controller: RunController | None = None,
@@ -174,6 +199,12 @@ class SubspaceOutlierDetector:
         self.discretizer = discretizer
         self.max_seconds = max_seconds
         self.packed = bool(packed)
+        self.mmap_dir = mmap_dir
+        if shard_rows is not None:
+            shard_rows = check_positive_int(shard_rows, "shard_rows")
+        if shard_rows is not None and mmap_dir is None:
+            raise ValidationError("shard_rows requires mmap_dir")
+        self.shard_rows = shard_rows
         if counting is not None and not isinstance(counting, CountingBackend):
             raise ValidationError(
                 f"counting must be a CountingBackend, got {type(counting).__name__}"
@@ -221,8 +252,7 @@ class SubspaceOutlierDetector:
 
         discretizer = self.discretizer or EquiDepthDiscretizer(self.n_ranges)
         cells = discretizer.fit_transform(array, feature_names=feature_names)
-        counter_cls = PackedCubeCounter if self.packed else CubeCounter
-        counter = counter_cls(cells, backend=self.counting)
+        counter = self._build_counter(cells)
 
         k = self.resolve_dimensionality(array.shape[0], array.shape[1])
         logger.info(
@@ -266,6 +296,33 @@ class SubspaceOutlierDetector:
         self.result_ = result
         self.discretizer_ = discretizer
         return result
+
+    # ------------------------------------------------------------------
+    def _build_counter(self, cells) -> CubeCounter:
+        """The counter for one detect call: in-memory or out-of-core.
+
+        ``mmap_dir`` selects the sharded counter (inherently packed);
+        when the controller checkpoints, shard progress is recorded in
+        the same checkpoint directory under the ``shard_counts``
+        stream, beside the search streams.
+        """
+        if self.mmap_dir is None:
+            counter_cls = PackedCubeCounter if self.packed else CubeCounter
+            return counter_cls(cells, backend=self.counting)
+        store = ShardedMaskStore.build(
+            cells,
+            self.mmap_dir,
+            shard_rows=self.shard_rows or DEFAULT_SHARD_ROWS,
+        )
+        checkpointer = None
+        if self.controller is not None and self.controller.store is not None:
+            checkpointer = ShardCheckpointer(self.controller.store)
+        return ShardedCounter(
+            store,
+            cells=cells,
+            backend=self.counting,
+            checkpointer=checkpointer,
+        )
 
     # ------------------------------------------------------------------
     def score(self, data) -> np.ndarray:

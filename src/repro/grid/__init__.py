@@ -15,7 +15,13 @@ from .cells import CellAssignment, MISSING_CELL
 from .counter import CubeCounter, batch_counts
 from .discretizer import EquiDepthDiscretizer, EquiWidthDiscretizer, GridDiscretizer
 from .native import available_tiers, kernel_info, native_batch_counts
-from .packed_counter import PackedCubeCounter
+from .packed_counter import PackedCubeCounter, pack_codes_block
+from .sharded import (
+    DEFAULT_SHARD_ROWS,
+    ShardCheckpointer,
+    ShardedCounter,
+    ShardedMaskStore,
+)
 
 __all__ = [
     "BackendConformanceError",
@@ -26,8 +32,13 @@ __all__ = [
     "EquiDepthDiscretizer",
     "EquiWidthDiscretizer",
     "CubeCounter",
+    "DEFAULT_SHARD_ROWS",
     "PackedCubeCounter",
+    "ShardCheckpointer",
+    "ShardedCounter",
+    "ShardedMaskStore",
     "available_tiers",
+    "pack_codes_block",
     "batch_counts",
     "get_backend",
     "kernel_info",

@@ -93,11 +93,24 @@ class CubeCounter:
             raise ValidationError(
                 f"cells must be a CellAssignment, got {type(cells).__name__}"
             )
+        self.cells = cells
+        self._init_runtime(cache_size, backend)
+        self._build_masks()
+
+    def _init_runtime(
+        self, cache_size: int, backend: CountingBackend | None
+    ) -> None:
+        """Backend/cache/telemetry state shared by every counter flavour.
+
+        Factored out of ``__init__`` so counters that do not hold their
+        masks in memory (:class:`~repro.grid.sharded.ShardedCounter`)
+        can reuse it without a :class:`CellAssignment`-driven mask
+        build.
+        """
         if backend is not None and not isinstance(backend, CountingBackend):
             raise ValidationError(
                 f"backend must be a CountingBackend, got {type(backend).__name__}"
             )
-        self.cells = cells
         self.cache_size = check_positive_int(cache_size, "cache_size", minimum=0)
         self.backend = backend or CountingBackend()
         # Resolve the execution strategy now (unknown kinds fail fast
@@ -122,7 +135,6 @@ class CubeCounter:
         self._pool_failed = False
         self.cancel_token = None
         self.event_sink = None
-        self._build_masks()
 
     def _build_masks(self) -> None:
         """Precompute the per-(dimension, range) membership masks.
@@ -351,16 +363,24 @@ class CubeCounter:
             pool = self._ensure_pool()
             if pool is not None:
                 return self._count_group_parallel(pool, dims_arr, rng_arr)
-        # Serial path, memory-capped: chunk so the (B, W) accumulator
-        # stays bounded.  Sorting first keeps sibling cubes together so
-        # prefix sharing survives the chunking.
+        return self._serial_group_counts(self._stack, dims_arr, rng_arr)
+
+    def _serial_group_counts(
+        self, stack: np.ndarray, dims_arr: np.ndarray, rng_arr: np.ndarray
+    ) -> np.ndarray:
+        """The in-process kernel over *stack*, memory-capped by chunking.
+
+        Chunks so the (B, W) accumulator stays bounded; sorting first
+        keeps sibling cubes together so prefix sharing survives the
+        chunking.  Taking the stack as a parameter lets the sharded
+        counter run the identical path over each mmapped shard stack.
+        """
+        n_cubes = len(dims_arr)
         kernel = self.batch_kernel
-        words = self._stack.shape[2]
+        words = stack.shape[2]
         max_rows = max(1, _MAX_ACC_WORDS // max(1, words))
         if n_cubes <= max_rows:
-            counts, stats = kernel(
-                self._stack, dims_arr, rng_arr, self._packed_stack
-            )
+            counts, stats = kernel(stack, dims_arr, rng_arr, self._packed_stack)
             self._absorb_kernel_stats(stats)
             return counts
         order = self._sibling_order(dims_arr, rng_arr)
@@ -369,7 +389,7 @@ class CubeCounter:
             self._check_cancelled()
             sel = order[lo : lo + max_rows]
             counts, stats = kernel(
-                self._stack, dims_arr[sel], rng_arr[sel], self._packed_stack
+                stack, dims_arr[sel], rng_arr[sel], self._packed_stack
             )
             self._absorb_kernel_stats(stats)
             sorted_counts[lo : lo + max_rows] = counts

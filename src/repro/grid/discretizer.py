@@ -25,7 +25,79 @@ from .._validation import check_matrix, check_positive_int
 from ..exceptions import DiscretizationError, NotFittedError
 from .cells import CellAssignment, MISSING_CELL
 
-__all__ = ["GridDiscretizer", "EquiDepthDiscretizer", "EquiWidthDiscretizer"]
+__all__ = [
+    "GridDiscretizer",
+    "EquiDepthDiscretizer",
+    "EquiWidthDiscretizer",
+    "StreamingReservoir",
+]
+
+#: Default reservoir size for the streamed fit: large enough that the
+#: sampled quantiles sit within a fraction of a percent of the exact
+#: ones (the equi-depth construction only needs cut points that split
+#: the data into roughly equal ranges), small enough to always fit in
+#: memory.
+DEFAULT_SAMPLE_SIZE = 1 << 17
+
+
+class StreamingReservoir:
+    """Deterministic row reservoir over a stream of matrix chunks.
+
+    Vectorized Algorithm R with a seeded generator: row *t* (0-based,
+    counted across all chunks) replaces a uniformly drawn slot once the
+    reservoir is full.  Exactly one variate is drawn per row beyond the
+    fill — never per chunk — so the sampled rows are **invariant to how
+    the stream is chunked**: any split of the same row sequence yields
+    the same reservoir (property-tested).  While ``n_seen <= capacity``
+    the reservoir holds every row in arrival order, making the streamed
+    fit *exactly* equal to the in-memory fit on small data.
+    """
+
+    def __init__(self, capacity: int, random_state: int = 0):
+        self.capacity = check_positive_int(capacity, "capacity")
+        self._rng = np.random.default_rng(random_state)
+        self._rows: np.ndarray | None = None
+        self.n_seen = 0
+
+    def update(self, chunk: np.ndarray) -> "StreamingReservoir":
+        """Feed one ``(m, d)`` chunk of rows through the reservoir.
+
+        Zero-row chunks are skipped — streaming readers routinely
+        produce them (an empty final read, a filtered-out block) and
+        they carry no information.
+        """
+        if np.asarray(chunk).ndim == 2 and np.asarray(chunk).shape[0] == 0:
+            return self
+        block = check_matrix(chunk, "chunk")
+        if self._rows is None:
+            self._rows = np.empty((self.capacity, block.shape[1]))
+        elif block.shape[1] != self._rows.shape[1]:
+            raise DiscretizationError(
+                f"chunk has {block.shape[1]} columns, previous chunks had "
+                f"{self._rows.shape[1]}"
+            )
+        m = block.shape[0]
+        fill = min(max(self.capacity - self.n_seen, 0), m)
+        if fill:
+            self._rows[self.n_seen : self.n_seen + fill] = block[:fill]
+        if m > fill:
+            tail = block[fill:]
+            # Row t (global index) survives into slot j ~ U{0..t} iff
+            # j < capacity; later rows overwrite earlier winners of the
+            # same slot, exactly as the scalar algorithm does.
+            t = self.n_seen + fill + np.arange(tail.shape[0], dtype=np.int64)
+            slots = (self._rng.random(tail.shape[0]) * (t + 1)).astype(np.int64)
+            for i in np.nonzero(slots < self.capacity)[0]:
+                self._rows[slots[i]] = tail[i]
+        self.n_seen += m
+        return self
+
+    @property
+    def rows(self) -> np.ndarray:
+        """The sampled rows (a copy; ``min(n_seen, capacity)`` of them)."""
+        if self._rows is None or self.n_seen == 0:
+            raise DiscretizationError("reservoir has seen no rows")
+        return self._rows[: min(self.n_seen, self.capacity)].copy()
 
 
 class GridDiscretizer(abc.ABC):
@@ -132,6 +204,37 @@ class GridDiscretizer(abc.ABC):
         else:
             self._feature_names = None
         return self
+
+    def fit_from_chunks(
+        self,
+        chunks,
+        feature_names: Sequence[str] | None = None,
+        *,
+        sample_size: int = DEFAULT_SAMPLE_SIZE,
+        random_state: int = 0,
+    ) -> "GridDiscretizer":
+        """Learn cut points from streamed row chunks, never the full array.
+
+        The chunks flow through a :class:`StreamingReservoir` of
+        *sample_size* rows (seeded by *random_state*; deterministic and
+        invariant to chunk boundaries) and the cut points are computed
+        by the ordinary :meth:`fit` on the sample.  When the stream has
+        at most *sample_size* rows the result is **exactly** the
+        in-memory fit; beyond that the cut points are the sample's
+        quantiles — statistically indistinguishable for the equi-depth
+        construction at the default size, and crucially never
+        materializing more than the reservoir.
+
+        This is the out-of-core fit path: pair it with
+        :meth:`transform` per chunk and
+        :meth:`~repro.grid.sharded.ShardedMaskStore.build_from_chunks`
+        to take a dataset from disk to a countable store in bounded
+        memory (see ``docs/scaling.md``).
+        """
+        reservoir = StreamingReservoir(sample_size, random_state=random_state)
+        for chunk in chunks:
+            reservoir.update(chunk)
+        return self.fit(reservoir.rows, feature_names=feature_names)
 
     @property
     def is_fitted(self) -> bool:

@@ -29,7 +29,41 @@ import numpy as np
 from ..core.subspace import Subspace
 from .counter import CubeCounter
 
-__all__ = ["PackedCubeCounter"]
+__all__ = ["PackedCubeCounter", "pack_codes_block", "packed_row_bytes"]
+
+
+def packed_row_bytes(n_points: int) -> int:
+    """Bytes per packed mask row for *n_points*, padded to uint64 words."""
+    n_bytes = (n_points + 7) // 8
+    return ((n_bytes + 7) // 8) * 8
+
+
+def pack_codes_block(codes: np.ndarray, n_ranges: int) -> np.ndarray:
+    """Bit-pack one block of grid codes into a ``(d, φ, W8)`` mask stack.
+
+    *codes* is an ``(n, d)`` integer code block (``MISSING_CELL`` rows
+    set no bit); the result holds one packed membership row per
+    ``(dimension, range)`` pair, each zero-padded to a uint64 boundary
+    so it can be viewed as ``uint64`` words (padding bits are inert
+    under AND and popcount).  Packing a row *shard* of a dataset with
+    this function and summing per-shard popcounts is bit-identical to
+    packing the whole dataset at once — counts are additive across row
+    shards — which is what the out-of-core store
+    (:mod:`repro.grid.sharded`) relies on.
+    """
+    n, n_dims = codes.shape
+    n_bytes = (n + 7) // 8
+    padded = packed_row_bytes(n)
+    stack8 = np.zeros((n_dims, n_ranges, padded), dtype=np.uint8)
+    for j in range(n_dims):
+        col = codes[:, j]
+        dense = np.zeros((n_ranges, n), dtype=bool)
+        observed = col >= 0
+        dense[col[observed], np.nonzero(observed)[0]] = True
+        # packed[r] bit j of byte w marks point 8*w + j (big-endian
+        # bit order, the numpy default).
+        stack8[j, :, :n_bytes] = np.packbits(dense, axis=1)
+    return stack8
 
 
 class PackedCubeCounter(CubeCounter):
@@ -44,23 +78,8 @@ class PackedCubeCounter(CubeCounter):
     _packed_stack = True
 
     def _build_masks(self) -> None:
-        codes = self.cells.codes
-        phi = self.cells.n_ranges
-        n = self.cells.n_points
-        n_bytes = (n + 7) // 8
-        # Pad each row to a uint64 boundary; padding bytes stay zero, so
-        # they are inert under AND and popcount.
-        padded = ((n_bytes + 7) // 8) * 8
-        self._n_words = padded
-        stack8 = np.zeros((self.cells.n_dims, phi, padded), dtype=np.uint8)
-        for j in range(self.cells.n_dims):
-            col = codes[:, j]
-            dense = np.zeros((phi, n), dtype=bool)
-            observed = col >= 0
-            dense[col[observed], np.nonzero(observed)[0]] = True
-            # packed[r] bit j of byte w marks point 8*w + j (big-endian
-            # bit order, the numpy default).
-            stack8[j, :, :n_bytes] = np.packbits(dense, axis=1)
+        stack8 = pack_codes_block(self.cells.codes, self.cells.n_ranges)
+        self._n_words = stack8.shape[2]
         # Byte view for the single-cube paths (unpackbits), word view
         # for the batch kernel.  Word byte-order is irrelevant to AND
         # and popcount, so the reinterpret cast is safe.

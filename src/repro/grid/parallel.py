@@ -1,20 +1,35 @@
-"""Fault-tolerant process-pool backend for batched cube counting.
+"""Fault-tolerant process-pool backends for batched cube counting.
 
-The counter's membership-mask stack is copied once into POSIX shared
-memory; each pool worker attaches a zero-copy numpy view over it at
-initialization and then runs the *same* batch kernel the serial path
-uses — resolved by name from the backend registry
-(:mod:`repro.grid.backends`), so a ``process`` backend runs the numpy
-reference kernel (:func:`repro.grid.kernels.batch_counts`) and a
-``process-native`` backend runs the compiled native kernel
-(:func:`repro.grid.native.native_batch_counts`) inside every worker.
-Task payloads are only the small ``(chunk_id, attempt, dims, ranges)``
-index arrays, and chunk results are reassembled in submission order, so
-results are bit-identical to the serial backend for any worker count —
-including when chunks are retried, the pool is rebuilt, or individual
-chunks degrade to the in-process kernel.
+Two pools share one resilient dispatcher (:class:`_ResilientPool`):
 
-Fault tolerance (the dispatcher in :meth:`CountingPool.map_chunks`):
+:class:`CountingPool`
+    The shared-memory pool.  The counter's membership-mask stack is
+    copied once into POSIX shared memory; each worker attaches a
+    zero-copy numpy view over it at initialization and then runs the
+    *same* batch kernel the serial path uses — resolved by name from
+    the backend registry (:mod:`repro.grid.backends`), so a ``process``
+    backend runs the numpy reference kernel
+    (:func:`repro.grid.kernels.batch_counts`) and a ``process-native``
+    backend runs the compiled native kernel
+    (:func:`repro.grid.native.native_batch_counts`) inside every
+    worker.  Task payloads are only the small ``(chunk_id, attempt,
+    dims, ranges)`` index arrays.
+
+:class:`ShardedCountingPool`
+    The out-of-core pool for :class:`~repro.grid.sharded.ShardedCounter`.
+    There is **no shared-memory copy of anything**: each worker opens
+    the :class:`~repro.grid.sharded.ShardedMaskStore` itself and counts
+    whole shards through its own read-only mmap view (the OS page cache
+    is the only sharing).  Task payloads are ``(chunk_id, attempt,
+    shard_id, dims, ranges)``; the in-parent serial recovery path opens
+    the same mmap view, so recovered shards are bit-identical.
+
+Chunk results are reassembled in submission order, so results are
+bit-identical to the serial backend for any worker count — including
+when chunks are retried, the pool is rebuilt, or individual chunks
+degrade to the in-process kernel.
+
+Fault tolerance (the shared dispatcher in :meth:`_ResilientPool.map_chunks`):
 
 * per-chunk dispatch with a configurable timeout
   (``CountingBackend.timeout``; disabled by default),
@@ -23,19 +38,17 @@ Fault tolerance (the dispatcher in :meth:`CountingPool.map_chunks`):
 * automatic pool rebuild on ``BrokenProcessPool`` or a wedged worker,
   bounded by ``max_rebuilds``,
 * graceful degradation: a chunk that exhausts its retries — or every
-  chunk, once the pool is abandoned — is recovered in-process by
-  ``batch_counts`` over the parent's view of the shared stack, which is
-  bit-identical by construction.
+  chunk, once the pool is abandoned — is recovered in-process by the
+  same registered kernel, which is bit-identical by construction.
 
 Every event is recorded in the counter's
 :class:`~repro.grid.health.BackendHealth`; deterministic chaos is
 injected through :class:`~repro.core.params.FaultPlan` (threaded to the
 workers via the pool initializer and task payloads).
 
-This module is imported lazily by
-:meth:`repro.grid.counter.CubeCounter._ensure_pool`; if pool or
-shared-memory creation fails (restricted containers, missing /dev/shm),
-the counter logs a warning and falls back to serial evaluation.
+This module is imported lazily by the counters' ``_ensure_pool``; if
+pool or shared-memory creation fails (restricted containers, missing
+/dev/shm), the counter logs a warning and falls back to serial.
 """
 
 from __future__ import annotations
@@ -56,20 +69,20 @@ from ..exceptions import SearchCancelled
 from .backends import resolve_kernel
 from .health import BackendHealth
 
-__all__ = ["CountingPool"]
+__all__ = ["CountingPool", "ShardedCountingPool"]
 
 logger = logging.getLogger(__name__)
 
 
-def _reclaim_pool_resources(resources: dict, shm_name: str) -> None:
+def _reclaim_pool_resources(resources: dict, label: str) -> None:
     """Last-resort reclamation for a pool whose owner forgot ``close()``.
 
     Registered through :func:`weakref.finalize` (which also fires at
-    interpreter exit via ``atexit``), so worker processes and the POSIX
-    shared-memory segment are reclaimed even when the owning
-    :class:`CountingPool` is simply dropped.  Holds no reference to the
-    pool itself — only to this shared resource dict — so it never keeps
-    the pool alive.
+    interpreter exit via ``atexit``), so worker processes — and, for the
+    shared-memory pool, the POSIX segment — are reclaimed even when the
+    owning pool is simply dropped.  Holds no reference to the pool
+    itself — only to this shared resource dict — so it never keeps the
+    pool alive.
     """
     executor = resources.pop("executor", None)
     shm = resources.pop("shm", None)
@@ -77,10 +90,11 @@ def _reclaim_pool_resources(resources: dict, shm_name: str) -> None:
     if executor is None and shm is None:
         return
     logger.warning(
-        "CountingPool was never close()d; reclaiming its worker pool and "
-        "shared-memory segment %s — call close() (or use the detector "
-        "facade, which closes it for you) to release these promptly",
-        shm_name,
+        "%s was never close()d; reclaiming its worker pool%s — call "
+        "close() (or use the detector facade, which closes it for you) "
+        "to release these promptly",
+        label,
+        "" if shm is None else " and shared-memory segment",
     )
     if executor is not None:
         try:
@@ -94,12 +108,14 @@ def _reclaim_pool_resources(resources: dict, shm_name: str) -> None:
         except Exception:  # pragma: no cover - double-unlink races
             pass
 
-# Worker-process globals, populated once by the pool initializer.
+
+# Worker-process globals, populated once by the pool initializers.
 _WORKER_STACK: np.ndarray | None = None
 _WORKER_SHM: shared_memory.SharedMemory | None = None
 _WORKER_PACKED = False
 _WORKER_FAULT: FaultPlan | None = None
 _WORKER_KERNEL = None
+_WORKER_STORE = None
 
 
 def _init_worker(
@@ -130,58 +146,74 @@ def _init_worker(
     _WORKER_KERNEL = resolve_kernel(kernel_name)
 
 
-def _count_chunk(task: tuple) -> tuple:
-    """One task: counts + kernel stats for a (dims, ranges) index chunk."""
-    chunk_id, attempt, dims_arr, rng_arr = task
+def _apply_fault(chunk_id: int, attempt: int) -> None:
     fault = _WORKER_FAULT
     if fault is not None and fault.applies(attempt):
         if fault.delay_chunk == chunk_id:
             time.sleep(fault.delay_seconds)
         if fault.kill_worker_on_chunk == chunk_id:
             os._exit(1)
+
+
+def _count_chunk(task: tuple) -> tuple:
+    """One shm task: counts + kernel stats for a (dims, ranges) chunk."""
+    chunk_id, attempt, dims_arr, rng_arr = task
+    _apply_fault(chunk_id, attempt)
     counts, stats = _WORKER_KERNEL(
         _WORKER_STACK, dims_arr, rng_arr, _WORKER_PACKED
     )
     return counts, stats["words_and"], stats["prefix_reuse"]
 
 
-class CountingPool:
-    """A resilient worker pool sharing one counter's mask stack via shm.
+def _init_sharded_worker(
+    directory: str,
+    kernel_name: str,
+    fault: FaultPlan | None,
+    poison_init: bool,
+) -> None:
+    global _WORKER_STORE, _WORKER_FAULT, _WORKER_KERNEL
+    if poison_init:
+        raise RuntimeError(
+            "injected store-open failure (FaultPlan.fail_shm_attach_once)"
+        )
+    from .sharded import ShardedMaskStore
 
-    Parameters
-    ----------
-    stack:
-        The counter's ``(d, φ, W)`` membership-mask array (boolean or
-        uint64-packed); copied once into shared memory.
-    packed:
-        Whether the stack holds bit-packed words.
-    backend:
-        The :class:`~repro.core.params.CountingBackend` whose timeout /
-        retry / rebuild policy (and optional fault plan) this pool
-        enforces.
-    health:
-        The counter's :class:`~repro.grid.health.BackendHealth`; every
-        degradation event and chunk latency is recorded into it.
-    kernel:
-        Registered kernel name (see :mod:`repro.grid.backends`) every
-        worker — and the in-process serial recovery path — runs, so
-        chunk results are bit-identical wherever a chunk ends up
-        executing.
+    # Each worker validates and opens the store itself; shard views are
+    # created per task, so a worker's address-space footprint stays one
+    # shard regardless of how many it processes.
+    # (.open here is the store classmethod, read-only by construction,
+    # not a file write.)
+    _WORKER_STORE = ShardedMaskStore.open(directory)  # repro-lint: disable=RPL003
+    _WORKER_FAULT = fault
+    _WORKER_KERNEL = resolve_kernel(kernel_name)
+
+
+def _count_shard(task: tuple) -> tuple:
+    """One out-of-core task: counts for a whole shard's cube batch."""
+    chunk_id, attempt, shard_id, dims_arr, rng_arr = task
+    _apply_fault(chunk_id, attempt)
+    stack = _WORKER_STORE.shard_words(shard_id)
+    counts, stats = _WORKER_KERNEL(stack, dims_arr, rng_arr, True)
+    return counts, stats["words_and"], stats["prefix_reuse"]
+
+
+class _ResilientPool:
+    """Shared dispatcher: bounded retry, rebuild, serial recovery.
+
+    Subclasses provide the worker entry point (:attr:`_task_fn` with
+    initializer/initargs via :meth:`_initializer` / :meth:`_initargs`),
+    the in-parent recovery path (:meth:`_run_serial`) and resource
+    release (:meth:`_release_resources`); the dispatch policy — and
+    therefore the bit-identity guarantees — is identical for every
+    pool.
     """
 
-    def __init__(
-        self,
-        stack: np.ndarray,
-        packed: bool,
-        backend: CountingBackend,
-        health: BackendHealth | None = None,
-        kernel: str = "numpy",
-    ):
-        stack = np.ascontiguousarray(stack)
+    #: Module-level worker function receiving ``(chunk_id, attempt,
+    #: *chunk)`` (subclass attribute; must be picklable).
+    _task_fn = None
+
+    def __init__(self, backend: CountingBackend, health: BackendHealth | None):
         self.health = health if health is not None else BackendHealth()
-        self._packed = packed
-        self._kernel_name = kernel
-        self._kernel = resolve_kernel(kernel)
         self._timeout = backend.timeout
         self._max_retries = backend.max_retries
         self._backoff = backend.retry_backoff
@@ -192,35 +224,39 @@ class CountingPool:
         self._next_chunk_id = 0
         self._closed = False
         self._executor: ProcessPoolExecutor | None = None
-        self._shm = shared_memory.SharedMemory(
-            create=True, size=max(1, stack.nbytes)
-        )
-        # Parent-side view over the same shared buffer: the serial
-        # fallback runs the identical kernel on identical bytes.
-        self._local = np.ndarray(stack.shape, dtype=stack.dtype, buffer=self._shm.buf)
-        self._local[...] = stack
-        self._shape = stack.shape
-        self._dtype = stack.dtype
         # Shared with the leak finalizer: whatever is in here when the
         # pool is garbage-collected (or the interpreter exits) without
         # close() gets reclaimed with a warning.
-        self._resources = {
-            "shm": self._shm,
-            "local": self._local,
-            "executor": None,
-        }
+        self._resources: dict = {"executor": None}
         self._finalizer = weakref.finalize(
-            self, _reclaim_pool_resources, self._resources, self._shm.name
+            self, _reclaim_pool_resources, self._resources,
+            type(self).__name__,
         )
+
+    # -- subclass hooks -------------------------------------------------
+    def _initializer(self):
+        raise NotImplementedError
+
+    def _initargs(self, poison: bool) -> tuple:
+        raise NotImplementedError
+
+    def _run_serial(self, idx: int, chunk: tuple, results: list) -> None:
+        raise NotImplementedError
+
+    def _release_resources(self) -> None:
+        """Free subclass-owned resources (shm, ...); executor is handled."""
+
+    # ------------------------------------------------------------------
+    def _start_executor(self) -> None:
+        """Spawn the initial executor; release resources on failure."""
         try:
             self._executor = self._spawn_executor()
             self._resources["executor"] = self._executor
         except Exception:
-            self._release_shm()
+            self._release_resources()
             self._finalizer.detach()
             raise
 
-    # ------------------------------------------------------------------
     def _spawn_executor(self) -> ProcessPoolExecutor:
         poison = bool(
             self._fault
@@ -229,16 +265,8 @@ class CountingPool:
         )
         executor = ProcessPoolExecutor(
             max_workers=self._n_workers,
-            initializer=_init_worker,
-            initargs=(
-                self._shm.name,
-                self._shape,
-                self._dtype.str,
-                self._packed,
-                self._kernel_name,
-                self._fault,
-                poison,
-            ),
+            initializer=self._initializer(),
+            initargs=self._initargs(poison),
         )
         self._generation += 1
         return executor
@@ -279,6 +307,7 @@ class CountingPool:
         attempts = [0] * n
         pending = list(range(n))
         wave = 0
+        task_fn = type(self)._task_fn
         while pending:
             if cancel_token is not None and cancel_token.cancelled:
                 raise SearchCancelled(
@@ -296,10 +325,9 @@ class CountingPool:
             unsubmitted: list[int] = []
             for pos, idx in enumerate(pending):
                 attempts[idx] += 1
-                dims_arr, rng_arr = chunks[idx]
-                task = (base_id + idx, attempts[idx], dims_arr, rng_arr)
+                task = (base_id + idx, attempts[idx], *chunks[idx])
                 try:
-                    future = self._executor.submit(_count_chunk, task)
+                    future = self._executor.submit(task_fn, task)
                 except Exception:
                     # Submitting to a broken/shut-down executor; the
                     # chunk was never attempted.
@@ -349,12 +377,7 @@ class CountingPool:
                 self._rebuild_or_degrade()
         return results
 
-    def _run_serial(self, idx: int, chunk: tuple, results: list) -> None:
-        """Recover one chunk with the in-process kernel (bit-identical)."""
-        dims_arr, rng_arr = chunk
-        counts, stats = self._kernel(
-            self._local, dims_arr, rng_arr, self._packed
-        )
+    def _record_serial(self, idx: int, counts, stats: dict, results: list) -> None:
         results[idx] = (counts, stats["words_and"], stats["prefix_reuse"])
         self.health.chunks_serial += 1
         self.health.fallbacks += 1
@@ -393,29 +416,16 @@ class CountingPool:
         )
 
     # ------------------------------------------------------------------
-    def _release_shm(self) -> None:
-        # Drop the parent-side view first: SharedMemory.close() refuses
-        # (BufferError) while exported memoryviews are alive.
-        self._local = None
-        self._resources.pop("local", None)
-        self._resources.pop("shm", None)
-        try:
-            self._shm.close()
-            self._shm.unlink()
-        except Exception:  # pragma: no cover - double-unlink races
-            pass
-
     def close(self) -> None:
-        """Shut the workers down and free the shared-memory segment.
+        """Shut the workers down and free the pool's resources.
 
         Idempotent, and safe on a broken pool: a dead executor is shut
         down without waiting (``wait=True`` on a broken pool can hang on
-        a wedged worker), and the shared memory is released exactly
-        once.  Forgetting to call this is survivable — a
-        :func:`weakref.finalize` hook reclaims the workers and the
-        shared-memory segment at garbage collection or interpreter
-        exit, logging a warning that names the leaked segment — but
-        prompt release needs an explicit close.
+        a wedged worker), and resources are released exactly once.
+        Forgetting to call this is survivable — a
+        :func:`weakref.finalize` hook reclaims everything at garbage
+        collection or interpreter exit, logging a warning — but prompt
+        release needs an explicit close.
         """
         if self._closed:
             return
@@ -428,5 +438,136 @@ class CountingPool:
                 executor.shutdown(wait=not broken, cancel_futures=True)
             except Exception:  # pragma: no cover - interpreter shutdown
                 pass
-        self._release_shm()
+        self._release_resources()
         self._finalizer.detach()
+
+
+class CountingPool(_ResilientPool):
+    """A resilient worker pool sharing one counter's mask stack via shm.
+
+    Parameters
+    ----------
+    stack:
+        The counter's ``(d, φ, W)`` membership-mask array (boolean or
+        uint64-packed); copied once into shared memory.
+    packed:
+        Whether the stack holds bit-packed words.
+    backend:
+        The :class:`~repro.core.params.CountingBackend` whose timeout /
+        retry / rebuild policy (and optional fault plan) this pool
+        enforces.
+    health:
+        The counter's :class:`~repro.grid.health.BackendHealth`; every
+        degradation event and chunk latency is recorded into it.
+    kernel:
+        Registered kernel name (see :mod:`repro.grid.backends`) every
+        worker — and the in-process serial recovery path — runs, so
+        chunk results are bit-identical wherever a chunk ends up
+        executing.
+    """
+
+    _task_fn = staticmethod(_count_chunk)
+
+    def __init__(
+        self,
+        stack: np.ndarray,
+        packed: bool,
+        backend: CountingBackend,
+        health: BackendHealth | None = None,
+        kernel: str = "numpy",
+    ):
+        super().__init__(backend, health)
+        stack = np.ascontiguousarray(stack)
+        self._packed = packed
+        self._kernel_name = kernel
+        self._kernel = resolve_kernel(kernel)
+        self._shm = shared_memory.SharedMemory(
+            create=True, size=max(1, stack.nbytes)
+        )
+        # Parent-side view over the same shared buffer: the serial
+        # fallback runs the identical kernel on identical bytes.
+        self._local = np.ndarray(stack.shape, dtype=stack.dtype, buffer=self._shm.buf)
+        self._local[...] = stack
+        self._shape = stack.shape
+        self._dtype = stack.dtype
+        self._resources["shm"] = self._shm
+        self._resources["local"] = self._local
+        self._start_executor()
+
+    def _initializer(self):
+        return _init_worker
+
+    def _initargs(self, poison: bool) -> tuple:
+        return (
+            self._shm.name,
+            self._shape,
+            self._dtype.str,
+            self._packed,
+            self._kernel_name,
+            self._fault,
+            poison,
+        )
+
+    def _run_serial(self, idx: int, chunk: tuple, results: list) -> None:
+        """Recover one chunk with the in-process kernel (bit-identical)."""
+        dims_arr, rng_arr = chunk
+        counts, stats = self._kernel(
+            self._local, dims_arr, rng_arr, self._packed
+        )
+        self._record_serial(idx, counts, stats, results)
+
+    def _release_resources(self) -> None:
+        # Drop the parent-side view first: SharedMemory.close() refuses
+        # (BufferError) while exported memoryviews are alive.
+        self._local = None
+        self._resources.pop("local", None)
+        self._resources.pop("shm", None)
+        try:
+            self._shm.close()
+            self._shm.unlink()
+        except Exception:  # pragma: no cover - double-unlink races
+            pass
+
+
+class ShardedCountingPool(_ResilientPool):
+    """A resilient worker pool counting whole shards from an mmap store.
+
+    Nothing is copied anywhere: every worker opens the
+    :class:`~repro.grid.sharded.ShardedMaskStore` at initialization and
+    maps the shard a task names read-only, so N workers share the
+    on-disk pages through the OS cache.  One task is one (shard, cube
+    batch); the parent merges shard counts by summation, which is
+    bit-identical to the serial per-shard sweep by additivity.
+
+    Parameters are as for :class:`CountingPool`, with the store taking
+    the place of the shm stack.
+    """
+
+    _task_fn = staticmethod(_count_shard)
+
+    def __init__(
+        self,
+        store,
+        backend: CountingBackend,
+        health: BackendHealth | None = None,
+        kernel: str = "numpy",
+    ):
+        super().__init__(backend, health)
+        self._store = store
+        self._kernel_name = kernel
+        self._kernel = resolve_kernel(kernel)
+        self._start_executor()
+
+    def _initializer(self):
+        return _init_sharded_worker
+
+    def _initargs(self, poison: bool) -> tuple:
+        return (str(self._store.directory), self._kernel_name, self._fault, poison)
+
+    def _run_serial(self, idx: int, chunk: tuple, results: list) -> None:
+        """Recover one shard in-parent over its own mmap view."""
+        shard_id, dims_arr, rng_arr = chunk
+        counts, stats = self._kernel(
+            self._store.shard_words(shard_id), dims_arr, rng_arr, True
+        )
+        self._record_serial(idx, counts, stats, results)

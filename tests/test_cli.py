@@ -69,6 +69,36 @@ class TestDetectCommand:
         assert code == 0
         assert "report" in capsys.readouterr().out
 
+    def test_mmap_dir_out_of_core(self, tmp_path, capsys):
+        # --mmap-dir routes counting through the sharded store; the
+        # report must be byte-identical to the in-memory run and the
+        # store directory must hold the packed shards afterwards.
+        args = [
+            "detect",
+            "--dataset",
+            "machine",
+            "--method",
+            "brute_force",
+            "--seed",
+            "0",
+            "--top",
+            "3",
+        ]
+        assert main(args) == 0
+        reference = capsys.readouterr().out
+        store = tmp_path / "store"
+        assert main(args + ["--mmap-dir", str(store), "--shard-rows", "64"]) == 0
+        assert capsys.readouterr().out == reference
+        assert (store / "manifest.json").exists()
+        assert any(store.glob("shard_*.bin"))
+
+    def test_shard_rows_requires_mmap_dir(self, capsys):
+        code = main(
+            ["detect", "--dataset", "machine", "--shard-rows", "64"]
+        )
+        assert code != 0
+        assert "mmap_dir" in capsys.readouterr().err
+
     def test_evolutionary_options(self, capsys):
         code = main(
             [

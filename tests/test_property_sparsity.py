@@ -20,6 +20,7 @@ enumerate:
 from __future__ import annotations
 
 import math
+import tempfile
 
 import numpy as np
 from hypothesis import given, settings, strategies as st
@@ -27,10 +28,13 @@ from hypothesis.extra import numpy as hnp
 import pytest
 
 from repro.core.params import empty_cube_sparsity
-from repro.grid.cells import MISSING_CELL
-from repro.grid.discretizer import EquiDepthDiscretizer
+from repro.core.subspace import Subspace
+from repro.grid.cells import MISSING_CELL, CellAssignment
+from repro.grid.discretizer import EquiDepthDiscretizer, StreamingReservoir
 from repro.grid.kernels import batch_counts
 from repro.grid.native import available_tiers, forced_tier, native_batch_counts
+from repro.grid.packed_counter import PackedCubeCounter
+from repro.grid.sharded import ShardedCounter, ShardedMaskStore
 from repro.sparsity.coefficient import (
     expected_count,
     sparsity_coefficient,
@@ -272,3 +276,127 @@ class TestPopcountKernelIdentity:
                 )
             assert got_bool.tolist() == expected, tier
             assert got_packed.tolist() == expected, tier
+
+
+# ----------------------------------------------------------------------
+# out-of-core invariants: streamed fits and shard-merged counts
+# ----------------------------------------------------------------------
+def _split_chunks(array: np.ndarray, cuts: list[int]):
+    """Re-block *array*'s rows at the given sorted cut positions."""
+    bounds = [0, *cuts, array.shape[0]]
+    return [array[lo:hi] for lo, hi in zip(bounds, bounds[1:])]
+
+
+_chunkable_matrix = hnp.arrays(
+    np.float64,
+    st.tuples(st.integers(2, 80), st.integers(1, 3)),
+    elements=st.floats(
+        min_value=-1000, max_value=1000, allow_nan=False, allow_infinity=False
+    ),
+)
+
+
+class TestStreamedFitAgreement:
+    """fit_from_chunks must agree with fit() on the rows it saw."""
+
+    @settings(max_examples=80, deadline=None)
+    @given(data=st.data(), phi=st.integers(2, 6))
+    def test_small_stream_fits_exactly(self, data, phi):
+        # While the stream fits in the reservoir, the streamed fit is
+        # *exactly* the in-memory fit — identical cut points, for any
+        # chunking of the same rows.
+        array = data.draw(_chunkable_matrix, label="rows")
+        cuts = data.draw(
+            st.lists(st.integers(0, array.shape[0]), max_size=4).map(sorted),
+            label="cuts",
+        )
+        whole = EquiDepthDiscretizer(phi).fit(array)
+        streamed = EquiDepthDiscretizer(phi).fit_from_chunks(
+            _split_chunks(array, cuts), sample_size=array.shape[0]
+        )
+        for a, b in zip(whole.boundaries, streamed.boundaries, strict=True):
+            np.testing.assert_array_equal(a, b)
+
+    @settings(max_examples=80, deadline=None)
+    @given(data=st.data(), capacity=st.integers(1, 30))
+    def test_reservoir_invariant_to_chunking(self, data, capacity):
+        # Beyond the fill, the reservoir draws one variate per row — so
+        # any two chunkings of the same row sequence sample the exact
+        # same rows, and the fits over them are identical.
+        array = data.draw(_chunkable_matrix, label="rows")
+        cuts_a = data.draw(
+            st.lists(st.integers(0, array.shape[0]), max_size=4).map(sorted),
+            label="cuts_a",
+        )
+        cuts_b = data.draw(
+            st.lists(st.integers(0, array.shape[0]), max_size=4).map(sorted),
+            label="cuts_b",
+        )
+        first = StreamingReservoir(capacity, random_state=3)
+        second = StreamingReservoir(capacity, random_state=3)
+        for chunk in _split_chunks(array, cuts_a):
+            first.update(chunk)
+        for chunk in _split_chunks(array, cuts_b):
+            second.update(chunk)
+        np.testing.assert_array_equal(first.rows, second.rows)
+        assert first.n_seen == second.n_seen == array.shape[0]
+
+    @settings(max_examples=80, deadline=None)
+    @given(data=st.data(), capacity=st.integers(1, 20))
+    def test_reservoir_rows_come_from_the_stream(self, data, capacity):
+        array = data.draw(_chunkable_matrix, label="rows")
+        reservoir = StreamingReservoir(capacity, random_state=1)
+        reservoir.update(array)
+        rows = reservoir.rows
+        assert rows.shape[0] == min(capacity, array.shape[0])
+        seen = {tuple(row) for row in array}
+        for row in rows:
+            assert tuple(row) in seen
+
+
+class TestShardMergeIdentity:
+    """Shard-merged counts == whole-array counts, for arbitrary splits.
+
+    The algebraic heart of the out-of-core path: popcounts are additive
+    across row shards, so *any* shard_rows choice must reproduce the
+    in-memory packed counter's numbers exactly — missing codes, ragged
+    final shards and single-row shards included.
+    """
+
+    @settings(max_examples=40, deadline=None)
+    @given(data=st.data())
+    def test_sharded_counts_match_in_memory(self, data):
+        n = data.draw(st.integers(1, 120), label="n_points")
+        d = data.draw(st.integers(1, 3), label="d")
+        phi = data.draw(st.integers(2, 4), label="phi")
+        codes = data.draw(
+            hnp.arrays(
+                np.int16, (n, d), elements=st.integers(-1, phi - 1)
+            ),
+            label="codes",
+        )
+        shard_rows = data.draw(st.integers(1, n), label="shard_rows")
+        cells = CellAssignment(codes=codes, n_ranges=phi)
+        k = data.draw(st.integers(1, d), label="k")
+        n_cubes = data.draw(st.integers(1, 5), label="n_cubes")
+        cubes = []
+        for i in range(n_cubes):
+            dims = tuple(
+                sorted(data.draw(st.permutations(range(d)), label=f"dims{i}")[:k])
+            )
+            rngs = tuple(
+                data.draw(st.integers(0, phi - 1), label=f"rng{i}.{j}")
+                for j in range(k)
+            )
+            cubes.append(Subspace(dims, rngs))
+        memory = PackedCubeCounter(cells, cache_size=0)
+        expected = memory.count_batch(cubes).tolist()
+        memory.close()
+        with tempfile.TemporaryDirectory() as tmp:
+            store = ShardedMaskStore.build(cells, tmp, shard_rows=shard_rows)
+            assert store.n_shards == -(-n // shard_rows)
+            sharded = ShardedCounter(store, cache_size=0)
+            try:
+                assert sharded.count_batch(cubes).tolist() == expected
+            finally:
+                sharded.close()

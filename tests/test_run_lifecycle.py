@@ -29,10 +29,14 @@ from repro._atomic import atomic_write_json, atomic_write_text, atomic_writer
 from repro.core.detector import SubspaceOutlierDetector
 from repro.core.multik import detect_across_dimensionalities
 from repro.core.params import CountingBackend
-from repro.exceptions import CheckpointError, ValidationError
+from repro.core.subspace import Subspace
+from repro.engine.events import InMemoryEventSink
+from repro.exceptions import CheckpointError, SearchCancelled, ValidationError
 from repro.grid.counter import CubeCounter
 from repro.grid.health import BackendHealth
+from repro.grid.packed_counter import PackedCubeCounter
 from repro.grid.parallel import CountingPool
+from repro.grid.sharded import ShardCheckpointer, ShardedCounter, ShardedMaskStore
 from repro.run.cancel import CancelAfterBoundaries, CancelToken, check_stop_reason
 from repro.run.checkpoint import (
     CheckpointStore,
@@ -529,6 +533,198 @@ class TestMultiKLifecycle:
                 self.KS,
                 detector_kwargs={"controller": RunController()},
             )
+
+
+# ----------------------------------------------------------------------
+class KillAfterShardChecks(CancelToken):
+    """Chaos token for the out-of-core counter: flips after *n* reads.
+
+    The sharded counter checks ``token.cancelled`` exactly once per
+    pending shard, so a read budget lands the kill on a precise,
+    reproducible shard boundary mid-dataset — the scenario the shard
+    checkpointer exists for.
+    """
+
+    def __init__(self, n: int) -> None:
+        super().__init__()
+        self._budget = n
+
+    @property
+    def cancelled(self) -> bool:
+        if not super().cancelled:
+            if self._budget <= 0:
+                self.cancel(reason="injected")
+            else:
+                self._budget -= 1
+        return super().cancelled
+
+
+class TestShardedKillResume:
+    """Kill out-of-core counting at randomized shard boundaries; resume
+    must replay the checkpointed shards and merge bit-identically."""
+
+    @pytest.fixture(scope="class")
+    def sharded_cells(self, request):
+        data = request.getfixturevalue("lifecycle_data")
+        return EquiDepthDiscretizer(5).fit_transform(data)
+
+    @pytest.fixture(scope="class")
+    def sharded_store(self, sharded_cells, tmp_path_factory):
+        # 200 rows in 24-row shards: 9 shards, the last one ragged.
+        return ShardedMaskStore.build(
+            sharded_cells, tmp_path_factory.mktemp("lifecycle_store"),
+            shard_rows=24,
+        )
+
+    @pytest.fixture(scope="class")
+    def cubes(self):
+        # Two k-groups (k=1 and k=2), so the kill can land while one
+        # group's shard stream is mid-flight.
+        ones = [Subspace((d,), (r,)) for d in range(6) for r in range(5)]
+        twos = [
+            Subspace((d, d + 1), (r, (r + 2) % 5))
+            for d in range(5)
+            for r in range(5)
+        ]
+        return ones + twos
+
+    @pytest.fixture(scope="class")
+    def reference(self, sharded_cells, cubes):
+        counter = PackedCubeCounter(sharded_cells)
+        try:
+            return counter.count_batch(cubes).tolist()
+        finally:
+            counter.close()
+
+    @pytest.mark.parametrize("kill_after", [1, 5, 12])
+    def test_kill_and_resume_is_bit_identical(
+        self, sharded_store, cubes, reference, tmp_path, kill_after
+    ):
+        checkpointer = ShardCheckpointer(CheckpointStore(tmp_path))
+        interrupted = ShardedCounter(sharded_store, checkpointer=checkpointer)
+        interrupted.set_cancel_token(KillAfterShardChecks(kill_after))
+        with pytest.raises(SearchCancelled):
+            interrupted.count_batch(cubes)
+        interrupted.close()
+        # The in-flight group left its per-shard progress behind.
+        assert checkpointer.store.exists(checkpointer.name)
+        sink = InMemoryEventSink()
+        resumed = ShardedCounter(sharded_store, checkpointer=checkpointer)
+        resumed.set_event_sink(sink)
+        try:
+            assert resumed.count_batch(cubes).tolist() == reference
+        finally:
+            resumed.close()
+        # Every checkpointed shard was replayed, never recounted, and
+        # the two groups add up to full coverage of the store.
+        assert resumed.n_shards_resumed == kill_after
+        assert (
+            resumed.n_shards_resumed + resumed.n_shards_counted
+            == 2 * sharded_store.n_shards
+        )
+        actions = [e.payload["action"] for e in sink.of_type("shard_counted")]
+        assert actions.count("resumed") == kill_after
+        # Both groups completed: the progress stream is gone.
+        assert not checkpointer.store.exists(checkpointer.name)
+
+    def test_resume_under_different_batch_ignores_stream(
+        self, sharded_store, cubes, reference, tmp_path
+    ):
+        checkpointer = ShardCheckpointer(CheckpointStore(tmp_path))
+        interrupted = ShardedCounter(sharded_store, checkpointer=checkpointer)
+        interrupted.set_cancel_token(KillAfterShardChecks(4))
+        with pytest.raises(SearchCancelled):
+            interrupted.count_batch(cubes)
+        interrupted.close()
+        # A *different* batch must not replay the stale stream — its
+        # digest differs, so everything is recounted from the store.
+        other = [Subspace((d,), (0,)) for d in range(6)]
+        fresh = ShardedCounter(sharded_store, checkpointer=checkpointer)
+        try:
+            expected = ShardedCounter(sharded_store).count_batch(other)
+            assert fresh.count_batch(other).tolist() == expected.tolist()
+        finally:
+            fresh.close()
+        assert fresh.n_shards_resumed == 0
+
+    def test_level_batch_search_kill_resume_over_store(
+        self, sharded_cells, sharded_store, tmp_path
+    ):
+        # The full engine stack on the out-of-core counter: a killed
+        # level-batch enumeration resumes from its search checkpoint
+        # and lands on the in-memory searcher's exact outcome.
+        memory = CubeCounter(sharded_cells)
+        reference = outcome_key(bf_search(memory).run())
+        memory.close()
+        stream = SearchCheckpointer(CheckpointStore(tmp_path), "bf")
+        token = CancelAfterBoundaries(1)
+        interrupted_counter = ShardedCounter(
+            sharded_store, checkpointer=ShardCheckpointer(CheckpointStore(tmp_path))
+        )
+        interrupted = bf_search(
+            interrupted_counter, cancel_token=token, checkpointer=stream
+        ).run()
+        interrupted_counter.close()
+        assert interrupted.stopped_reason == "cancelled"
+        resumed_counter = ShardedCounter(
+            sharded_store, checkpointer=ShardCheckpointer(CheckpointStore(tmp_path))
+        )
+        resumed = bf_search(resumed_counter, checkpointer=stream).run(
+            resume_from=True
+        )
+        resumed_counter.close()
+        assert outcome_key(resumed) == reference
+
+
+class TestShardedDetectorLifecycle:
+    """detect() with --mmap-dir semantics: kill, resume, bit-identity."""
+
+    KWARGS = dict(
+        dimensionality=2,
+        n_projections=5,
+        n_ranges=5,
+        method="evolutionary",
+        config=EvolutionaryConfig(population_size=24, max_generations=40),
+        random_state=11,
+        packed=True,
+    )
+
+    @pytest.fixture(scope="class")
+    def reference(self, request):
+        data = request.getfixturevalue("lifecycle_data")
+        return result_key(SubspaceOutlierDetector(**self.KWARGS).detect(data))
+
+    def test_clean_mmap_run_matches_in_memory(
+        self, lifecycle_data, tmp_path, reference
+    ):
+        result = SubspaceOutlierDetector(
+            mmap_dir=tmp_path / "store", shard_rows=32, **self.KWARGS
+        ).detect(lifecycle_data)
+        assert result_key(result) == reference
+        assert (tmp_path / "store" / "manifest.json").exists()
+
+    def test_kill_then_resume_matches_in_memory(
+        self, lifecycle_data, tmp_path, reference
+    ):
+        mmap_dir = tmp_path / "store"
+        controller = RunController(
+            checkpoint_dir=tmp_path / "ckpt", token=CancelAfterBoundaries(3)
+        )
+        partial = SubspaceOutlierDetector(
+            controller=controller, mmap_dir=mmap_dir, shard_rows=32,
+            **self.KWARGS,
+        ).detect(lifecycle_data)
+        assert partial.stopped_reason == "cancelled"
+        # The resumed run reuses the shard store (no rebuild) and the
+        # search checkpoint; the merged outcome is the in-memory one.
+        mtime = (mmap_dir / "shard_00000.bin").stat().st_mtime_ns
+        resumed = SubspaceOutlierDetector(
+            controller=RunController(checkpoint_dir=tmp_path / "ckpt"),
+            mmap_dir=mmap_dir, shard_rows=32, **self.KWARGS,
+        ).detect(lifecycle_data, resume=True)
+        assert result_key(resumed) == reference
+        assert not resumed.cancelled
+        assert (mmap_dir / "shard_00000.bin").stat().st_mtime_ns == mtime
 
 
 # ----------------------------------------------------------------------
