@@ -60,6 +60,7 @@ from .exceptions import (
     DiscretizationError,
     NotFittedError,
     ReproError,
+    ResourceError,
     SearchCancelled,
     SearchError,
     ValidationError,
@@ -201,4 +202,5 @@ __all__ = [
     "SearchCancelled",
     "CheckpointError",
     "DatasetError",
+    "ResourceError",
 ]

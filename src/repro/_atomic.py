@@ -14,12 +14,16 @@ therefore goes through these helpers:
 
 Readers consequently only ever observe the old file or the complete new
 one, never a partial write.  On any error the temp file is removed and
-the original target is left untouched.
+the original target is left untouched.  A full disk (ENOSPC/EDQUOT)
+surfaces as a typed :class:`~repro.exceptions.ResourceError` naming the
+path and payload size instead of a raw ``OSError``; the
+``atomic_write`` fault point lets chaos tests inject exactly that.
 """
 
 from __future__ import annotations
 
 import contextlib
+import errno
 import json
 import os
 import tempfile
@@ -27,12 +31,29 @@ from pathlib import Path
 from collections.abc import Iterator
 from typing import IO
 
+from .exceptions import ResourceError
+from .resilience.faults import maybe_inject
+
 __all__ = [
     "atomic_writer",
     "atomic_write_bytes",
     "atomic_write_text",
     "atomic_write_json",
 ]
+
+_FULL_DISK_ERRNOS = frozenset({errno.ENOSPC, errno.EDQUOT})
+
+
+def _wrap_full_disk(exc: BaseException, path: Path, nbytes: int | None):
+    """Re-raise ENOSPC/EDQUOT as a typed, actionable ResourceError."""
+    if isinstance(exc, OSError) and exc.errno in _FULL_DISK_ERRNOS:
+        size = f"~{nbytes} bytes needed" if nbytes is not None else \
+            "size unknown"
+        raise ResourceError(
+            exc.errno,
+            f"disk full writing {path} ({size}); free space on "
+            f"{path.parent or '.'} or point the run at another volume",
+        ) from exc
 
 
 @contextlib.contextmanager
@@ -44,18 +65,24 @@ def atomic_writer(path, *, newline: str | None = None) -> Iterator[IO[str]]:
     the temp file is deleted and *path* is untouched.
     """
     path = Path(path)
-    fd, tmp_name = tempfile.mkstemp(
-        prefix=f".{path.name}.", suffix=".tmp", dir=path.parent or "."
-    )
+    try:
+        maybe_inject("atomic_write", path=str(path))
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=f".{path.name}.", suffix=".tmp", dir=path.parent or "."
+        )
+    except OSError as exc:
+        _wrap_full_disk(exc, path, None)
+        raise
     try:
         with os.fdopen(fd, "w", newline=newline) as handle:
             yield handle
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(tmp_name, path)
-    except BaseException:
+    except BaseException as exc:
         with contextlib.suppress(OSError):
             os.unlink(tmp_name)
+        _wrap_full_disk(exc, path, None)
         raise
 
 
@@ -67,18 +94,24 @@ def atomic_write_bytes(path, data: bytes) -> Path:
     artifact (mask shards, packed arrays) behind.
     """
     path = Path(path)
-    fd, tmp_name = tempfile.mkstemp(
-        prefix=f".{path.name}.", suffix=".tmp", dir=path.parent or "."
-    )
+    try:
+        maybe_inject("atomic_write", path=str(path), nbytes=len(data))
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=f".{path.name}.", suffix=".tmp", dir=path.parent or "."
+        )
+    except OSError as exc:
+        _wrap_full_disk(exc, path, len(data))
+        raise
     try:
         with os.fdopen(fd, "wb") as handle:
             handle.write(data)
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(tmp_name, path)
-    except BaseException:
+    except BaseException as exc:
         with contextlib.suppress(OSError):
             os.unlink(tmp_name)
+        _wrap_full_disk(exc, path, len(data))
         raise
     return path
 

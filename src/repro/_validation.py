@@ -103,8 +103,17 @@ def check_matrix(
         raise ValidationError(f"{name} must have at least {min_rows} row(s), got {rows}")
     if cols < min_cols:
         raise ValidationError(f"{name} must have at least {min_cols} column(s), got {cols}")
-    if np.isinf(array).any():
-        raise ValidationError(f"{name} must not contain infinities")
+    inf_mask = np.isinf(array)
+    if inf_mask.any():
+        bad_cols = np.nonzero(inf_mask.any(axis=0))[0]
+        shown = ", ".join(str(c) for c in bad_cols[:8])
+        if bad_cols.size > 8:
+            shown += f", … ({bad_cols.size} columns total)"
+        raise ValidationError(
+            f"{name} must not contain infinities (found inf/-inf in "
+            f"column(s) {shown}); clip or drop these values before "
+            "fitting — infinities break equi-depth quantile boundaries"
+        )
     if not allow_nan and np.isnan(array).any():
         raise ValidationError(f"{name} must not contain NaN values")
     return array

@@ -33,7 +33,7 @@ def default_event_types() -> frozenset[str]:
         from ..engine.events import EVENT_TYPES
 
         return frozenset(EVENT_TYPES)
-    except Exception:  # pragma: no cover - defensive fallback
+    except Exception:  # pragma: no cover  # repro-lint: disable=RPL009
         return frozenset(
             {
                 "run_started",
@@ -93,4 +93,14 @@ class LintConfig:
         "repro/eval/*",
         "repro/grid/discretizer.py",
         "repro/grid/cells.py",
+    )
+
+    #: RPL009 — modules allowed to catch broadly (``except Exception``
+    #: / bare ``except``): the resilience layer owns deliberate
+    #: catch-all recovery, and the fault-tolerant dispatcher must
+    #: survive arbitrary worker failures.  Everywhere else a broad
+    #: catch hides faults the degradation ladder should see.
+    broad_except_allowed_modules: tuple[str, ...] = (
+        "repro/resilience/*",
+        "repro/grid/parallel.py",
     )

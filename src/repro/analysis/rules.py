@@ -1,4 +1,4 @@
-"""The project-invariant rules (RPL001-RPL008).
+"""The project-invariant rules (RPL001-RPL009).
 
 Each rule is an AST pass over one module that yields
 :class:`~.violations.Violation` records.  The invariants themselves
@@ -15,6 +15,9 @@ RPL005    ``emit()`` only with registered event types
 RPL006    process pools only inside ``repro.grid.parallel``
 RPL007    no float ``==`` in sparsity/statistics math
 RPL008    no mutable default arguments in public APIs
+RPL009    no broad ``except Exception`` / bare ``except`` outside the
+          resilience layer — catch-all recovery is the degradation
+          ladder's job (cleanup-and-reraise handlers are exempt)
 ========  ============================================================
 
 Rules are deliberately *syntactic*: they see one file at a time, no
@@ -633,6 +636,80 @@ class MutableDefaultRule(RuleVisitor):
 
 
 # ----------------------------------------------------------------------
+class BroadExceptRule(RuleVisitor):
+    """RPL009: catch-all recovery belongs to the resilience layer."""
+
+    code = "RPL009"
+    name = "no-broad-except"
+    description = (
+        "broad `except Exception` / bare `except` outside the "
+        "resilience layer swallows faults the degradation ladder "
+        "should see; catch specific exceptions or route recovery "
+        "through repro.resilience"
+    )
+
+    def _applies(self, module: ModuleSource, config: LintConfig) -> bool:
+        return not module.matches(config.broad_except_allowed_modules)
+
+    @staticmethod
+    def _broad_name(expr: ast.expr | None) -> str | None:
+        """``"Exception"``/``"BaseException"`` when *expr* names one."""
+        if expr is None:
+            return None
+        dotted = _dotted(expr)
+        if dotted is not None and dotted.split(".")[-1] in (
+            "Exception",
+            "BaseException",
+        ):
+            return dotted
+        return None
+
+    @staticmethod
+    def _reraises(handler: ast.ExceptHandler) -> bool:
+        """Cleanup-and-reraise: the handler's last statement is ``raise``.
+
+        ``except BaseException: unlink(tmp); raise`` narrows nothing —
+        the fault still propagates — so it is exempt.
+        """
+        if not handler.body:
+            return False
+        last = handler.body[-1]
+        return isinstance(last, ast.Raise) and last.exc is None
+
+    def visit_Try(self, node: ast.Try) -> None:
+        for handler in node.handlers:
+            self._check_handler(handler)
+        self.generic_visit(node)
+
+    def _check_handler(self, handler: ast.ExceptHandler) -> None:
+        if self._reraises(handler):
+            return
+        if handler.type is None:
+            self.report(
+                handler,
+                "bare `except:` swallows every fault (including "
+                "KeyboardInterrupt); catch specific exceptions or route "
+                "recovery through repro.resilience",
+            )
+            return
+        exprs: list[ast.expr] = (
+            list(handler.type.elts)
+            if isinstance(handler.type, ast.Tuple)
+            else [handler.type]
+        )
+        for expr in exprs:
+            broad = self._broad_name(expr)
+            if broad is not None:
+                self.report(
+                    handler,
+                    f"broad `except {broad}` outside the resilience "
+                    "layer; catch specific exceptions or route recovery "
+                    "through repro.resilience (DegradationLadder.guarded)",
+                )
+                return
+
+
+# ----------------------------------------------------------------------
 ALL_RULES: tuple[type[RuleVisitor], ...] = (
     UnseededRngRule,
     WallClockRule,
@@ -642,6 +719,7 @@ ALL_RULES: tuple[type[RuleVisitor], ...] = (
     BareParallelismRule,
     FloatEqualityRule,
     MutableDefaultRule,
+    BroadExceptRule,
 )
 
 

@@ -242,6 +242,27 @@ def _add_detector_arguments(parser: argparse.ArgumentParser) -> None:
         ),
     )
     parser.add_argument(
+        "--spill-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "where the degradation ladder spills the packed masks when "
+            "the in-memory stack cannot be allocated (MemoryError): the "
+            "run continues out-of-core with bit-identical counts "
+            "(default: a temporary directory removed afterwards); "
+            "incompatible with --mmap-dir, which is already out-of-core"
+        ),
+    )
+    parser.add_argument(
+        "--verify-shards",
+        action="store_true",
+        help=(
+            "verify every mask shard against its manifest checksum "
+            "before counting it (out-of-core runs); a corrupt shard is "
+            "quarantined and rebuilt from the in-memory codes"
+        ),
+    )
+    parser.add_argument(
         "--count-backend",
         choices=registered_backends(),
         default="serial",
@@ -401,6 +422,8 @@ def _detector(args, dataset, controller=None) -> SubspaceOutlierDetector:
         packed=getattr(args, "packed", False),
         mmap_dir=getattr(args, "mmap_dir", None),
         shard_rows=getattr(args, "shard_rows", None),
+        spill_dir=getattr(args, "spill_dir", None),
+        verify_shards=getattr(args, "verify_shards", False),
         counting=counting,
         random_state=args.seed,
         controller=controller,
@@ -441,6 +464,21 @@ def _cmd_detect(args) -> int:
             "results are bit-identical to the serial backend",
             file=sys.stderr,
         )
+    resilience = result.stats.get("resilience", {})
+    if resilience.get("degraded"):
+        parts = []
+        for entry in resilience.get("degradations", []):
+            parts.append(
+                f"{entry['chain']}: {entry['from']} -> {entry['to']}"
+            )
+        for shard in resilience.get("quarantines", []):
+            parts.append(f"quarantined shard {shard['shard']}")
+        print(
+            "warning: resilience ladder engaged ("
+            + "; ".join(parts)
+            + "); results are bit-identical to the healthy path",
+            file=sys.stderr,
+        )
     if args.save:
         path = save_model(detector, args.save)
         print(f"model saved to {path}", file=sys.stderr)
@@ -464,6 +502,8 @@ def _cmd_multik(args) -> int:
         "packed": args.packed,
         "mmap_dir": getattr(args, "mmap_dir", None),
         "shard_rows": getattr(args, "shard_rows", None),
+        "spill_dir": getattr(args, "spill_dir", None),
+        "verify_shards": getattr(args, "verify_shards", False),
         "random_state": args.seed,
     }
     try:

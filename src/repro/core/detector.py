@@ -22,17 +22,21 @@ Typical use::
 from __future__ import annotations
 
 import logging
+import shutil
+import tempfile
 import time
+import weakref
 from collections.abc import Mapping, Sequence
 
 import numpy as np
 
 from .._validation import check_matrix, check_positive_int
 from ..engine.context import RunContext
-from ..engine.events import CompositeSink, EventSink
+from ..engine.events import CompositeSink, EventSink, emit_event
 from ..engine.registry import create_engine, engine_spec
 from ..engine.stats import StatsAssemblySink
-from ..exceptions import NotFittedError, ValidationError
+from ..exceptions import NotFittedError, ResourceError, ValidationError
+from ..resilience.ladder import ResilienceReport
 from ..grid.counter import CubeCounter
 from ..grid.discretizer import EquiDepthDiscretizer, GridDiscretizer
 from ..grid.packed_counter import PackedCubeCounter
@@ -111,6 +115,20 @@ class SubspaceOutlierDetector:
         Rows per mask shard for *mmap_dir* (default
         :data:`~repro.grid.sharded.DEFAULT_SHARD_ROWS`); shard sizing
         trades per-shard overhead against peak memory.
+    spill_dir:
+        Directory the degradation ladder spills the packed mask store
+        to when the in-memory mask stack cannot be allocated
+        (``MemoryError``): the run continues out-of-core through a
+        :class:`~repro.grid.sharded.ShardedCounter` with bit-identical
+        results.  ``None`` (the default) spills to a temporary
+        directory removed when the counter is garbage-collected.  The
+        downgrade is recorded in ``result.stats["resilience"]`` and
+        emitted as a ``degradation_applied`` event.
+    verify_shards:
+        Verify every mask shard against its manifest checksum before
+        counting it (out-of-core runs only).  A corrupt shard is
+        quarantined and rebuilt from the in-memory codes; see
+        :class:`~repro.grid.sharded.ShardedCounter`.
     counting:
         A :class:`~repro.core.params.CountingBackend` controlling how
         batched cube counts execute (serial in-process by default; a
@@ -173,6 +191,8 @@ class SubspaceOutlierDetector:
         packed: bool = False,
         mmap_dir=None,
         shard_rows: int | None = None,
+        spill_dir=None,
+        verify_shards: bool = False,
         counting: CountingBackend | None = None,
         random_state=None,
         controller: RunController | None = None,
@@ -205,6 +225,13 @@ class SubspaceOutlierDetector:
         if shard_rows is not None and mmap_dir is None:
             raise ValidationError("shard_rows requires mmap_dir")
         self.shard_rows = shard_rows
+        if spill_dir is not None and mmap_dir is not None:
+            raise ValidationError(
+                "spill_dir only applies to in-memory counters; mmap_dir "
+                "runs are already out-of-core"
+            )
+        self.spill_dir = spill_dir
+        self.verify_shards = bool(verify_shards)
         if counting is not None and not isinstance(counting, CountingBackend):
             raise ValidationError(
                 f"counting must be a CountingBackend, got {type(counting).__name__}"
@@ -252,22 +279,24 @@ class SubspaceOutlierDetector:
 
         discretizer = self.discretizer or EquiDepthDiscretizer(self.n_ranges)
         cells = discretizer.fit_transform(array, feature_names=feature_names)
-        counter = self._build_counter(cells)
+        # The stats sink is always present (it reconstructs the classic
+        # result.stats); the user's sink — and the controller's, inside
+        # build_context — see the same event stream.  It is created
+        # before the counter so that build-time degradations (e.g. the
+        # in-memory → sharded spill on MemoryError) can be emitted.
+        stats_sink = StatsAssemblySink()
+        sink = (
+            stats_sink
+            if self.event_sink is None
+            else CompositeSink(stats_sink, self.event_sink)
+        )
+        counter = self._build_counter(cells, sink)
 
         k = self.resolve_dimensionality(array.shape[0], array.shape[1])
         logger.info(
             "detect: N=%d d=%d phi=%d k=%d method=%s m=%s threshold=%s backend=%s",
             array.shape[0], array.shape[1], self.n_ranges, k, self.method,
             self.n_projections, self.threshold, counter.backend.kind,
-        )
-        # The stats sink is always present (it reconstructs the classic
-        # result.stats); the user's sink — and the controller's, inside
-        # build_context — see the same event stream.
-        stats_sink = StatsAssemblySink()
-        sink = (
-            stats_sink
-            if self.event_sink is None
-            else CompositeSink(stats_sink, self.event_sink)
         )
         try:
             outcome = self._run_search(
@@ -298,31 +327,99 @@ class SubspaceOutlierDetector:
         return result
 
     # ------------------------------------------------------------------
-    def _build_counter(self, cells) -> CubeCounter:
+    def _build_counter(self, cells, sink: EventSink | None = None) -> CubeCounter:
         """The counter for one detect call: in-memory or out-of-core.
 
         ``mmap_dir`` selects the sharded counter (inherently packed);
         when the controller checkpoints, shard progress is recorded in
         the same checkpoint directory under the ``shard_counts``
-        stream, beside the search streams.
+        stream, beside the search streams.  An in-memory build that
+        dies with ``MemoryError`` walks the mask-storage degradation
+        ladder instead: the masks spill to a sharded on-disk store
+        (``spill_dir`` or a temporary directory) and the run proceeds
+        out-of-core with bit-identical counts.
         """
+        checkpointer = None
+        if self.controller is not None and self.controller.store is not None:
+            checkpointer = ShardCheckpointer(self.controller.store)
         if self.mmap_dir is None:
             counter_cls = PackedCubeCounter if self.packed else CubeCounter
-            return counter_cls(cells, backend=self.counting)
+            try:
+                return counter_cls(cells, backend=self.counting)
+            except MemoryError as exc:
+                return self._spill_counter(cells, checkpointer, sink, exc)
         store = ShardedMaskStore.build(
             cells,
             self.mmap_dir,
             shard_rows=self.shard_rows or DEFAULT_SHARD_ROWS,
         )
-        checkpointer = None
-        if self.controller is not None and self.controller.store is not None:
-            checkpointer = ShardCheckpointer(self.controller.store)
         return ShardedCounter(
             store,
             cells=cells,
             backend=self.counting,
             checkpointer=checkpointer,
+            verify_reads=self.verify_shards,
         )
+
+    def _spill_counter(
+        self, cells, checkpointer, sink: EventSink | None, cause: MemoryError
+    ) -> CubeCounter:
+        """Mask-storage ladder: in-memory stack → sharded on-disk store.
+
+        Invoked when the in-memory (packed or boolean) mask stack cannot
+        be allocated.  The sharded store packs the masks one row-shard
+        at a time, so its peak memory is one shard rather than the full
+        stack; counts stay bit-identical (property-tested).  A second
+        ``MemoryError`` here is unrecoverable and surfaces as a typed
+        :class:`~repro.exceptions.ResourceError`.
+        """
+        directory = self.spill_dir
+        temporary = directory is None
+        if temporary:
+            directory = tempfile.mkdtemp(prefix="repro-spill-")
+        logger.warning(
+            "in-memory mask allocation failed (%s); spilling masks to "
+            "sharded store at %s", cause, directory,
+        )
+        try:
+            store = ShardedMaskStore.build(
+                cells, directory, shard_rows=self.shard_rows or DEFAULT_SHARD_ROWS
+            )
+            counter = ShardedCounter(
+                store,
+                cells=cells,
+                backend=self.counting,
+                checkpointer=checkpointer,
+                verify_reads=self.verify_shards,
+            )
+        except MemoryError as spill_exc:
+            raise ResourceError(
+                "out of memory: the mask stack did not fit in memory and "
+                f"the sharded spill to {directory} also failed; reduce "
+                "shard_rows or run on a larger machine"
+            ) from spill_exc
+        if temporary:
+            # The spilled store must outlive detect() — counter_ stays
+            # usable for post-hoc counting — so tie cleanup to the
+            # counter's lifetime, not this call's.
+            weakref.finalize(counter, shutil.rmtree, directory, True)
+        counter.resilience.record_degradation(
+            "mask-storage", "in-memory", "sharded", f"MemoryError: {cause}"
+        )
+        counter.resilience.record_recovery("packed_alloc")
+        if sink is not None:
+            emit_event(
+                sink,
+                "degradation_applied",
+                **{
+                    "chain": "mask-storage",
+                    "from": "in-memory",
+                    "to": "sharded",
+                    "reason": f"MemoryError: {cause}",
+                },
+            )
+            emit_event(sink, "fault_recovered", point="packed_alloc")
+        return counter
 
     # ------------------------------------------------------------------
     def score(self, data) -> np.ndarray:
@@ -485,7 +582,17 @@ class SubspaceOutlierDetector:
             for point in counter.covered_points(projection.subspace):
                 coverage.setdefault(int(point), []).append(proj_index)
         outlier_indices = np.array(sorted(coverage), dtype=np.intp)
-        stats = stats_sink.assemble(outcome, counter, elapsed)
+        report = ResilienceReport()
+        report.merge(counter.resilience)
+        if self.controller is not None:
+            report.merge(self.controller.resilience)
+        stats = stats_sink.assemble(outcome, counter, elapsed, resilience=report)
+        if report.degraded:
+            logger.warning(
+                "resilience ladder engaged during detect: %s "
+                "(results are bit-identical to the healthy path)",
+                report.summary(),
+            )
         if counter.health.degraded:
             logger.warning(
                 "counting backend degraded during detect: %s "

@@ -179,6 +179,23 @@ class CountingBackend:
             return self.n_workers
         return os.cpu_count() or 1
 
+    def retry_policy(self):
+        """This backend's knobs as a shared :class:`RetryPolicy`.
+
+        ``max_retries`` counts retries, the policy counts attempts, so
+        ``max_attempts = max_retries + 1`` — the pool's historical
+        "initial dispatch plus ``max_retries`` redispatches" behaviour
+        is preserved exactly.
+        """
+        # Late import for the same layering reason as get_backend above.
+        from ..resilience.retry import RetryPolicy
+
+        return RetryPolicy(
+            max_attempts=self.max_retries + 1,
+            backoff=self.retry_backoff,
+            backoff_cap=1.0,
+        )
+
 
 def expected_cube_count(n_points: int, n_ranges: int, dimensionality: int) -> float:
     """Expected points per k-dimensional cube, ``N / φ^k``."""

@@ -76,14 +76,20 @@ class StatsAssemblySink(EventSink):
 
     # ------------------------------------------------------------------
     def assemble(
-        self, outcome: "SearchOutcome", counter: Any, elapsed: float
+        self,
+        outcome: "SearchOutcome",
+        counter: Any,
+        elapsed: float,
+        resilience: Any | None = None,
     ) -> dict:
         """The backward-compatible stats dict for a finished detection.
 
         Reproduces exactly the keys ``detector._postprocess`` set before
         the event bus existed — ``total_elapsed_seconds``, ``completed``,
         ``stopped_reason``, ``counter_stats``, ``backend_health`` on top
-        of the outcome's own stats — and adds the ``events`` counters.
+        of the outcome's own stats — and adds the ``events`` counters
+        plus, when a :class:`~repro.resilience.ResilienceReport` is
+        passed, the ``resilience`` record of retries/degradations.
         """
         stats = dict(outcome.stats)
         stats["total_elapsed_seconds"] = elapsed
@@ -92,4 +98,6 @@ class StatsAssemblySink(EventSink):
         stats["counter_stats"] = counter.cache_stats()
         stats["backend_health"] = counter.backend_health()
         stats["events"] = dict(self.event_counts)
+        if resilience is not None:
+            stats["resilience"] = resilience.as_dict()
         return stats

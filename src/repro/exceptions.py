@@ -17,6 +17,7 @@ __all__ = [
     "SearchCancelled",
     "CheckpointError",
     "DatasetError",
+    "ResourceError",
 ]
 
 
@@ -67,3 +68,15 @@ class CheckpointError(ReproError):
 
 class DatasetError(ReproError):
     """A dataset could not be loaded, parsed, or generated."""
+
+
+class ResourceError(ReproError, OSError):
+    """A system resource was exhausted or irrecoverably unavailable.
+
+    Raised in place of raw ``OSError``/``MemoryError`` when the library
+    runs out of disk (ENOSPC/EDQUOT during an atomic write), cannot
+    rebuild a corrupted mask shard, or exhausts its retry budget on an
+    I/O path.  Subclasses ``OSError`` so handlers written against the
+    raw errors keep working, while the message carries actionable
+    context (path, bytes needed, recovery hints).
+    """

@@ -40,6 +40,7 @@ from .native import native_batch_counts
 __all__ = [
     "BackendConformanceError",
     "BackendSpec",
+    "degradation_chain",
     "get_backend",
     "register_backend",
     "register_kernel",
@@ -76,16 +77,26 @@ class BackendSpec:
         in-process — bit-identical either way).
     description:
         One-line summary surfaced in CLI help and docs.
+    fallback:
+        Name of the backend the degradation ladder steps down to when
+        this one fails repeatedly (``None`` = bottom of the chain).
+        Every registered backend is bit-identical to the reference, so
+        walking the chain only ever trades speed, never results.
     """
 
     name: str
     kernel: str
     uses_pool: bool
     description: str
+    fallback: str | None = None
 
     def __post_init__(self) -> None:
         if not self.name or not isinstance(self.name, str):
             raise ValidationError("backend name must be a non-empty string")
+        if self.fallback == self.name:
+            raise ValidationError(
+                f"backend {self.name!r} cannot be its own fallback"
+            )
 
 
 _KERNELS: dict[str, Kernel] = {}
@@ -241,6 +252,12 @@ def register_backend(spec: BackendSpec, *, verify: bool = True) -> None:
             f"{spec.kernel!r}; register the kernel first "
             f"(registered: {sorted(_KERNELS)})"
         )
+    if spec.fallback is not None and spec.fallback not in _BACKENDS:
+        raise ValidationError(
+            f"backend {spec.name!r} names unregistered fallback "
+            f"{spec.fallback!r}; register the fallback first "
+            f"(registered: {registered_backends()})"
+        )
     if verify:
         resolve_kernel(spec.kernel)
     _BACKENDS[spec.name] = spec
@@ -260,6 +277,24 @@ def get_backend(name: str) -> BackendSpec:
             f"unknown counting backend {name!r}; registered backends: "
             f"{registered_backends()}"
         ) from None
+
+
+def degradation_chain(name: str) -> list[str]:
+    """The downgrade path from backend *name* to the chain's bottom.
+
+    E.g. ``degradation_chain("process-native")`` →
+    ``["process-native", "native", "serial"]``.  Registration validates
+    fallbacks exist and are not self-referential; a cycle introduced by
+    third-party registrations is cut here rather than looping forever.
+    """
+    chain = [get_backend(name).name]
+    seen = {chain[0]}
+    while True:
+        fallback = get_backend(chain[-1]).fallback
+        if fallback is None or fallback in seen:
+            return chain
+        chain.append(fallback)
+        seen.add(fallback)
 
 
 # ----------------------------------------------------------------------
@@ -284,6 +319,7 @@ register_backend(
         kernel="numpy",
         uses_pool=True,
         description="numpy kernel fanned out over the shared-memory pool",
+        fallback="serial",
     ),
     verify=False,
 )
@@ -293,6 +329,7 @@ register_backend(
         kernel="native",
         uses_pool=False,
         description="compiled kernel (numba → C → numpy fallback), in-process",
+        fallback="serial",
     ),
     verify=False,
 )
@@ -302,6 +339,7 @@ register_backend(
         kernel="native",
         uses_pool=True,
         description="compiled kernel inside each shared-memory pool worker",
+        fallback="native",
     ),
     verify=False,
 )

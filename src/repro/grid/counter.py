@@ -46,6 +46,8 @@ from .._validation import check_positive_int
 from ..core.params import CountingBackend
 from ..core.subspace import Subspace
 from ..exceptions import SearchCancelled, ValidationError
+from ..resilience.faults import maybe_inject
+from ..resilience.ladder import DegradationLadder, ResilienceReport
 from .backends import get_backend, resolve_kernel
 from .cells import CellAssignment
 from .health import BackendHealth
@@ -135,6 +137,14 @@ class CubeCounter:
         self._pool_failed = False
         self.cancel_token = None
         self.event_sink = None
+        # Run-wide resilience bookkeeping: every retry, recovery and
+        # downgrade lands here and surfaces in stats["resilience"].
+        # The sink provider is a lambda because the event sink is bound
+        # per engine run (runtime_binding), after construction.
+        self.resilience = ResilienceReport()
+        self._ladder = DegradationLadder(
+            self.resilience, lambda: self.event_sink
+        )
 
     def _build_masks(self) -> None:
         """Precompute the per-(dimension, range) membership masks.
@@ -147,6 +157,7 @@ class CubeCounter:
         codes = self.cells.codes
         phi = self.cells.n_ranges
         n = self.cells.n_points
+        maybe_inject("packed_alloc", kind="bool", n_points=n)
         stack = np.zeros((self.cells.n_dims, phi, n), dtype=bool)
         for j in range(self.cells.n_dims):
             col = codes[:, j]
@@ -355,6 +366,45 @@ class CubeCounter:
             self._kernel = resolve_kernel(self._spec.kernel)
         return self._kernel
 
+    def _invoke_kernel(
+        self, stack: np.ndarray, dims_arr: np.ndarray, rng_arr: np.ndarray
+    ) -> tuple:
+        """One guarded kernel call: non-reference kernels can degrade.
+
+        The numpy reference runs bare (there is nothing below it on the
+        ladder).  Any other kernel runs under the degradation ladder:
+        if it fails — resolution, verification, or the call itself —
+        the same chunk is recomputed by the reference kernel
+        (bit-identical by the conformance gate), the counter serves the
+        reference from then on, and the downgrade is recorded in
+        ``stats["resilience"]``.
+        """
+        if self._spec.kernel == "numpy":
+            return self.batch_kernel(
+                stack, dims_arr, rng_arr, self._packed_stack
+            )
+
+        def primary() -> tuple:
+            return self.batch_kernel(
+                stack, dims_arr, rng_arr, self._packed_stack
+            )
+
+        def fallback() -> tuple:
+            return batch_counts(stack, dims_arr, rng_arr, self._packed_stack)
+
+        return self._ladder.guarded(
+            "kernel", self._spec.kernel, "numpy",
+            primary, fallback, on_downgrade=self._on_kernel_failure,
+        )
+
+    def _on_kernel_failure(self, exc: BaseException) -> None:
+        logger.warning(
+            "kernel %r failed (%s); serving the numpy reference kernel "
+            "for the rest of the run",
+            self._spec.kernel, exc,
+        )
+        self._kernel = batch_counts
+
     def _count_group(self, dims_arr: np.ndarray, rng_arr: np.ndarray) -> np.ndarray:
         """Counts for one same-k group of distinct cubes."""
         n_cubes = len(dims_arr)
@@ -376,11 +426,10 @@ class CubeCounter:
         counter run the identical path over each mmapped shard stack.
         """
         n_cubes = len(dims_arr)
-        kernel = self.batch_kernel
         words = stack.shape[2]
         max_rows = max(1, _MAX_ACC_WORDS // max(1, words))
         if n_cubes <= max_rows:
-            counts, stats = kernel(stack, dims_arr, rng_arr, self._packed_stack)
+            counts, stats = self._invoke_kernel(stack, dims_arr, rng_arr)
             self._absorb_kernel_stats(stats)
             return counts
         order = self._sibling_order(dims_arr, rng_arr)
@@ -388,8 +437,8 @@ class CubeCounter:
         for lo in range(0, n_cubes, max_rows):
             self._check_cancelled()
             sel = order[lo : lo + max_rows]
-            counts, stats = kernel(
-                stack, dims_arr[sel], rng_arr[sel], self._packed_stack
+            counts, stats = self._invoke_kernel(
+                stack, dims_arr[sel], rng_arr[sel]
             )
             self._absorb_kernel_stats(stats)
             sorted_counts[lo : lo + max_rows] = counts
@@ -460,14 +509,19 @@ class CubeCounter:
                 self.backend,
                 self.health,
                 kernel=self._spec.kernel,
+                report=self.resilience,
             )
-        except Exception as exc:  # pragma: no cover - environment-dependent
+        except Exception as exc:  # repro-lint: disable=RPL009
             logger.warning(
                 "process counting backend unavailable (%s); falling back to serial",
                 exc,
             )
             self.health.pool_unavailable = True
             self._pool_failed = True
+            self._ladder.apply(
+                "counting-pool", self.backend.kind, "serial",
+                f"pool unavailable: {exc}",
+            )
             return None
         return self._pool
 
@@ -484,7 +538,7 @@ class CubeCounter:
     def __del__(self):  # pragma: no cover - interpreter-shutdown dependent
         try:
             self.close()
-        except Exception:
+        except Exception:  # repro-lint: disable=RPL009
             pass
 
     # ------------------------------------------------------------------

@@ -197,7 +197,9 @@ def _build_numba_impl() -> _KernelImpl | None:
     """The numba tier, or None when numba is not importable."""
     try:
         from numba import njit  # type: ignore[import-not-found]
-    except Exception:
+    # A half-installed numba can raise beyond ImportError at import
+    # time; any failure just means "no numba tier".
+    except Exception:  # repro-lint: disable=RPL009
         return None
     popcount8 = np.array(
         [int(value).bit_count() for value in range(256)], dtype=np.int64
@@ -354,7 +356,9 @@ def _tier_impl(tier: str) -> _KernelImpl | None:
         return cached  # type: ignore[return-value]
     try:
         impl = _BUILDERS[tier]()
-    except Exception as exc:
+    # Tier builders shell out to compilers and dlopen artifacts — any
+    # failure downgrades to the next tier rather than crashing.
+    except Exception as exc:  # repro-lint: disable=RPL009
         logger.warning("native kernel tier %r unavailable: %s", tier, exc)
         impl = None
     _TIER_IMPLS[tier] = impl

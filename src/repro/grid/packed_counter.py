@@ -27,6 +27,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.subspace import Subspace
+from ..resilience.faults import maybe_inject
 from .counter import CubeCounter
 
 __all__ = ["PackedCubeCounter", "pack_codes_block", "packed_row_bytes"]
@@ -54,6 +55,7 @@ def pack_codes_block(codes: np.ndarray, n_ranges: int) -> np.ndarray:
     n, n_dims = codes.shape
     n_bytes = (n + 7) // 8
     padded = packed_row_bytes(n)
+    maybe_inject("packed_alloc", kind="packed", n_points=n)
     stack8 = np.zeros((n_dims, n_ranges, padded), dtype=np.uint8)
     for j in range(n_dims):
         col = codes[:, j]

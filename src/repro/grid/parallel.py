@@ -66,6 +66,7 @@ import numpy as np
 from ..core.params import CountingBackend, FaultPlan
 from ..engine.events import emit_event
 from ..exceptions import SearchCancelled
+from ..resilience.ladder import ResilienceReport
 from .backends import resolve_kernel
 from .health import BackendHealth
 
@@ -212,11 +213,21 @@ class _ResilientPool:
     #: *chunk)`` (subclass attribute; must be picklable).
     _task_fn = None
 
-    def __init__(self, backend: CountingBackend, health: BackendHealth | None):
+    def __init__(
+        self,
+        backend: CountingBackend,
+        health: BackendHealth | None,
+        report: ResilienceReport | None = None,
+    ):
         self.health = health if health is not None else BackendHealth()
+        self.report = report
         self._timeout = backend.timeout
-        self._max_retries = backend.max_retries
-        self._backoff = backend.retry_backoff
+        # The shared retry policy carries the backend's historical
+        # knobs: max_attempts = max_retries + 1, same exponential
+        # backoff capped at 1s — dispatch behaviour is bit-for-bit what
+        # the old inline loop did.
+        self._retry = backend.retry_policy()
+        self._kind = backend.kind
         self._max_rebuilds = backend.max_rebuilds
         self._fault = backend.fault_plan
         self._n_workers = backend.resolved_workers()
@@ -318,7 +329,7 @@ class _ResilientPool:
                     self._run_serial(idx, chunks[idx], results)
                 break
             if wave:
-                time.sleep(min(1.0, self._backoff * (2 ** (wave - 1))))
+                time.sleep(self._retry.delay(wave))
             wave += 1
             broken = False
             submitted: list[tuple] = []
@@ -357,15 +368,19 @@ class _ResilientPool:
                     self.health.record_latency(time.perf_counter() - t_submit)
             pending = []
             for idx in failed:
-                if attempts[idx] > self._max_retries:
+                if attempts[idx] >= self._retry.max_attempts:
                     emit_event(
                         event_sink, "chunk_retry",
                         chunk_id=base_id + idx, attempt=attempts[idx],
                         action="serial_fallback",
                     )
+                    if self.report is not None:
+                        self.report.record_recovery("pool_serial_fallback")
                     self._run_serial(idx, chunks[idx], results)
                 else:
                     self.health.retries += 1
+                    if self.report is not None:
+                        self.report.record_retry("pool.chunk")
                     emit_event(
                         event_sink, "chunk_retry",
                         chunk_id=base_id + idx, attempt=attempts[idx],
@@ -393,6 +408,11 @@ class _ResilientPool:
                 pass
         if self.health.rebuilds >= self._max_rebuilds:
             self.health.pool_degraded = True
+            if self.report is not None:
+                self.report.record_degradation(
+                    "counting-pool", self._kind, "serial",
+                    f"max_rebuilds={self._max_rebuilds} exceeded",
+                )
             logger.warning(
                 "counting pool exceeded max_rebuilds=%d; degrading to the "
                 "serial kernel for the rest of the run",
@@ -404,11 +424,18 @@ class _ResilientPool:
             self._resources["executor"] = self._executor
         except Exception as exc:  # pragma: no cover - environment-dependent
             self.health.pool_degraded = True
+            if self.report is not None:
+                self.report.record_degradation(
+                    "counting-pool", self._kind, "serial",
+                    f"pool rebuild failed: {exc}",
+                )
             logger.warning(
                 "counting pool rebuild failed (%s); degrading to serial", exc
             )
             return
         self.health.rebuilds += 1
+        if self.report is not None:
+            self.report.record_retry("pool.rebuild")
         logger.warning(
             "counting pool broke; rebuilt worker pool (rebuild %d of %d)",
             self.health.rebuilds,
@@ -475,8 +502,9 @@ class CountingPool(_ResilientPool):
         backend: CountingBackend,
         health: BackendHealth | None = None,
         kernel: str = "numpy",
+        report: ResilienceReport | None = None,
     ):
-        super().__init__(backend, health)
+        super().__init__(backend, health, report)
         stack = np.ascontiguousarray(stack)
         self._packed = packed
         self._kernel_name = kernel
@@ -551,9 +579,18 @@ class ShardedCountingPool(_ResilientPool):
         backend: CountingBackend,
         health: BackendHealth | None = None,
         kernel: str = "numpy",
+        report: ResilienceReport | None = None,
+        shard_reader=None,
     ):
-        super().__init__(backend, health)
+        super().__init__(backend, health, report)
         self._store = store
+        # In-parent recovery reads shards through the counter's
+        # resilient reader when one is supplied, so a corrupt shard hit
+        # during serial recovery still gets quarantined and rebuilt
+        # instead of surfacing a raw OSError.
+        self._shard_reader = (
+            shard_reader if shard_reader is not None else store.shard_words
+        )
         self._kernel_name = kernel
         self._kernel = resolve_kernel(kernel)
         self._start_executor()
@@ -568,6 +605,6 @@ class ShardedCountingPool(_ResilientPool):
         """Recover one shard in-parent over its own mmap view."""
         shard_id, dims_arr, rng_arr = chunk
         counts, stats = self._kernel(
-            self._store.shard_words(shard_id), dims_arr, rng_arr, True
+            self._shard_reader(shard_id), dims_arr, rng_arr, True
         )
         self._record_serial(idx, counts, stats, results)

@@ -55,7 +55,9 @@ from .._validation import check_positive_int
 from ..core.params import CountingBackend
 from ..core.subspace import Subspace
 from ..engine.events import emit_event
-from ..exceptions import CheckpointError, ValidationError
+from ..exceptions import CheckpointError, ResourceError, ValidationError
+from ..resilience.faults import maybe_inject
+from ..resilience.retry import RetryPolicy
 from ..run.checkpoint import CheckpointStore
 from .cells import CellAssignment
 from .counter import CubeCounter
@@ -72,8 +74,16 @@ __all__ = [
 
 logger = logging.getLogger(__name__)
 
-STORE_FORMAT_VERSION = 1
+# Version 2 added a per-shard sha256 to each manifest entry, enabling
+# corruption detection (verify_shard) and targeted quarantine-rebuild.
+# A v1 store fails open() validation, which the build() reuse path
+# treats as "rebuild from codes" — migration is automatic.
+STORE_FORMAT_VERSION = 2
 MANIFEST_NAME = "manifest.json"
+
+#: Retry policy for shard reads: transient I/O errors get two quick
+#: retries before the quarantine-rebuild path takes over.
+_SHARD_READ_RETRY = RetryPolicy(max_attempts=3, backoff=0.02, backoff_cap=0.25)
 
 #: Default rows per shard: 2^20 points keep one shard's packed stack at
 #: ``d·φ·128 KiB`` (e.g. 40 MB at d=32, φ=10) — big enough that the
@@ -145,6 +155,11 @@ class ShardedMaskStore:
                     f"expected {expected_stop}"
                 )
             expected_stop = entry["stop"]
+            if "sha256" not in entry:
+                raise ValidationError(
+                    f"sharded mask store {self.directory}: shard "
+                    f"{entry['file']} has no checksum in the manifest"
+                )
             size = (
                 manifest["n_dims"] * manifest["n_ranges"] * entry["row_bytes"]
             )
@@ -218,6 +233,7 @@ class ShardedMaskStore:
         shard count.
         """
         entry = self._manifest["shards"][index]
+        maybe_inject("shard_read", shard=index, file=entry["file"])
         return np.memmap(
             self.directory / entry["file"],
             dtype=np.uint8,
@@ -228,6 +244,49 @@ class ShardedMaskStore:
     def shard_words(self, index: int) -> np.ndarray:
         """The same shard stack viewed as uint64 words (batch-kernel form)."""
         return self.shard_stack8(index).view(np.uint64)
+
+    def verify_shard(self, index: int) -> None:
+        """Check one shard's bytes against its manifest checksum.
+
+        Raises :class:`~repro.exceptions.ValidationError` on mismatch
+        (bit rot, torn write outside our protocol, tampering) — the
+        signal the counter's quarantine-rebuild path acts on.  Reads
+        the whole shard once, so it is opt-in per read
+        (``verify_reads=True`` on :class:`ShardedCounter`).
+        """
+        entry = self._manifest["shards"][index]
+        path = self.directory / entry["file"]
+        data = path.read_bytes()
+        if hashlib.sha256(data).hexdigest() != entry["sha256"]:
+            raise ValidationError(
+                f"sharded mask store {self.directory}: shard file "
+                f"{entry['file']} is corrupt (checksum mismatch)"
+            )
+
+    def rebuild_shard(self, index: int, codes: np.ndarray) -> None:
+        """Re-pack and atomically rewrite one shard from grid codes.
+
+        *codes* is the full ``(N, d)`` code matrix the store was built
+        from; only this shard's row block is re-packed.  The rebuilt
+        bytes must reproduce the manifest checksum — packing is
+        deterministic, so a mismatch means *codes* differ from the
+        build-time data and the rewrite is refused.
+        """
+        entry = self._manifest["shards"][index]
+        start, stop = int(entry["start"]), int(entry["stop"])
+        block = np.ascontiguousarray(codes[start:stop], dtype=np.int16)
+        data = pack_codes_block(block, self.n_ranges).tobytes()
+        if hashlib.sha256(data).hexdigest() != entry["sha256"]:
+            raise ValidationError(
+                f"rebuilt shard {index} of {self.directory} does not "
+                "reproduce the manifest checksum; the supplied codes "
+                "differ from the data the store was built from"
+            )
+        atomic_write_bytes(self.directory / entry["file"], data)
+        logger.warning(
+            "rebuilt corrupt shard %d of %s from in-memory codes",
+            index, self.directory,
+        )
 
     # ------------------------------------------------------------------
     @classmethod
@@ -240,6 +299,7 @@ class ShardedMaskStore:
                 f"{MANIFEST_NAME})"
             )
         try:
+            maybe_inject("shard_open", directory=str(directory))
             manifest = json.loads(path.read_text())
         except (json.JSONDecodeError, OSError) as exc:
             raise ValidationError(
@@ -341,8 +401,9 @@ class ShardedMaskStore:
 
         def flush(block: np.ndarray) -> None:
             stack8 = pack_codes_block(block, n_ranges)
+            data = stack8.tobytes()
             name = f"shard_{len(shards):05d}.bin"
-            atomic_write_bytes(out_dir / name, stack8.tobytes())
+            atomic_write_bytes(out_dir / name, data)
             start = shards[-1]["stop"] if shards else 0
             shards.append(
                 {
@@ -350,6 +411,7 @@ class ShardedMaskStore:
                     "start": start,
                     "stop": start + block.shape[0],
                     "row_bytes": int(stack8.shape[2]),
+                    "sha256": hashlib.sha256(data).hexdigest(),
                 }
             )
 
@@ -465,7 +527,12 @@ class _ShardGroupProgress:
             self.completed[int(key)] = np.asarray(counts, dtype=np.int64)
 
     def record(self, shard_id: int, counts: np.ndarray) -> None:
-        """Persist one shard's counts (atomic, with rollback sibling)."""
+        """Persist one shard's counts (atomic, with rollback sibling).
+
+        A full disk (:class:`~repro.exceptions.ResourceError`) only
+        loses resume granularity — an interrupted run recounts this
+        shard — so it degrades to a warning instead of killing the run.
+        """
         self.completed[shard_id] = np.asarray(counts, dtype=np.int64)
         groups = self._payload["groups"]
         # Re-insert at the end: insertion order is recency, and the
@@ -480,7 +547,15 @@ class _ShardGroupProgress:
         }
         while len(groups) > ShardCheckpointer.MAX_GROUPS:
             groups.pop(next(iter(groups)))
-        self._store.save(self._name, self._payload)
+        try:
+            self._store.save(self._name, self._payload)
+        except ResourceError as exc:
+            logger.warning(
+                "shard progress write for %r failed (%s); resume will "
+                "recount shard %d", self._name, exc, shard_id,
+            )
+            if self._store.report is not None:
+                self._store.report.record_recovery("atomic_write")
 
 
 class ShardCheckpointer:
@@ -551,6 +626,14 @@ class ShardedCounter(CubeCounter):
         Optional :class:`ShardCheckpointer`; when set, every counted
         shard of the in-flight batch is recorded so an interrupted run
         resumes mid-dataset instead of recounting finished shards.
+    verify_reads:
+        Check every shard against its manifest checksum before
+        counting it.  A mismatch (bit rot, torn write outside the
+        atomic protocol) triggers quarantine-plus-rebuild when *cells*
+        is available — re-packing that one shard from the in-memory
+        codes, bit-identical by construction — and a typed
+        :class:`~repro.exceptions.ResourceError` otherwise.  Off by
+        default: it re-reads each shard once per use.
     """
 
     _packed_stack = True
@@ -562,6 +645,7 @@ class ShardedCounter(CubeCounter):
         cache_size: int = 200_000,
         backend: CountingBackend | None = None,
         checkpointer: ShardCheckpointer | None = None,
+        verify_reads: bool = False,
     ):
         if not isinstance(store, ShardedMaskStore):
             raise ValidationError(
@@ -595,6 +679,8 @@ class ShardedCounter(CubeCounter):
         self.shard_checkpointer = checkpointer
         self.n_shards_counted = 0
         self.n_shards_resumed = 0
+        self._verify_reads = bool(verify_reads)
+        self._read_retry = _SHARD_READ_RETRY
         self._init_runtime(cache_size, backend)
 
     # ------------------------------------------------------------------
@@ -611,6 +697,67 @@ class ShardedCounter(CubeCounter):
         return self.store.n_ranges
 
     # ------------------------------------------------------------------
+    def _resilient_shard_stack8(self, shard_id: int) -> np.ndarray:
+        """One shard's stack, surviving transient errors and corruption.
+
+        Transient ``OSError``\\ s are retried under the shared policy;
+        a persistent read failure or checksum mismatch quarantines the
+        shard and rebuilds it from the in-memory codes (bit-identical
+        by construction).  Without codes to rebuild from, the failure
+        surfaces as a typed :class:`~repro.exceptions.ResourceError` —
+        never a raw ``OSError``.
+        """
+
+        def read() -> np.ndarray:
+            if self._verify_reads:
+                self.store.verify_shard(shard_id)
+            return self.store.shard_stack8(shard_id)
+
+        def on_retry(attempt: int, exc: BaseException) -> None:
+            self.resilience.record_retry("shard.read")
+
+        def on_recover(retries: int) -> None:
+            self._ladder.recovered("shard_read", shard=shard_id)
+
+        try:
+            return self._read_retry.call(
+                read,
+                describe=f"shard {shard_id} read",
+                on_retry=on_retry,
+                on_recover=on_recover,
+            )
+        except (OSError, ValidationError) as exc:
+            return self._quarantine_rebuild(shard_id, exc)
+
+    def _resilient_shard_words(self, shard_id: int) -> np.ndarray:
+        """The resilient shard stack viewed as uint64 kernel words."""
+        return self._resilient_shard_stack8(shard_id).view(np.uint64)
+
+    def _quarantine_rebuild(
+        self, shard_id: int, exc: BaseException
+    ) -> np.ndarray:
+        """Rebuild one bad shard from codes, or fail with a typed error."""
+        reason = f"{type(exc).__name__}: {exc}"
+        if self.cells is None:
+            raise ResourceError(
+                f"shard {shard_id} of {self.store.directory} is unreadable "
+                f"or corrupt ({reason}) and this counter holds no grid "
+                "codes to rebuild it from; rebuild the store from the "
+                "source data"
+            ) from exc
+        self._ladder.quarantine(shard_id, reason)
+        self.store.rebuild_shard(shard_id, self.cells.codes)
+        try:
+            if self._verify_reads:
+                self.store.verify_shard(shard_id)
+            return self.store.shard_stack8(shard_id)
+        except (OSError, ValidationError) as exc2:
+            raise ResourceError(
+                f"shard {shard_id} of {self.store.directory} is still "
+                f"unreadable after a rebuild ({type(exc2).__name__}: "
+                f"{exc2}); the storage volume is failing"
+            ) from exc2
+
     def _shard_cube(self, index: int, subspace: Subspace) -> np.ndarray:
         """AND of one shard's packed masks for *subspace* (owned array)."""
         start, stop = self.store.shard_bounds(index)
@@ -623,7 +770,7 @@ class ShardedCounter(CubeCounter):
             if tail:
                 out[n_bytes - 1] = (0xFF << (8 - tail)) & 0xFF
             return out
-        stack8 = self.store.shard_stack8(index)
+        stack8 = self._resilient_shard_stack8(index)
         dim0, rng0 = subspace.dims[0], subspace.ranges[0]
         out = np.array(stack8[dim0, rng0])
         for dim, rng in list(subspace)[1:]:
@@ -731,7 +878,7 @@ class ShardedCounter(CubeCounter):
             for shard_id in pending:
                 self._check_cancelled()
                 counts = self._serial_group_counts(
-                    store.shard_words(shard_id), dims_arr, rng_arr
+                    self._resilient_shard_words(shard_id), dims_arr, rng_arr
                 )
                 total += counts
                 self.n_shards_counted += 1
@@ -767,8 +914,10 @@ class ShardedCounter(CubeCounter):
                 self.backend,
                 self.health,
                 kernel=self._spec.kernel,
+                report=self.resilience,
+                shard_reader=self._resilient_shard_words,
             )
-        except Exception as exc:  # pragma: no cover - environment-dependent
+        except Exception as exc:  # repro-lint: disable=RPL009
             logger.warning(
                 "sharded process backend unavailable (%s); falling back to "
                 "serial",
@@ -776,6 +925,10 @@ class ShardedCounter(CubeCounter):
             )
             self.health.pool_unavailable = True
             self._pool_failed = True
+            self._ladder.apply(
+                "counting-pool", self.backend.kind, "serial",
+                f"pool unavailable: {exc}",
+            )
             return None
         return self._pool
 

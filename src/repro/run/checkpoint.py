@@ -31,7 +31,10 @@ from collections.abc import Callable, Mapping
 import numpy as np
 
 from .._atomic import atomic_write_json
-from ..exceptions import CheckpointError
+from ..exceptions import CheckpointError, ResourceError
+from ..resilience.faults import maybe_inject
+from ..resilience.ladder import ResilienceReport
+from ..resilience.retry import RetryPolicy
 
 __all__ = [
     "CHECKPOINT_FORMAT_VERSION",
@@ -91,12 +94,33 @@ def params_fingerprint(params: Mapping) -> str:
     return hashlib.sha256(text.encode()).hexdigest()
 
 
-class CheckpointStore:
-    """Named atomic JSON checkpoints in one directory, with rollback."""
+#: Default policy for checkpoint reads: a couple of quick retries over
+#: transient I/O errors before falling back to the previous boundary.
+_READ_RETRY = RetryPolicy(max_attempts=3, backoff=0.02, backoff_cap=0.25)
 
-    def __init__(self, directory: str | os.PathLike[str]) -> None:
+
+class CheckpointStore:
+    """Named atomic JSON checkpoints in one directory, with rollback.
+
+    Reads go through the shared :class:`RetryPolicy` (transient I/O
+    errors are retried before the one-boundary-older fallback kicks
+    in), and pass the ``checkpoint_load`` fault point so chaos tests
+    can corrupt the read path deterministically.  When a
+    :class:`ResilienceReport` is attached, every retry and recovery is
+    recorded there.
+    """
+
+    def __init__(
+        self,
+        directory: str | os.PathLike[str],
+        *,
+        retry: RetryPolicy | None = None,
+        report: ResilienceReport | None = None,
+    ) -> None:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
+        self.retry = retry if retry is not None else _READ_RETRY
+        self.report = report
 
     # ------------------------------------------------------------------
     def path(self, name: str) -> Path:
@@ -140,7 +164,7 @@ class CheckpointStore:
                 continue
             tried.append(path)
             try:
-                payload = json.loads(path.read_text())
+                payload = json.loads(self._read_with_retry(path))
             except (json.JSONDecodeError, OSError) as exc:
                 logger.warning(
                     "checkpoint %s is corrupt (%s); trying the previous "
@@ -163,6 +187,32 @@ class CheckpointStore:
             )
         raise CheckpointError(
             f"no checkpoint named {name!r} in {self.directory}"
+        )
+
+    def _read_with_retry(self, path: Path) -> str:
+        """Read one checkpoint file under the store's retry policy."""
+
+        def read() -> str:
+            maybe_inject("checkpoint_load", path=str(path))
+            return path.read_text()
+
+        def on_retry(attempt: int, exc: BaseException) -> None:
+            logger.warning(
+                "checkpoint read %s failed (%s); retry %d/%d",
+                path, exc, attempt, self.retry.max_attempts - 1,
+            )
+            if self.report is not None:
+                self.report.record_retry("checkpoint.load")
+
+        def on_recover(retries: int) -> None:
+            if self.report is not None:
+                self.report.record_recovery("checkpoint_load")
+
+        return self.retry.call(
+            read,
+            describe=f"checkpoint read {path}",
+            on_retry=on_retry,
+            on_recover=on_recover,
         )
 
     def delete(self, name: str) -> None:
@@ -223,11 +273,24 @@ class SearchCheckpointer:
 
         *build_state* is only invoked when a write actually happens, so
         a sparse interval pays no serialization cost on skipped
-        boundaries.
+        boundaries.  A full disk (:class:`ResourceError`) at a periodic
+        boundary is survivable — checkpoints only accelerate resume,
+        they never affect the result — so it is logged, recorded on the
+        store's resilience report, and the search continues; an explicit
+        :meth:`save` stays strict.
         """
         if boundary % self.every != 0:
             return False
-        self.save(build_state())
+        try:
+            self.save(build_state())
+        except ResourceError as exc:
+            logger.warning(
+                "checkpoint write for %r failed (%s); continuing without "
+                "this boundary", self.name, exc,
+            )
+            if self.store.report is not None:
+                self.store.report.record_recovery("atomic_write")
+            return False
         return True
 
     def exists(self) -> bool:

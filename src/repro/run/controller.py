@@ -28,6 +28,7 @@ from contextlib import AbstractContextManager
 from typing import TYPE_CHECKING
 
 from ..exceptions import ValidationError
+from ..resilience.ladder import ResilienceReport
 from .cancel import CancelToken
 from .checkpoint import CheckpointStore, SearchCheckpointer
 from .signals import exit_code_for_signal, installed_signal_handlers
@@ -84,8 +85,13 @@ class RunController:
         self.max_seconds = max_seconds
         self.checkpoint_every = int(checkpoint_every)
         self.token = token if token is not None else CancelToken()
+        # Run-wide resilience ledger: checkpoint-read retries land here;
+        # the detector merges it into result.stats["resilience"].
+        self.resilience = ResilienceReport()
         self.store: CheckpointStore | None = (
-            CheckpointStore(checkpoint_dir) if checkpoint_dir is not None else None
+            CheckpointStore(checkpoint_dir, report=self.resilience)
+            if checkpoint_dir is not None
+            else None
         )
         self.sink = sink
         self._started_at = time.perf_counter()

@@ -134,6 +134,7 @@ class TestRunner:
         rules = select_rules(ignore=["RPL001", "RPL002"])
         assert sorted(r.code for r in rules) == [
             "RPL003", "RPL004", "RPL005", "RPL006", "RPL007", "RPL008",
+            "RPL009",
         ]
 
     def test_parse_failure_becomes_rpl000(self, tmp_path):

@@ -1,4 +1,4 @@
-"""Per-rule fixtures for the repro-lint rule set (RPL001-RPL008).
+"""Per-rule fixtures for the repro-lint rule set (RPL001-RPL009).
 
 Every rule gets at least one positive fixture (the invariant broken →
 exactly the expected code fires) and one negative fixture (compliant
@@ -437,3 +437,116 @@ class TestRPL008MutableDefaults:
             select=["RPL008"],
         )
         assert codes(found) == ["RPL008"]
+
+
+class TestRPL009BroadExcept:
+    def test_flags_broad_except_exception(self):
+        found = lint_text(
+            """
+            def load(path):
+                try:
+                    return path.read_text()
+                except Exception:
+                    return None
+            """,
+            select=["RPL009"],
+        )
+        assert codes(found) == ["RPL009"]
+        assert "except Exception" in found[0].message
+
+    def test_flags_bare_except(self):
+        found = lint_text(
+            """
+            def load(path):
+                try:
+                    return path.read_text()
+                except:
+                    return None
+            """,
+            select=["RPL009"],
+        )
+        assert codes(found) == ["RPL009"]
+        assert "bare" in found[0].message
+
+    def test_flags_base_exception_in_tuple(self):
+        found = lint_text(
+            """
+            def load(path):
+                try:
+                    return path.read_text()
+                except (ValueError, BaseException):
+                    return None
+            """,
+            select=["RPL009"],
+        )
+        assert codes(found) == ["RPL009"]
+
+    def test_specific_exceptions_are_clean(self):
+        found = lint_text(
+            """
+            def load(path):
+                try:
+                    return path.read_text()
+                except (OSError, ValueError):
+                    return None
+            """,
+            select=["RPL009"],
+        )
+        assert found == []
+
+    def test_cleanup_and_reraise_is_exempt(self):
+        found = lint_text(
+            """
+            import os
+
+            def write(tmp):
+                try:
+                    tmp.flush()
+                except BaseException:
+                    os.unlink(tmp.name)
+                    raise
+            """,
+            select=["RPL009"],
+        )
+        assert found == []
+
+    def test_reraising_different_exception_still_flagged(self):
+        found = lint_text(
+            """
+            def load(path):
+                try:
+                    return path.read_text()
+                except Exception as exc:
+                    raise RuntimeError("boom") from exc
+            """,
+            select=["RPL009"],
+        )
+        assert codes(found) == ["RPL009"]
+
+    def test_resilience_layer_is_exempt(self):
+        found = lint_text(
+            """
+            def guarded(primary, fallback):
+                try:
+                    return primary()
+                except Exception:
+                    return fallback()
+            """,
+            path="repro/resilience/ladder.py",
+            select=["RPL009"],
+        )
+        assert found == []
+
+    def test_dispatcher_module_is_exempt(self):
+        found = lint_text(
+            """
+            def dispatch(task):
+                try:
+                    return task()
+                except Exception:
+                    return None
+            """,
+            path="repro/grid/parallel.py",
+            select=["RPL009"],
+        )
+        assert found == []

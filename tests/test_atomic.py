@@ -9,12 +9,20 @@ leave temp-file litter behind.
 
 from __future__ import annotations
 
+import errno
 import json
 import os
 
 import pytest
 
-from repro._atomic import atomic_write_json, atomic_write_text, atomic_writer
+from repro._atomic import (
+    atomic_write_bytes,
+    atomic_write_json,
+    atomic_write_text,
+    atomic_writer,
+)
+from repro.exceptions import ReproError, ResourceError
+from repro.resilience import FaultSpec, fault_injection
 
 
 def _no_temp_litter(directory):
@@ -110,3 +118,53 @@ class TestAtomicWriteJson:
             atomic_write_json(target, {"bad": {1, 2}})
         assert not target.exists()
         assert list(tmp_path.iterdir()) == []
+
+
+class TestDiskFull:
+    """ENOSPC surfaces as a typed, actionable ResourceError."""
+
+    def test_injected_disk_full_raises_resource_error(self, tmp_path):
+        target = tmp_path / "out.txt"
+        with fault_injection(FaultSpec("atomic_write")):
+            with pytest.raises(ResourceError) as excinfo:
+                atomic_write_text(target, "doomed")
+        message = str(excinfo.value)
+        assert "disk full" in message
+        assert str(target) in message
+        assert not target.exists()
+        assert _no_temp_litter(tmp_path) == []
+
+    def test_resource_error_is_both_repro_and_os_error(self, tmp_path):
+        with fault_injection(FaultSpec("atomic_write")):
+            with pytest.raises(ReproError):
+                atomic_write_bytes(tmp_path / "a.bin", b"x")
+        with fault_injection(FaultSpec("atomic_write")):
+            with pytest.raises(OSError) as excinfo:
+                atomic_write_bytes(tmp_path / "a.bin", b"x")
+        assert excinfo.value.errno == errno.ENOSPC
+
+    def test_disk_full_keeps_existing_target(self, tmp_path):
+        target = tmp_path / "out.txt"
+        target.write_text("original")
+        with fault_injection(FaultSpec("atomic_write")):
+            with pytest.raises(ResourceError):
+                atomic_write_text(target, "replacement")
+        assert target.read_text() == "original"
+        assert _no_temp_litter(tmp_path) == []
+
+    def test_real_enospc_from_os_layer_is_wrapped(self, tmp_path, monkeypatch):
+        def failing_replace(src, dst):
+            raise OSError(errno.ENOSPC, "No space left on device")
+
+        monkeypatch.setattr(os, "replace", failing_replace)
+        with pytest.raises(ResourceError, match="disk full"):
+            atomic_write_text(tmp_path / "out.txt", "data")
+
+    def test_unrelated_oserror_is_not_wrapped(self, tmp_path, monkeypatch):
+        def failing_replace(src, dst):
+            raise OSError(errno.EACCES, "Permission denied")
+
+        monkeypatch.setattr(os, "replace", failing_replace)
+        with pytest.raises(OSError) as excinfo:
+            atomic_write_text(tmp_path / "out.txt", "data")
+        assert not isinstance(excinfo.value, ResourceError)

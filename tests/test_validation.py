@@ -109,6 +109,31 @@ class TestCheckMatrix:
         with pytest.raises(ValidationError, match="infinit"):
             check_matrix([[1.0, float("inf")]])
 
+    def test_inf_message_names_offending_columns(self):
+        data = [
+            [1.0, float("inf"), 2.0, float("-inf")],
+            [3.0, 4.0, 5.0, 6.0],
+        ]
+        with pytest.raises(ValidationError, match=r"column\(s\) 1, 3"):
+            check_matrix(data)
+
+    def test_negative_inf_rejected_with_column(self):
+        with pytest.raises(ValidationError, match=r"column\(s\) 0"):
+            check_matrix([[float("-inf"), 1.0]])
+
+    def test_inf_rejected_at_detect_entry(self):
+        import numpy as np
+
+        from repro import SubspaceOutlierDetector
+
+        detector = SubspaceOutlierDetector(
+            dimensionality=2, n_ranges=2, method="random", random_state=0
+        )
+        data = np.ones((20, 3))
+        data[7, 2] = np.inf
+        with pytest.raises(ValidationError, match=r"column\(s\) 2"):
+            detector.detect(data)
+
     def test_min_rows(self):
         with pytest.raises(ValidationError, match="at least 2 row"):
             check_matrix([[1.0, 2.0]], min_rows=2)
