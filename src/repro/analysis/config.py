@@ -69,7 +69,11 @@ class LintConfig:
     write_allowed_modules: tuple[str, ...] = ("repro/_atomic.py",)
 
     #: RPL004 — modules that must resolve engines via the registry...
-    registry_only_modules: tuple[str, ...] = ("repro/core/*", "repro/cli.py")
+    registry_only_modules: tuple[str, ...] = (
+        "repro/core/*",
+        "repro/cli.py",
+        "repro/model/*",
+    )
     #: ...and the concrete engine classes they must not instantiate.
     engine_class_names: frozenset[str] = frozenset(
         {
@@ -93,6 +97,7 @@ class LintConfig:
         "repro/eval/*",
         "repro/grid/discretizer.py",
         "repro/grid/cells.py",
+        "repro/model/*",
     )
 
     #: RPL009 — modules allowed to catch broadly (``except Exception``

@@ -14,7 +14,12 @@ Subcommands
     code and ``--resume`` picks up where it stopped without
     recomputing completed ks.
 ``score``
-    Score new data against a model saved by ``detect --save``.
+    Score one or more data batches against a model saved by ``detect
+    --save``.  Extra batches ride along via repeated ``--in``; the
+    model file is stat/digest-checked and hot-reloaded between batches,
+    and ``--update`` absorbs each scored batch back into the model
+    (atomic save-back) so its sketch and drift state keep tracking the
+    served traffic.
 ``explain``
     Explain a single point of a dataset.
 ``table1``
@@ -41,7 +46,7 @@ from .engine.registry import engine_names
 from .eval.comparison import build_table1, render_table
 from .grid.backends import registered_backends
 from .exceptions import ReproError, SearchCancelled
-from .persist import load_model, result_to_dict, save_model
+from .persist import result_to_dict, save_model
 from .run.controller import RunController
 from .search.evolutionary.config import EvolutionaryConfig
 
@@ -103,6 +108,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     score.add_argument(
         "--top", type=int, default=10, help="most abnormal points to print"
+    )
+    score.add_argument(
+        "--in", dest="inputs", action="append", default=None, metavar="CSV",
+        help=(
+            "additional CSV batch to score after the primary input (may "
+            "repeat); the model file is re-checked and hot-reloaded "
+            "between batches"
+        ),
+    )
+    score.add_argument(
+        "--update", action="store_true",
+        help=(
+            "after scoring each batch, absorb its rows into the model's "
+            "incremental state (sketch + occupancy drift) and atomically "
+            "save the model back"
+        ),
+    )
+    score.add_argument(
+        "--trace-file", default=None, metavar="PATH",
+        help=(
+            "stream score_request / model_updated / grid_drift_detected "
+            "events to PATH as one JSON object per line"
+        ),
     )
 
     explain = sub.add_parser("explain", help="explain one point of a dataset")
@@ -539,20 +567,52 @@ def _cmd_multik(args) -> int:
 
 
 def _cmd_score(args) -> int:
-    dataset = _load(args)
-    model = load_model(args.model)
-    scores = model.score(dataset.values)
-    flagged = [
-        (int(i), float(scores[i]))
-        for i in np.argsort(scores)
-        if not np.isnan(scores[i])
-    ]
-    print(
-        f"{len(flagged)} of {dataset.n_points} points covered by the "
-        f"model's {len(model.projections)} projections"
-    )
-    for point, value in flagged[: args.top]:
-        print(f"  point {point:>6}  score {value:.3f}")
+    from .model import ModelHandle
+
+    sink = None
+    if getattr(args, "trace_file", None) is not None:
+        from .engine.events import JsonlTraceSink
+
+        sink = JsonlTraceSink(args.trace_file)
+    batches = [(None, _load(args))]
+    for extra in getattr(args, "inputs", None) or []:
+        batches.append((extra, load_csv(extra, label_column=args.label_column)))
+    handle = ModelHandle(args.model, event_sink=sink)
+    try:
+        for label, dataset in batches:
+            # Hot reload: a concurrent retrain/update that rewrote the
+            # model file between batches is picked up here.
+            model = handle.current()
+            if label is not None:
+                print(f"--- {label}")
+            scores = model.score(dataset.values)
+            flagged = [
+                (int(i), float(scores[i]))
+                for i in np.argsort(scores)
+                if not np.isnan(scores[i])
+            ]
+            print(
+                f"{len(flagged)} of {dataset.n_points} points covered by the "
+                f"model's {len(model.projections)} projections"
+            )
+            for point, value in flagged[: args.top]:
+                print(f"  point {point:>6}  score {value:.3f}")
+            if getattr(args, "update", False):
+                drift = model.update(dataset.values)
+                handle.save(model)
+                note = (
+                    f"; drift {drift.max_divergence:.3f} over "
+                    f"{drift.n_rows} absorbed rows"
+                    + (" [DRIFTED past threshold]" if drift.drifted else "")
+                )
+                print(
+                    f"model updated (+{dataset.n_points} rows, "
+                    f"version {model.version}){note}",
+                    file=sys.stderr,
+                )
+    finally:
+        if sink is not None:
+            sink.close()
     return 0
 
 

@@ -40,6 +40,7 @@ from ..resilience.ladder import ResilienceReport
 from ..grid.counter import CubeCounter
 from ..grid.discretizer import EquiDepthDiscretizer, GridDiscretizer
 from ..grid.packed_counter import PackedCubeCounter
+from ..model import GridModel
 from ..grid.sharded import (
     DEFAULT_SHARD_ROWS,
     ShardCheckpointer,
@@ -252,6 +253,7 @@ class SubspaceOutlierDetector:
         self.outcome_: SearchOutcome | None = None
         self.result_: DetectionResult | None = None
         self.discretizer_: GridDiscretizer | None = None
+        self.model_: GridModel | None = None
 
     # ------------------------------------------------------------------
     def detect(
@@ -278,7 +280,6 @@ class SubspaceOutlierDetector:
         start = time.perf_counter()
 
         discretizer = self.discretizer or EquiDepthDiscretizer(self.n_ranges)
-        cells = discretizer.fit_transform(array, feature_names=feature_names)
         # The stats sink is always present (it reconstructs the classic
         # result.stats); the user's sink — and the controller's, inside
         # build_context — see the same event stream.  It is created
@@ -290,7 +291,19 @@ class SubspaceOutlierDetector:
             if self.event_sink is None
             else CompositeSink(stats_sink, self.event_sink)
         )
-        counter = self._build_counter(cells, sink)
+        # All fitted state (grid + cells + counter) lives in a GridModel
+        # so the caller can keep updating/merging/rebinning it after
+        # this detect call; the model routes counter construction back
+        # through the detector's degradation ladder.
+        model = GridModel.fit(
+            array,
+            feature_names=feature_names,
+            discretizer=discretizer,
+            counter_factory=lambda built: self._build_counter(built, sink),
+            event_sink=self.event_sink,
+        )
+        cells = model.cells
+        counter = model.counter
 
         k = self.resolve_dimensionality(array.shape[0], array.shape[1])
         logger.info(
@@ -303,7 +316,8 @@ class SubspaceOutlierDetector:
                 counter, k, cells=cells, resume=resume, sink=sink
             )
             result = self._postprocess(
-                outcome, counter, k, time.perf_counter() - start, stats_sink
+                outcome, counter, k, time.perf_counter() - start, stats_sink,
+                model=model,
             )
         finally:
             # Release the counting pool (if a process backend spun one
@@ -319,11 +333,66 @@ class SubspaceOutlierDetector:
             else f" [INCOMPLETE: {outcome.stopped_reason}]",
         )
 
+        model.projections = result.projections
         self.cells_ = cells
         self.counter_ = counter
         self.outcome_ = outcome
         self.result_ = result
         self.discretizer_ = discretizer
+        self.model_ = model
+        return result
+
+    # ------------------------------------------------------------------
+    def detect_model(self, model, *, resume: bool = False) -> DetectionResult:
+        """Re-mine projections on an existing :class:`~repro.model.GridModel`.
+
+        The incremental entry point: after ``model.update(...)`` /
+        ``model.merge(...)`` / ``model.rebin()`` this runs the search on
+        the model's *current* counter without refitting anything.  A
+        model built by one-shot batch fit and a model grown to the same
+        rows through any update/merge/rebin interleaving hold
+        bit-identical counts, so this mines identical projections (the
+        invariant ``tests/test_model_incremental.py`` locks).  The mined
+        projections are installed on the model (served by
+        ``model.score``) and the detector's fitted attributes point at
+        the model's state, so ``score``/``save_model`` work as usual.
+        """
+        if not isinstance(model, GridModel):
+            raise ValidationError(
+                f"detect_model needs a GridModel, got {type(model).__name__}"
+            )
+        if model.counter is None:
+            raise ValidationError(
+                "this model was restored for serving (no mask stacks); "
+                "detect_model needs a full model built by GridModel.fit "
+                "or detect()"
+            )
+        if resume and (self.controller is None or self.controller.store is None):
+            raise ValidationError(
+                "resume=True needs a controller with a checkpoint_dir"
+            )
+        start = time.perf_counter()
+        cells = model.cells
+        counter = model.counter
+        stats_sink = StatsAssemblySink()
+        sink = (
+            stats_sink
+            if self.event_sink is None
+            else CompositeSink(stats_sink, self.event_sink)
+        )
+        k = self.resolve_dimensionality(cells.n_points, cells.n_dims)
+        outcome = self._run_search(counter, k, cells=cells, resume=resume, sink=sink)
+        result = self._postprocess(
+            outcome, counter, k, time.perf_counter() - start, stats_sink,
+            model=model,
+        )
+        model.projections = result.projections
+        self.cells_ = cells
+        self.counter_ = counter
+        self.outcome_ = outcome
+        self.result_ = result
+        self.discretizer_ = model.discretizer
+        self.model_ = model
         return result
 
     # ------------------------------------------------------------------
@@ -575,6 +644,7 @@ class SubspaceOutlierDetector:
         k: int,
         elapsed: float,
         stats_sink: StatsAssemblySink,
+        model: GridModel | None = None,
     ) -> DetectionResult:
         """§2.3: map mined projections back to the covered points."""
         coverage: dict[int, list[int]] = {}
@@ -587,6 +657,8 @@ class SubspaceOutlierDetector:
         if self.controller is not None:
             report.merge(self.controller.resilience)
         stats = stats_sink.assemble(outcome, counter, elapsed, resilience=report)
+        if model is not None:
+            stats["model"] = model.stats_dict()
         if report.degraded:
             logger.warning(
                 "resilience ladder engaged during detect: %s "

@@ -52,7 +52,13 @@ __all__ = [
 #: shard counted or resumed).  ``degradation_applied`` and
 #: ``fault_recovered`` come from the resilience layer
 #: (:mod:`repro.resilience`): one per downgrade-chain step taken and
-#: one per injected-or-real fault the run survived.
+#: one per injected-or-real fault the run survived.  The ``model_*``
+#: family comes from the incremental model layer (:mod:`repro.model`):
+#: ``model_updated`` on every absorbed update/merge (and hot reload),
+#: ``rebin_triggered`` when the grid is recut from the sketch,
+#: ``grid_drift_detected`` when post-fit occupancy drifts past the
+#: configured divergence threshold, and ``score_request`` once per
+#: served scoring request (CLI ``repro score``).
 EVENT_TYPES: set[str] = {
     "run_started",
     "generation_end",
@@ -63,6 +69,10 @@ EVENT_TYPES: set[str] = {
     "engine_finished",
     "degradation_applied",
     "fault_recovered",
+    "model_updated",
+    "rebin_triggered",
+    "grid_drift_detected",
+    "score_request",
 }
 
 

@@ -13,6 +13,7 @@ __all__ = [
     "ValidationError",
     "NotFittedError",
     "DiscretizationError",
+    "PersistError",
     "SearchError",
     "SearchCancelled",
     "CheckpointError",
@@ -39,6 +40,17 @@ class NotFittedError(ReproError, RuntimeError):
 
 class DiscretizationError(ReproError):
     """The grid discretizer could not build valid equi-depth ranges."""
+
+
+class PersistError(ValidationError):
+    """A persisted artifact could not be loaded or understood.
+
+    Raised by the persistence layer (:mod:`repro.persist`) when a model
+    snapshot is missing, unparseable, malformed, or carries a schema
+    version this library does not read.  Subclasses
+    :class:`ValidationError` so handlers written against the original
+    load errors keep working.
+    """
 
 
 class SearchError(ReproError):

@@ -49,7 +49,7 @@ from ..exceptions import SearchCancelled, ValidationError
 from ..resilience.faults import maybe_inject
 from ..resilience.ladder import DegradationLadder, ResilienceReport
 from .backends import get_backend, resolve_kernel
-from .cells import CellAssignment
+from .cells import CellAssignment, MISSING_CELL
 from .health import BackendHealth
 from .kernels import batch_counts
 
@@ -126,6 +126,8 @@ class CubeCounter:
         )
         self.n_count_calls = 0
         self.n_cache_hits = 0
+        self.n_appends = 0
+        self.n_rows_appended = 0
         self.n_batch_calls = 0
         self.n_batch_cubes = 0
         self.n_words_and = 0
@@ -308,6 +310,119 @@ class CubeCounter:
                 )
             counts[np.asarray(idxs)] = self._count_group(dims_arr, rng_arr)
         return counts
+
+    # ------------------------------------------------------------------
+    def append_rows(self, codes) -> int:
+        """Append already-discretized rows to the counted population.
+
+        *codes* is an ``(m, d)`` integer code block (or a
+        :class:`~repro.grid.cells.CellAssignment`) produced by the
+        **current** grid's ``transform``.  Only the new rows are packed
+        into mask columns; every memoised cube count is advanced by the
+        new rows' popcount delta instead of being invalidated.  The
+        result is bit-identical to building a fresh counter over the
+        concatenated codes (differential-tested): mask stacks match
+        byte for byte and cached counts equal from-scratch recounts,
+        because cube counts are additive across row blocks.
+
+        Any worker pool is released first (it holds the old masks in
+        shared memory) and is rebuilt lazily on the next large batch.
+        Returns the number of rows appended.
+        """
+        block = self._validate_append_codes(codes)
+        m = block.shape[0]
+        if m == 0:
+            return 0
+        cache = self._cache
+        deltas = None
+        if cache:
+            delta_stack = self._block_stack(block)
+            keys = list(cache.keys())
+            deltas = self._keys_on_stack(delta_stack, keys, m)
+        self.close()
+        self._append_masks(block)
+        self.cells = CellAssignment(
+            codes=np.concatenate([self.cells.codes, block], axis=0),
+            n_ranges=self.cells.n_ranges,
+            feature_names=self.cells.feature_names,
+            boundaries=self.cells.boundaries,
+        )
+        if deltas is not None and cache is not None:
+            for key, delta in deltas.items():
+                cache[key] += delta
+        self.n_appends += 1
+        self.n_rows_appended += m
+        return m
+
+    def _validate_append_codes(self, codes) -> np.ndarray:
+        """Normalize appended codes to a contiguous in-range int16 block."""
+        if isinstance(codes, CellAssignment):
+            if codes.n_ranges != self.n_ranges:
+                raise ValidationError(
+                    f"appended cells use n_ranges={codes.n_ranges} but the "
+                    f"counter's grid has φ={self.n_ranges}"
+                )
+            block = codes.codes
+        else:
+            block = np.asarray(codes)
+        if block.ndim != 2 or block.shape[1] != self.n_dims:
+            raise ValidationError(
+                f"appended codes must have shape (m, {self.n_dims}), "
+                f"got {block.shape}"
+            )
+        if not np.issubdtype(block.dtype, np.integer):
+            raise ValidationError(
+                f"appended codes must be integer-typed, got {block.dtype}"
+            )
+        block = np.ascontiguousarray(block, dtype=np.int16)
+        if block.size:
+            lo, hi = int(block.min()), int(block.max())
+            if lo < MISSING_CELL or hi >= self.n_ranges:
+                raise ValidationError(
+                    f"appended codes must be in [0, {self.n_ranges}) or "
+                    f"MISSING_CELL, found range [{lo}, {hi}]"
+                )
+        return block
+
+    def _block_stack(self, block: np.ndarray) -> np.ndarray:
+        """Mask stack over *block* only, in this counter's representation."""
+        stack = np.zeros((self.n_dims, self.n_ranges, block.shape[0]), dtype=bool)
+        for j in range(self.n_dims):
+            col = block[:, j]
+            observed = col >= 0
+            stack[j, col[observed], np.nonzero(observed)[0]] = True
+        return stack
+
+    def _append_masks(self, block: np.ndarray) -> None:
+        """Extend the in-memory mask stack with *block*'s columns."""
+        self._stack = np.concatenate(
+            [self._stack, self._block_stack(block)], axis=2
+        )
+        self._masks = [self._stack[j] for j in range(self.n_dims)]
+
+    def _keys_on_stack(
+        self, stack: np.ndarray, keys: list[tuple], n_rows: int
+    ) -> dict[tuple, int]:
+        """Counts of the *keys* cubes over an arbitrary mask *stack*.
+
+        Used by :meth:`append_rows` to compute per-cube popcount deltas
+        from a new-rows-only stack; runs the same serial kernel path as
+        a normal batch, so deltas are bit-identical to recounting.
+        """
+        counts = np.empty(len(keys), dtype=np.int64)
+        by_k: dict[int, list[int]] = {}
+        for i, (dims, _) in enumerate(keys):
+            by_k.setdefault(len(dims), []).append(i)
+        for k, idxs in sorted(by_k.items()):
+            if k == 0:
+                counts[np.asarray(idxs)] = n_rows
+                continue
+            dims_arr = np.array([keys[i][0] for i in idxs], dtype=np.intp)
+            rng_arr = np.array([keys[i][1] for i in idxs], dtype=np.intp)
+            counts[np.asarray(idxs)] = self._serial_group_counts(
+                stack, dims_arr, rng_arr
+            )
+        return {key: int(count) for key, count in zip(keys, counts, strict=True)}
 
     def set_cancel_token(self, token) -> None:
         """Thread a :class:`~repro.run.cancel.CancelToken` into counting.
@@ -597,6 +712,8 @@ class CubeCounter:
             "cache_hits": self.n_cache_hits,
             "cache_misses": self.n_count_calls - self.n_cache_hits,
             "cache_entries": len(self._cache) if self._cache is not None else 0,
+            "appends": self.n_appends,
+            "rows_appended": self.n_rows_appended,
             "batch_calls": self.n_batch_calls,
             "batch_cubes": self.n_batch_cubes,
             "words_and": self.n_words_and,

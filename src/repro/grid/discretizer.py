@@ -12,12 +12,29 @@ conforming matrix to a :class:`~repro.grid.cells.CellAssignment`.
 Missing values map to :data:`~repro.grid.cells.MISSING_CELL` and are
 excluded from boundary estimation, which is what lets the method mine
 projections from incompletely observed records (§1.2).
+
+Incremental fitting
+-------------------
+The equi-depth construction is algebraically mergeable: cut points are
+order statistics, so a :class:`StreamingReservoir` sketch of the rows
+determines them.  :meth:`GridDiscretizer.partial_fit` absorbs chunks
+into the sketch, :meth:`GridDiscretizer.merge` folds another
+discretizer's sketch in, and :meth:`GridDiscretizer.rebin` lazily
+recomputes cut points from the sketch.  While the total row count fits
+the sketch capacity the reservoir holds *every* row in arrival order,
+so any interleaving of ``partial_fit``/``merge`` followed by ``rebin``
+is **bit-identical** to a one-shot :meth:`GridDiscretizer.fit` on the
+concatenated data (``np.quantile`` sorts its input, so equal multisets
+give equal cuts).  Beyond capacity the sketch degrades gracefully to a
+seeded uniform sample and the equality becomes statistical — the
+documented sketch tolerance (see ``docs/streaming.md``).
 """
 
 from __future__ import annotations
 
 import abc
 from collections.abc import Sequence
+from typing import Any
 
 import numpy as np
 
@@ -30,6 +47,7 @@ __all__ = [
     "EquiDepthDiscretizer",
     "EquiWidthDiscretizer",
     "StreamingReservoir",
+    "DEFAULT_SAMPLE_SIZE",
 ]
 
 #: Default reservoir size for the streamed fit: large enough that the
@@ -99,6 +117,46 @@ class StreamingReservoir:
             raise DiscretizationError("reservoir has seen no rows")
         return self._rows[: min(self.n_seen, self.capacity)].copy()
 
+    # -- persistence -----------------------------------------------------
+    def state_dict(self) -> dict[str, Any]:
+        """JSON-serializable snapshot of the full reservoir state.
+
+        Restoring via :meth:`from_state_dict` and continuing the stream
+        is bit-identical to never having paused: the sampled rows, the
+        global row counter, and the generator state all round-trip.
+        """
+        held = min(self.n_seen, self.capacity)
+        return {
+            "capacity": int(self.capacity),
+            "n_seen": int(self.n_seen),
+            "n_cols": None if self._rows is None else int(self._rows.shape[1]),
+            "rows": [] if self._rows is None else self._rows[:held].tolist(),
+            "rng_state": self._rng.bit_generator.state,
+        }
+
+    @classmethod
+    def from_state_dict(cls, state: dict[str, Any]) -> "StreamingReservoir":
+        """Rebuild a reservoir from :meth:`state_dict` output."""
+        try:
+            reservoir = cls(int(state["capacity"]))
+            reservoir._rng.bit_generator.state = state["rng_state"]
+            reservoir.n_seen = int(state["n_seen"])
+            n_cols = state.get("n_cols")
+        except (KeyError, TypeError, ValueError) as exc:
+            raise DiscretizationError(f"malformed reservoir state: {exc}") from exc
+        if n_cols is not None:
+            reservoir._rows = np.empty((reservoir.capacity, int(n_cols)))
+            rows = np.asarray(state.get("rows", []), dtype=np.float64)
+            if rows.size:
+                rows = rows.reshape(-1, int(n_cols))
+                if rows.shape[0] > reservoir.capacity:
+                    raise DiscretizationError(
+                        f"reservoir state holds {rows.shape[0]} rows for "
+                        f"capacity {reservoir.capacity}"
+                    )
+                reservoir._rows[: rows.shape[0]] = rows
+        return reservoir
+
 
 class GridDiscretizer(abc.ABC):
     """Base class for per-attribute grid discretizers.
@@ -110,13 +168,35 @@ class GridDiscretizer(abc.ABC):
         paper's guidance (§2.4): pick φ large enough that a range is a
         "reasonable notion of locality" but small enough that a
         k-dimensional cube still expects multiple points.
+    sketch_size:
+        When given, :meth:`fit` additionally seeds a
+        :class:`StreamingReservoir` of this capacity with the training
+        rows, making the discretizer incrementally updatable via
+        :meth:`partial_fit` / :meth:`merge` / :meth:`rebin`.  ``None``
+        (the default) keeps the classic zero-overhead batch behaviour;
+        ``partial_fit`` on a *fresh* discretizer still auto-enables a
+        default-sized sketch.
+    sketch_random_state:
+        Seed for the sketch reservoir.
     """
 
-    def __init__(self, n_ranges: int = 10):
+    def __init__(
+        self,
+        n_ranges: int = 10,
+        *,
+        sketch_size: int | None = None,
+        sketch_random_state: int = 0,
+    ):
         self.n_ranges = check_positive_int(n_ranges, "n_ranges")
         self._boundaries: tuple[np.ndarray, ...] | None = None
         self._feature_names: tuple[str, ...] | None = None
         self._n_dims: int | None = None
+        self._sketch_size = (
+            None if sketch_size is None else check_positive_int(sketch_size, "sketch_size")
+        )
+        self._sketch_seed = sketch_random_state
+        self._sketch: StreamingReservoir | None = None
+        self._sketch_stale = False
 
     # ------------------------------------------------------------------
     @abc.abstractmethod
@@ -164,6 +244,55 @@ class GridDiscretizer(abc.ABC):
             instance._feature_names = names
         return instance
 
+    # -- fitting helpers -----------------------------------------------
+    def _column_cuts(self, finite: np.ndarray, j: int) -> np.ndarray:
+        """Validated cut points for one column's finite values."""
+        if finite.size == 0:
+            return np.zeros(self.n_ranges - 1)
+        cuts = np.asarray(self._compute_cuts(finite), dtype=np.float64)
+        if cuts.shape != (self.n_ranges - 1,):
+            raise DiscretizationError(
+                f"discretizer produced {cuts.shape} cuts for column {j}, "
+                f"expected ({self.n_ranges - 1},)"
+            )
+        if np.any(np.diff(cuts) < 0):
+            raise DiscretizationError(
+                f"cut points for column {j} are not sorted: {cuts}"
+            )
+        return cuts
+
+    def _install_names(
+        self, n_cols: int, feature_names: Sequence[str] | None
+    ) -> None:
+        if feature_names is not None:
+            names = tuple(str(n) for n in feature_names)
+            if len(names) != n_cols:
+                raise DiscretizationError(
+                    f"feature_names has {len(names)} entries for "
+                    f"{n_cols} columns"
+                )
+            self._feature_names = names
+        else:
+            self._feature_names = None
+
+    def _fit_cuts(self, array: np.ndarray) -> None:
+        """Compute and install boundaries from *array*, nothing else."""
+        boundaries = []
+        for j in range(array.shape[1]):
+            column = array[:, j]
+            boundaries.append(self._column_cuts(column[~np.isnan(column)], j))
+        self._boundaries = tuple(boundaries)
+        self._n_dims = array.shape[1]
+
+    def _seed_sketch(self, array: np.ndarray) -> None:
+        """Reset the sketch (when enabled) to exactly the fitted rows."""
+        if self._sketch_size is not None:
+            self._sketch = StreamingReservoir(
+                self._sketch_size, random_state=self._sketch_seed
+            )
+            self._sketch.update(array)
+            self._sketch_stale = False
+
     def fit(self, data, feature_names: Sequence[str] | None = None) -> "GridDiscretizer":
         """Learn per-attribute cut points from *data*.
 
@@ -173,36 +302,143 @@ class GridDiscretizer(abc.ABC):
         occupied range, which the counter handles gracefully.
         """
         array = check_matrix(data, "data")
-        boundaries = []
-        for j in range(array.shape[1]):
-            column = array[:, j]
-            finite = column[~np.isnan(column)]
-            if finite.size == 0:
-                cuts = np.zeros(self.n_ranges - 1)
-            else:
-                cuts = np.asarray(self._compute_cuts(finite), dtype=np.float64)
-                if cuts.shape != (self.n_ranges - 1,):
-                    raise DiscretizationError(
-                        f"discretizer produced {cuts.shape} cuts for column {j}, "
-                        f"expected ({self.n_ranges - 1},)"
-                    )
-                if np.any(np.diff(cuts) < 0):
-                    raise DiscretizationError(
-                        f"cut points for column {j} are not sorted: {cuts}"
-                    )
-            boundaries.append(cuts)
-        self._boundaries = tuple(boundaries)
-        self._n_dims = array.shape[1]
-        if feature_names is not None:
-            names = tuple(str(n) for n in feature_names)
-            if len(names) != array.shape[1]:
+        self._fit_cuts(array)
+        self._install_names(array.shape[1], feature_names)
+        self._seed_sketch(array)
+        return self
+
+    # -- incremental fitting -------------------------------------------
+    @property
+    def sketch(self) -> StreamingReservoir | None:
+        """The row sketch backing incremental fits (``None`` when disabled)."""
+        return self._sketch
+
+    @property
+    def sketch_stale(self) -> bool:
+        """True when the sketch has absorbed rows the cut points haven't."""
+        return self._sketch_stale
+
+    def enable_sketch(
+        self,
+        data=None,
+        *,
+        capacity: int | None = None,
+        random_state: int | None = None,
+    ) -> "GridDiscretizer":
+        """Attach a fresh row sketch, optionally pre-seeded with *data*.
+
+        Use this to make an already-fitted discretizer incremental:
+        pass the rows the current cut points were computed from so the
+        sketch stays consistent with the grid.  Replaces any existing
+        sketch.
+        """
+        if capacity is not None:
+            self._sketch_size = check_positive_int(capacity, "capacity")
+        elif self._sketch_size is None:
+            self._sketch_size = DEFAULT_SAMPLE_SIZE
+        if random_state is not None:
+            self._sketch_seed = random_state
+        self._sketch = StreamingReservoir(
+            self._sketch_size, random_state=self._sketch_seed
+        )
+        if data is not None:
+            self._sketch.update(check_matrix(data, "data"))
+        self._sketch_stale = False
+        return self
+
+    def restore_sketch(self, state: dict[str, Any]) -> "GridDiscretizer":
+        """Re-attach a sketch persisted via ``sketch.state_dict()``."""
+        self._sketch = StreamingReservoir.from_state_dict(state)
+        self._sketch_size = self._sketch.capacity
+        self._sketch_stale = False
+        return self
+
+    def partial_fit(
+        self, chunk, feature_names: Sequence[str] | None = None
+    ) -> "GridDiscretizer":
+        """Absorb one chunk of rows into the sketch (cut points unchanged).
+
+        The cut points do **not** move until :meth:`rebin` — transforms
+        between updates stay on the current grid, which is what keeps
+        appended cube counts comparable.  On a fresh discretizer this
+        auto-enables a default-sized sketch; on one fitted *without* a
+        sketch it raises (call :meth:`enable_sketch` with the original
+        rows first, or construct with ``sketch_size=``).
+        """
+        if self._sketch is None:
+            if self.is_fitted and self._sketch_size is None:
                 raise DiscretizationError(
-                    f"feature_names has {len(names)} entries for "
-                    f"{array.shape[1]} columns"
+                    "discretizer was fitted without a sketch; call "
+                    "enable_sketch(original_rows) or construct with "
+                    "sketch_size= before partial_fit"
                 )
-            self._feature_names = names
-        else:
-            self._feature_names = None
+            self.enable_sketch()
+        assert self._sketch is not None
+        self._sketch.update(chunk)
+        if feature_names is not None:
+            block = np.asarray(chunk)
+            n_cols = block.shape[1] if block.ndim == 2 else (self._n_dims or 0)
+            self._install_names(n_cols, feature_names)
+        self._sketch_stale = True
+        return self
+
+    def merge(self, other: "GridDiscretizer") -> "GridDiscretizer":
+        """Fold another discretizer's sketched rows into this sketch.
+
+        Both sides must share the concrete class and φ.  The merge is
+        **exact** — ``rebin()`` afterwards equals a one-shot fit on the
+        concatenated rows — whenever both sketches are under capacity
+        and their combined row count still fits this sketch.  Beyond
+        that it is a deterministic approximation: the other side's
+        sampled rows stream through this reservoir (the documented
+        sketch tolerance, see ``docs/streaming.md``).
+        """
+        if type(other) is not type(self):
+            raise DiscretizationError(
+                f"cannot merge {type(other).__name__} into {type(self).__name__}"
+            )
+        if other.n_ranges != self.n_ranges:
+            raise DiscretizationError(
+                f"cannot merge discretizers with n_ranges {other.n_ranges} "
+                f"and {self.n_ranges}"
+            )
+        if other._sketch is None:
+            if other.is_fitted:
+                raise DiscretizationError(
+                    "cannot merge a discretizer fitted without a sketch"
+                )
+            return self
+        if self._sketch is None:
+            if self.is_fitted and self._sketch_size is None:
+                raise DiscretizationError(
+                    "discretizer was fitted without a sketch; call "
+                    "enable_sketch(original_rows) before merge"
+                )
+            self.enable_sketch()
+        assert self._sketch is not None
+        if other._sketch.n_seen > 0:
+            self._sketch.update(other._sketch.rows)
+            self._sketch_stale = True
+        if self._feature_names is None and other._feature_names is not None:
+            self._feature_names = other._feature_names
+        return self
+
+    def rebin(self, *, force: bool = False) -> "GridDiscretizer":
+        """Recompute cut points from the sketch (lazy: no-op when fresh).
+
+        Returns ``self``.  Raises when no sketched rows exist to rebin
+        from.  ``force=True`` recomputes even when the sketch is not
+        stale.
+        """
+        if self._sketch is None or self._sketch.n_seen == 0:
+            raise DiscretizationError(
+                "nothing to rebin from: the sketch holds no rows "
+                "(feed partial_fit/merge first)"
+            )
+        if self.is_fitted and not self._sketch_stale and not force:
+            return self
+        self._fit_cuts(self._sketch.rows)
+        self._sketch_stale = False
         return self
 
     def fit_from_chunks(
@@ -218,12 +454,14 @@ class GridDiscretizer(abc.ABC):
         The chunks flow through a :class:`StreamingReservoir` of
         *sample_size* rows (seeded by *random_state*; deterministic and
         invariant to chunk boundaries) and the cut points are computed
-        by the ordinary :meth:`fit` on the sample.  When the stream has
-        at most *sample_size* rows the result is **exactly** the
-        in-memory fit; beyond that the cut points are the sample's
-        quantiles — statistically indistinguishable for the equi-depth
-        construction at the default size, and crucially never
-        materializing more than the reservoir.
+        from the sample.  When the stream has at most *sample_size*
+        rows the result is **exactly** the in-memory fit; beyond that
+        the cut points are the sample's quantiles — statistically
+        indistinguishable for the equi-depth construction at the
+        default size, and crucially never materializing more than the
+        reservoir.  The reservoir is retained as the discretizer's
+        sketch, so the streamed fit is immediately continuable via
+        :meth:`partial_fit` / :meth:`merge`.
 
         This is the out-of-core fit path: pair it with
         :meth:`transform` per chunk and
@@ -231,10 +469,17 @@ class GridDiscretizer(abc.ABC):
         to take a dataset from disk to a countable store in bounded
         memory (see ``docs/scaling.md``).
         """
-        reservoir = StreamingReservoir(sample_size, random_state=random_state)
+        self._sketch_size = check_positive_int(sample_size, "sample_size")
+        self._sketch_seed = random_state
+        self._sketch = StreamingReservoir(sample_size, random_state=random_state)
         for chunk in chunks:
-            reservoir.update(chunk)
-        return self.fit(reservoir.rows, feature_names=feature_names)
+            self._sketch.update(chunk)
+        if self._sketch.n_seen == 0:
+            raise DiscretizationError("reservoir has seen no rows")
+        self._fit_cuts(self._sketch.rows)
+        self._install_names(int(self._n_dims or 0), feature_names)
+        self._sketch_stale = False
+        return self
 
     @property
     def is_fitted(self) -> bool:
@@ -265,12 +510,7 @@ class GridDiscretizer(abc.ABC):
         codes = np.empty(array.shape, dtype=np.int16)
         for j, cuts in enumerate(self._boundaries):
             column = array[:, j]
-            missing = np.isnan(column)
-            # A value v lands in range r = #{cuts < v}: ranges are the
-            # half-open intervals (cut[r-1], cut[r]] plus open tails.
-            col_codes = np.searchsorted(cuts, column, side="left").astype(np.int16)
-            col_codes[missing] = MISSING_CELL
-            codes[:, j] = col_codes
+            codes[:, j] = self._column_codes(column, cuts, np.isnan(column))
         return CellAssignment(
             codes=codes,
             n_ranges=self.n_ranges,
@@ -278,9 +518,47 @@ class GridDiscretizer(abc.ABC):
             boundaries=self._boundaries,
         )
 
+    @staticmethod
+    def _column_codes(
+        column: np.ndarray, cuts: np.ndarray, missing: np.ndarray
+    ) -> np.ndarray:
+        """Range codes for one column under fixed cut points.
+
+        A value v lands in range r = #{cuts < v}: ranges are the
+        half-open intervals (cut[r-1], cut[r]] plus open tails.
+        *missing* is the column's precomputed NaN mask.
+        """
+        col_codes = np.searchsorted(cuts, column, side="left").astype(np.int16)
+        col_codes[missing] = MISSING_CELL
+        return col_codes
+
     def fit_transform(self, data, feature_names: Sequence[str] | None = None) -> CellAssignment:
-        """Convenience: :meth:`fit` then :meth:`transform` on *data*."""
-        return self.fit(data, feature_names=feature_names).transform(data)
+        """Fit on *data* and return its codes in a single pass.
+
+        Bit-identical to ``fit(data).transform(data)`` but each column
+        is scanned once: the NaN mask computed for boundary estimation
+        is reused for the code assignment instead of a second full
+        :meth:`transform` pass (regression-tested).
+        """
+        array = check_matrix(data, "data")
+        codes = np.empty(array.shape, dtype=np.int16)
+        boundaries = []
+        for j in range(array.shape[1]):
+            column = array[:, j]
+            missing = np.isnan(column)
+            cuts = self._column_cuts(column[~missing], j)
+            boundaries.append(cuts)
+            codes[:, j] = self._column_codes(column, cuts, missing)
+        self._boundaries = tuple(boundaries)
+        self._n_dims = array.shape[1]
+        self._install_names(array.shape[1], feature_names)
+        self._seed_sketch(array)
+        return CellAssignment(
+            codes=codes,
+            n_ranges=self.n_ranges,
+            feature_names=self._feature_names,
+            boundaries=self._boundaries,
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}(n_ranges={self.n_ranges})"

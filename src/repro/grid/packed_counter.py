@@ -92,6 +92,41 @@ class PackedCubeCounter(CubeCounter):
         ]
 
     # ------------------------------------------------------------------
+    def _block_stack(self, block: np.ndarray) -> np.ndarray:
+        """Packed mask stack over *block* only (own zero-based padding)."""
+        return pack_codes_block(block, self.cells.n_ranges).view(np.uint64)
+
+    def _append_masks(self, block: np.ndarray) -> None:
+        """Stitch *block*'s packed columns onto the existing stack.
+
+        The first ``N0 // 8`` bytes of every mask row are complete and
+        survive untouched; the boundary byte (when N0 is not a multiple
+        of 8) mixes old-tail and new rows, so the tail region is
+        re-packed from the concatenation of the old tail codes and the
+        new block.  The stitched stack is byte-identical to packing the
+        concatenated codes from scratch, because ``np.packbits`` packs
+        row ``i`` into bit ``i % 8`` of byte ``i // 8`` independent of
+        everything outside that byte.
+        """
+        n0 = self.cells.n_points
+        n1 = n0 + block.shape[0]
+        keep_bytes = n0 // 8
+        tail_codes = np.concatenate(
+            [self.cells.codes[keep_bytes * 8 :], block], axis=0
+        )
+        tail8 = pack_codes_block(tail_codes, self.cells.n_ranges)
+        new_width = packed_row_bytes(n1)
+        stack8 = np.zeros(
+            (self.cells.n_dims, self.cells.n_ranges, new_width), dtype=np.uint8
+        )
+        stack8[:, :, :keep_bytes] = self._stack8[:, :, :keep_bytes]
+        tail_bytes = (n1 + 7) // 8 - keep_bytes
+        stack8[:, :, keep_bytes : keep_bytes + tail_bytes] = tail8[:, :, :tail_bytes]
+        self._n_words = new_width
+        self._stack8 = stack8
+        self._stack = stack8.view(np.uint64)
+        self._masks = [stack8[j] for j in range(self.cells.n_dims)]
+
     def _packed_cube(self, subspace: Subspace) -> np.ndarray:
         """AND of the cube's packed masks (all-ones for the empty cube)."""
         if not subspace.dims:

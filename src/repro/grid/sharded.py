@@ -477,6 +477,101 @@ class ShardedMaskStore:
         )
         return cls(out_dir, manifest)
 
+    def append_rows(
+        self, block: np.ndarray, *, prior_codes: np.ndarray
+    ) -> ShardedMaskStore:
+        """Extend the store with new rows, re-packing only the tail.
+
+        *block* holds the ``(m, d)`` new grid codes; *prior_codes* is
+        the full code matrix the store was built from (refused — like
+        :meth:`rebuild_shard` — if it does not reproduce the manifest's
+        data fingerprint).  Complete ``shard_rows``-sized shards are
+        kept byte-for-byte; only the ragged tail shard is re-packed
+        from the old tail rows plus the new block, so the resulting
+        store is byte-identical to one built from the concatenated
+        codes while the work stays proportional to the appended rows.
+
+        Returns the **new** store instance; like a build, the old
+        manifest is dropped first so a mid-append kill leaves a
+        rebuildable directory, never a readable-but-wrong store.
+        """
+        block = np.ascontiguousarray(block, dtype=np.int16)
+        if block.ndim != 2 or block.shape[1] != self.n_dims:
+            raise ValidationError(
+                f"appended codes must have shape (m, {self.n_dims}), "
+                f"got {block.shape}"
+            )
+        if block.size and int(block.max()) >= self.n_ranges:
+            raise ValidationError(
+                f"appended codes contain range {int(block.max())} but the "
+                f"grid has φ={self.n_ranges} ranges"
+            )
+        prior = np.ascontiguousarray(prior_codes, dtype=np.int16)
+        if prior.shape != (self.n_points, self.n_dims):
+            raise ValidationError(
+                f"prior_codes must have shape ({self.n_points}, "
+                f"{self.n_dims}), got {prior.shape}"
+            )
+        prior_digest = hashlib.sha256(b"int16")
+        prior_digest.update(_codes_chunk_bytes(prior))
+        if prior_digest.hexdigest() != self._manifest["codes_sha256"]:
+            raise ValidationError(
+                f"prior_codes do not reproduce the data fingerprint of "
+                f"{self.directory}; refusing to append onto a store built "
+                "from different data"
+            )
+        if block.shape[0] == 0:
+            return self
+        shard_rows = self.shard_rows
+        n_complete = self.n_points // shard_rows
+        kept = [dict(entry) for entry in self._manifest["shards"][:n_complete]]
+        tail_start = n_complete * shard_rows
+
+        manifest_path = self.directory / MANIFEST_NAME
+        try:
+            manifest_path.unlink()
+        except FileNotFoundError:
+            pass
+
+        digest = hashlib.sha256(b"int16")
+        digest.update(_codes_chunk_bytes(prior))
+        digest.update(_codes_chunk_bytes(block))
+        shards = list(kept)
+        tail = np.concatenate([prior[tail_start:], block], axis=0)
+        for lo in range(0, tail.shape[0], shard_rows):
+            piece = tail[lo : lo + shard_rows]
+            stack8 = pack_codes_block(piece, self.n_ranges)
+            data = stack8.tobytes()
+            name = f"shard_{len(shards):05d}.bin"
+            atomic_write_bytes(self.directory / name, data)
+            start = shards[-1]["stop"] if shards else 0
+            shards.append(
+                {
+                    "file": name,
+                    "start": start,
+                    "stop": start + piece.shape[0],
+                    "row_bytes": int(stack8.shape[2]),
+                    "sha256": hashlib.sha256(data).hexdigest(),
+                }
+            )
+        manifest = {
+            "format_version": STORE_FORMAT_VERSION,
+            "n_points": self.n_points + block.shape[0],
+            "n_dims": self.n_dims,
+            "n_ranges": self.n_ranges,
+            "shard_rows": shard_rows,
+            "codes_sha256": digest.hexdigest(),
+            "shards": shards,
+        }
+        atomic_write_json(manifest_path, manifest)
+        logger.info(
+            "appended %d rows to sharded mask store at %s (%d shards, "
+            "%d re-packed)",
+            block.shape[0], self.directory, len(shards),
+            len(shards) - len(kept),
+        )
+        return ShardedMaskStore(self.directory, manifest)
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"ShardedMaskStore(N={self.n_points}, d={self.n_dims}, "
@@ -813,6 +908,36 @@ class ShardedCounter(CubeCounter):
         footprint.)
         """
         return 0
+
+    # ------------------------------------------------------------------
+    def append_rows(self, codes) -> int:
+        """Append rows by extending the on-disk store (tail re-pack only).
+
+        Requires ``cells`` — the store refuses to extend without the
+        prior codes proving it is appending onto the data it was built
+        from.  Complete shards are untouched; the ragged tail shard is
+        re-packed with the new rows and the manifest reinstalled, so
+        the extended store is byte-identical to a from-scratch build of
+        the concatenated codes.  Memoised counts advance by popcount
+        deltas exactly as on the in-memory counters.
+        """
+        if self.cells is None:
+            raise ValidationError(
+                "append_rows needs per-point grid codes, which a pure "
+                "out-of-core ShardedCounter does not hold; construct it "
+                "with cells=..."
+            )
+        return super().append_rows(codes)
+
+    def _block_stack(self, block: np.ndarray) -> np.ndarray:
+        return pack_codes_block(block, self.n_ranges).view(np.uint64)
+
+    def _append_masks(self, block: np.ndarray) -> None:
+        # self.cells still holds the pre-append codes here; the base
+        # method swaps them after the masks are extended.
+        self.store = self.store.append_rows(
+            block, prior_codes=self.cells.codes
+        )
 
     # ------------------------------------------------------------------
     def _count_group(self, dims_arr: np.ndarray, rng_arr: np.ndarray) -> np.ndarray:

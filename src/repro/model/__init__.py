@@ -1,0 +1,14 @@
+"""Incremental, mergeable model layer over the batch pipeline.
+
+:class:`GridModel` owns the fitted state the batch detector used to
+throw away — discretizer grid + sketch, cell assignment, packed cube
+counter — as one versioned unit with ``update`` / ``merge`` / ``rebin``
+/ ``score``; :class:`ModelHandle` serves a saved model file with hot
+reload.  See ``docs/streaming.md`` for the incremental algebra and its
+bit-identity guarantees.
+"""
+
+from .grid_model import REBIN_POLICIES, CounterFactory, GridModel
+from .serving import ModelHandle
+
+__all__ = ["GridModel", "ModelHandle", "CounterFactory", "REBIN_POLICIES"]

@@ -7,10 +7,17 @@ Two levels of persistence:
   subspaces/projections inside it) to plain JSON-compatible data, e.g.
   for the CLI's ``--output json``;
 * **models** — :func:`save_model` captures everything needed to score
-  *new* data later — the fitted grid boundaries and the mined
-  projections — and :func:`load_model` restores it as a
-  :class:`SavedModel` with ``score``/``predict`` identical to the
-  live detector's.
+  *and keep updating* new data later, and :func:`load_model` restores
+  it as a serving-mode :class:`~repro.model.GridModel` whose
+  ``score``/``predict`` are identical to the live detector's.
+
+Model snapshots are **schema v2**: a versioned manifest carrying the
+grid boundaries and projections (the v1 payload) plus the incremental
+state — reservoir sketch, post-fit occupancy, lifecycle counters and
+the model version.  v1 snapshots load transparently (migration just
+leaves the incremental state empty); missing or unknown versions raise
+a typed :class:`~repro.exceptions.PersistError` naming the file and the
+version found.  All writes are atomic (:mod:`repro._atomic`).
 """
 
 from __future__ import annotations
@@ -26,8 +33,16 @@ from ._atomic import atomic_write_json
 from ._validation import check_matrix
 from .core.results import DetectionResult, ScoredProjection
 from .core.subspace import Subspace
-from .exceptions import NotFittedError, ValidationError
+from .engine.events import EventSink
+from .exceptions import (
+    DiscretizationError,
+    NotFittedError,
+    PersistError,
+    ValidationError,
+)
 from .grid.discretizer import EquiDepthDiscretizer
+from .grid.health import DEFAULT_DRIFT_THRESHOLD
+from .model import GridModel
 
 __all__ = [
     "subspace_to_dict",
@@ -37,20 +52,29 @@ __all__ = [
     "result_to_dict",
     "result_from_dict",
     "SavedModel",
+    "model_payload",
     "save_model",
     "load_model",
 ]
 
+#: Result payloads (and the legacy :class:`SavedModel` shape) are
+#: still the original schema; only model *snapshots* moved to v2.
 _FORMAT_VERSION = 1
 
+#: Schema of model snapshots written by :func:`save_model`: the v1
+#: grid+projections payload plus the incremental model state.
+MODEL_FORMAT_VERSION = 2
 
-def _check_format_version(payload: Mapping, what: str) -> None:
+
+def _check_format_version(
+    payload: Mapping, what: str, maximum: int = _FORMAT_VERSION
+) -> None:
     """Refuse payloads written by a newer library version."""
     version = payload.get("format_version", 1)
-    if not isinstance(version, int) or version > _FORMAT_VERSION:
+    if not isinstance(version, int) or version > maximum:
         raise ValidationError(
             f"{what} was written with format version {version!r}; this "
-            f"library reads up to version {_FORMAT_VERSION} — upgrade repro"
+            f"library reads up to version {maximum} — upgrade repro"
         )
 
 
@@ -179,8 +203,13 @@ class SavedModel:
 
     @classmethod
     def from_dict(cls, payload: Mapping) -> "SavedModel":
-        """Inverse of :meth:`to_dict`."""
-        _check_format_version(payload, "model payload")
+        """Inverse of :meth:`to_dict`.
+
+        Reads the v1 shape and the v2 superset alike (v2 carries the
+        same four keys plus the incremental state this legacy view
+        ignores).
+        """
+        _check_format_version(payload, "model payload", MODEL_FORMAT_VERSION)
         try:
             names = payload.get("feature_names")
             return cls(
@@ -198,31 +227,140 @@ class SavedModel:
             raise ValidationError(f"malformed model payload: {exc}") from None
 
 
-def save_model(detector, path) -> Path:
-    """Persist a fitted :class:`SubspaceOutlierDetector` to JSON.
+_COUNTER_KEYS = ("updates", "rows_appended", "merges", "rebins", "drift_events")
 
-    Requires :meth:`detect` to have run.  Returns the written path.
+
+def model_payload(model: GridModel) -> dict:
+    """The schema-v2 snapshot of a :class:`~repro.model.GridModel`.
+
+    A strict superset of the v1 shape (``n_ranges`` / ``boundaries`` /
+    ``feature_names`` / ``projections``), so v1-era readers of those
+    keys — including :meth:`SavedModel.from_dict` — keep working.
     """
-    if getattr(detector, "result_", None) is None or detector.discretizer_ is None:
-        raise NotFittedError("call detect() before save_model()")
-    model = SavedModel(
-        boundaries=detector.discretizer_.boundaries,
-        n_ranges=detector.cells_.n_ranges,
-        projections=detector.result_.projections,
-        feature_names=detector.cells_.feature_names,
-    )
+    sketch = model.persistable_sketch()
+    stats = model.stats_dict()
+    return {
+        "format_version": MODEL_FORMAT_VERSION,
+        "kind": "grid_model",
+        "n_ranges": model.n_ranges,
+        "boundaries": [cuts.tolist() for cuts in model.boundaries],
+        "feature_names": (
+            list(model.feature_names) if model.feature_names else None
+        ),
+        "projections": [projection_to_dict(p) for p in model.projections],
+        "n_points": model.n_points,
+        "model_version": model.version,
+        "rebin_policy": model.rebin_policy,
+        "drift_threshold": model.drift_threshold,
+        "counters": {key: stats[key] for key in _COUNTER_KEYS},
+        "occupancy": model.occupancy.tolist(),
+        "sketch": None if sketch is None else sketch.state_dict(),
+    }
+
+
+def save_model(model, path) -> Path:
+    """Persist a fitted detector or a :class:`~repro.model.GridModel`.
+
+    Accepts either a :class:`~repro.core.detector.SubspaceOutlierDetector`
+    whose :meth:`detect` has run, or a ``GridModel`` directly.  Writes a
+    schema-v2 snapshot; returns the written path.
+    """
+    if not isinstance(model, GridModel):
+        detector = model
+        if getattr(detector, "result_", None) is None or detector.discretizer_ is None:
+            raise NotFittedError("call detect() before save_model()")
+        model = getattr(detector, "model_", None)
+        if model is None:
+            model = GridModel.from_snapshot(
+                boundaries=detector.discretizer_.boundaries,
+                n_ranges=detector.cells_.n_ranges,
+                projections=detector.result_.projections,
+                feature_names=detector.cells_.feature_names,
+                n_points=detector.cells_.n_points,
+            )
     # Atomic replace: a crash mid-save never leaves a truncated model
     # file behind (and never clobbers a previously saved good one).
-    return atomic_write_json(Path(path), model.to_dict())
+    return atomic_write_json(Path(path), model_payload(model))
 
 
-def load_model(path) -> SavedModel:
-    """Load a model written by :func:`save_model`."""
+def load_model(path, *, event_sink: EventSink | None = None) -> GridModel:
+    """Load a model snapshot as a serving-mode ``GridModel``.
+
+    Reads schema v2 (full incremental state) and v1 (grid + projections
+    only; the incremental state starts empty).  A missing or unreadable
+    ``format_version`` raises :class:`~repro.exceptions.PersistError`
+    naming the file and the version found — never a silent misread.
+    *event_sink* receives the loaded model's lifecycle events.
+    """
     path = Path(path)
     if not path.exists():
-        raise ValidationError(f"model file not found: {path}")
+        raise PersistError(f"model file not found: {path}")
     try:
         payload = json.loads(path.read_text())
     except json.JSONDecodeError as exc:
-        raise ValidationError(f"model file is not valid JSON: {exc}") from None
-    return SavedModel.from_dict(payload)
+        raise PersistError(f"model file is not valid JSON: {exc}") from None
+    if not isinstance(payload, Mapping):
+        raise PersistError(
+            f"malformed model payload in {path}: expected an object, got "
+            f"{type(payload).__name__}"
+        )
+    version = payload.get("format_version")
+    if version is None:
+        raise PersistError(
+            f"malformed model payload in {path}: missing format_version "
+            f"(found: none; this library reads versions 1..{MODEL_FORMAT_VERSION})"
+        )
+    if (
+        not isinstance(version, int)
+        or isinstance(version, bool)
+        or not 1 <= version <= MODEL_FORMAT_VERSION
+    ):
+        raise PersistError(
+            f"model payload in {path} has unsupported format version "
+            f"{version!r}; this library reads versions "
+            f"1..{MODEL_FORMAT_VERSION} — upgrade repro"
+        )
+    try:
+        if version == 1:
+            return _load_model_v1(payload, event_sink)
+        return _load_model_v2(payload, event_sink)
+    except PersistError:
+        raise
+    except (KeyError, TypeError, ValueError, DiscretizationError) as exc:
+        raise PersistError(
+            f"malformed model payload in {path}: {exc}"
+        ) from None
+
+
+def _load_model_v1(payload: Mapping, event_sink: EventSink | None) -> GridModel:
+    """Migrate a v1 snapshot: grid + projections, no incremental state."""
+    legacy = SavedModel.from_dict(payload)
+    return GridModel.from_snapshot(
+        boundaries=legacy.boundaries,
+        n_ranges=legacy.n_ranges,
+        projections=legacy.projections,
+        feature_names=legacy.feature_names,
+        event_sink=event_sink,
+    )
+
+
+def _load_model_v2(payload: Mapping, event_sink: EventSink | None) -> GridModel:
+    names = payload.get("feature_names")
+    return GridModel.from_snapshot(
+        boundaries=payload["boundaries"],
+        n_ranges=int(payload["n_ranges"]),
+        projections=tuple(
+            projection_from_dict(p) for p in payload["projections"]
+        ),
+        feature_names=tuple(names) if names else None,
+        sketch_state=payload.get("sketch"),
+        occupancy=payload.get("occupancy"),
+        n_points=int(payload.get("n_points", 0)),
+        version=int(payload.get("model_version", 0)),
+        counters=payload.get("counters"),
+        drift_threshold=float(
+            payload.get("drift_threshold", DEFAULT_DRIFT_THRESHOLD)
+        ),
+        rebin_policy=str(payload.get("rebin_policy", "manual")),
+        event_sink=event_sink,
+    )

@@ -212,3 +212,97 @@ class TestTable1Command:
         out = capsys.readouterr().out
         assert "machine (8)" in out
         assert "Gen^o" in out
+
+
+class TestScoreCommand:
+    """The incremental serving endpoint: score / --in / --update."""
+
+    @pytest.fixture()
+    def served(self, tmp_path, rng):
+        import numpy as np
+
+        from repro.core.detector import SubspaceOutlierDetector
+        from repro.persist import save_model
+
+        data = rng.normal(size=(120, 4))
+        data[:, 1] += 1.5 * data[:, 0]
+
+        def write_csv(name, rows):
+            path = tmp_path / name
+            lines = ["a,b,c,d"]
+            for row in rows:
+                lines.append(",".join(f"{v:.5f}" for v in row))
+            path.write_text("\n".join(lines) + "\n")
+            return path
+
+        detector = SubspaceOutlierDetector(
+            dimensionality=2, n_ranges=4, method="brute_force"
+        )
+        detector.detect(data)
+        model_path = save_model(detector, tmp_path / "model.json")
+        return {
+            "model": model_path,
+            "primary": write_csv("primary.csv", rng.normal(size=(40, 4))),
+            "extra": write_csv("extra.csv", rng.normal(size=(25, 4))),
+            "tmp_path": tmp_path,
+        }
+
+    def test_score_batch(self, served, capsys):
+        code = main(
+            ["score", "--model", str(served["model"]),
+             "--csv", str(served["primary"])]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "of 40 points covered" in out
+
+    def test_extra_batches_via_in(self, served, capsys):
+        code = main(
+            ["score", "--model", str(served["model"]),
+             "--csv", str(served["primary"]),
+             "--in", str(served["extra"])]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert f"--- {served['extra']}" in out
+        assert "of 25 points covered" in out
+
+    def test_update_absorbs_and_saves_back(self, served, capsys):
+        from repro.persist import load_model
+
+        before = load_model(served["model"])
+        code = main(
+            ["score", "--model", str(served["model"]),
+             "--csv", str(served["primary"]), "--update"]
+        )
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "model updated (+40 rows" in err
+        after = load_model(served["model"])
+        assert after.version == before.version + 1
+        assert after.n_points == before.n_points + 40
+        assert after.stats_dict()["updates"] == 1
+
+    def test_trace_file_streams_registered_events(self, served):
+        import json as jsonlib
+
+        trace = served["tmp_path"] / "trace.jsonl"
+        code = main(
+            ["score", "--model", str(served["model"]),
+             "--csv", str(served["primary"]),
+             "--in", str(served["extra"]),
+             "--update", "--trace-file", str(trace)]
+        )
+        assert code == 0
+        events = [jsonlib.loads(line) for line in trace.read_text().splitlines()]
+        types = [e["type"] for e in events]
+        assert types.count("score_request") == 2
+        assert types.count("model_updated") >= 2
+
+    def test_missing_model_is_graceful_error(self, served, capsys):
+        code = main(
+            ["score", "--model", str(served["tmp_path"] / "none.json"),
+             "--csv", str(served["primary"])]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
