@@ -14,28 +14,44 @@ a gate green over grandfathered findings.
 
 from .baseline import Baseline
 from .config import LintConfig
+from .graph import FactsCache, FileFacts, ProjectGraph, extract_facts
 from .pragmas import PragmaIndex
-from .report import render_json, render_text
+from .project_rules import ALL_PROJECT_RULES, ProjectRule
+from .report import render_json, render_sarif, render_text
 from .rules import ALL_RULES, Rule, RuleVisitor, rules_by_code
-from .runner import LintResult, lint_paths, lint_source, select_rules
+from .runner import (
+    LintResult,
+    all_rule_classes,
+    lint_paths,
+    lint_source,
+    select_rules,
+)
 from .sources import ModuleSource, iter_python_files, normalize_path
 from .violations import Violation
 
 __all__ = [
+    "ALL_PROJECT_RULES",
     "ALL_RULES",
     "Baseline",
+    "FactsCache",
+    "FileFacts",
     "LintConfig",
     "LintResult",
     "ModuleSource",
     "PragmaIndex",
+    "ProjectGraph",
+    "ProjectRule",
     "Rule",
     "RuleVisitor",
     "Violation",
+    "all_rule_classes",
+    "extract_facts",
     "iter_python_files",
     "lint_paths",
     "lint_source",
     "normalize_path",
     "render_json",
+    "render_sarif",
     "render_text",
     "rules_by_code",
     "select_rules",

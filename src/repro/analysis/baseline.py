@@ -36,6 +36,14 @@ class Baseline:
     def __len__(self) -> int:
         return len(self._entries)
 
+    def keys(self) -> list[tuple[str, str, str, str]]:
+        """All entry keys ``(code, path, qualname, message)``, sorted."""
+        return sorted(self._entries)
+
+    def items(self) -> list[tuple[tuple[str, str, str, str], str]]:
+        """All ``(key, justification)`` pairs, sorted by key."""
+        return sorted(self._entries.items())
+
     # ------------------------------------------------------------------
     def add(self, violation: Violation, justification: str) -> None:
         """Grandfather *violation* with a mandatory *justification*."""

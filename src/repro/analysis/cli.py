@@ -1,7 +1,9 @@
 """``repro-lint`` / ``python -m repro.analysis`` — the lint CLI.
 
-Exit codes: 0 clean (all findings baselined or suppressed), 1 new
-violations, 2 usage errors (unknown rule code, unreadable baseline).
+Exit codes: 0 clean (all findings baselined or suppressed — including
+a clean-but-empty source tree, which is *not* a usage error), 1 new
+violations or a failed ``--check-baseline``, 2 usage errors (unknown
+rule code, unreadable baseline, conflicting flags).
 """
 
 from __future__ import annotations
@@ -13,7 +15,8 @@ from collections.abc import Sequence
 
 from ..exceptions import ValidationError
 from .baseline import Baseline
-from .report import render_json, render_text
+from .project_rules import ALL_PROJECT_RULES
+from .report import render_json, render_sarif, render_text
 from .rules import ALL_RULES
 from .runner import lint_paths
 
@@ -32,7 +35,10 @@ def build_parser() -> argparse.ArgumentParser:
             "docs/determinism.md"
         ),
         epilog="rules: "
-        + "; ".join(f"{rule.code} {rule.name}" for rule in ALL_RULES),
+        + "; ".join(
+            f"{rule.code} {rule.name}"
+            for rule in (*ALL_RULES, *ALL_PROJECT_RULES)
+        ),
     )
     parser.add_argument(
         "paths",
@@ -41,7 +47,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="report format (default: text)",
     )
@@ -63,8 +69,28 @@ def build_parser() -> argparse.ArgumentParser:
         "--update-baseline",
         action="store_true",
         help=(
-            "rewrite --baseline to absorb every current violation "
-            "(edit the justifications afterwards), then exit 0"
+            "rewrite --baseline to absorb every current violation and "
+            "prune entries that no longer fire (pruned entries are "
+            "reported; edit new justifications afterwards), then exit 0"
+        ),
+    )
+    parser.add_argument(
+        "--check-baseline",
+        action="store_true",
+        help=(
+            "CI mode: additionally fail (exit 1) when the baseline "
+            "contains stale entries that matched no current violation"
+        ),
+    )
+    parser.add_argument(
+        "--cache",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help=(
+            "incremental cache file: per-file facts and findings keyed "
+            "by content digest, so a warm run re-parses only changed "
+            "files (invalidated wholesale by rule/config changes)"
         ),
     )
     parser.add_argument(
@@ -90,8 +116,15 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Sequence[str] | None = None) -> int:
     parser = build_parser()
     options = parser.parse_args(argv)
-    if options.no_baseline and (options.baseline or options.update_baseline):
-        parser.error("--no-baseline conflicts with --baseline/--update-baseline")
+    if options.no_baseline and (
+        options.baseline or options.update_baseline or options.check_baseline
+    ):
+        parser.error(
+            "--no-baseline conflicts with "
+            "--baseline/--update-baseline/--check-baseline"
+        )
+    if options.update_baseline and options.check_baseline:
+        parser.error("--update-baseline conflicts with --check-baseline")
     if options.baseline is None and not options.no_baseline:
         default = Path(DEFAULT_BASELINE_NAME)
         if default.exists() or options.update_baseline:
@@ -104,7 +137,10 @@ def main(argv: Sequence[str] | None = None) -> int:
             # Re-lint without the old baseline so every violation lands
             # in the refreshed file, then carry old justifications over.
             raw = lint_paths(
-                options.paths, select=options.select, ignore=options.ignore
+                options.paths,
+                select=options.select,
+                ignore=options.ignore,
+                cache_path=options.cache,
             )
             refreshed = Baseline()
             for violation in raw.violations:
@@ -120,20 +156,45 @@ def main(argv: Sequence[str] | None = None) -> int:
                 f"{options.baseline}",
                 file=sys.stderr,
             )
+            if baseline is not None:
+                kept = {key for key, _ in refreshed.items()}
+                pruned = [key for key in baseline.keys() if key not in kept]
+                if pruned:
+                    print(
+                        f"pruned {len(pruned)} stale entr(y/ies):",
+                        file=sys.stderr,
+                    )
+                    for code, path, qualname, message in pruned:
+                        print(
+                            f"  {code} {path} {qualname}: {message}",
+                            file=sys.stderr,
+                        )
             return 0
         result = lint_paths(
             options.paths,
             baseline=baseline,
             select=options.select,
             ignore=options.ignore,
+            cache_path=options.cache,
         )
     except ValidationError as exc:
         print(f"repro-lint: error: {exc}", file=sys.stderr)
         return 2
     if options.format == "json":
         print(render_json(result))
+    elif options.format == "sarif":
+        print(render_sarif(result))
     else:
         print(render_text(result, verbose=options.verbose))
+    if options.check_baseline and result.stale_baseline:
+        print(
+            f"repro-lint: {len(result.stale_baseline)} stale baseline "
+            "entr(y/ies) matched no violation (run --update-baseline):",
+            file=sys.stderr,
+        )
+        for code, path, qualname, message in result.stale_baseline:
+            print(f"  {code} {path} {qualname}: {message}", file=sys.stderr)
+        return 1
     return result.exit_code
 
 

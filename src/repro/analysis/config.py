@@ -18,7 +18,9 @@ the framework can swap in its own :class:`LintConfig`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import hashlib
+import json
+from dataclasses import dataclass, field, fields
 
 __all__ = ["LintConfig", "default_event_types"]
 
@@ -109,3 +111,46 @@ class LintConfig:
         "repro/resilience/*",
         "repro/grid/parallel.py",
     )
+
+    # -- project rules (RPL010-RPL014) ---------------------------------
+
+    #: RPL010 — modules whose event registrations must have emitters.
+    #: Registrations outside (a test registering a throwaway type) are
+    #: exempt from the dead-vocabulary direction.
+    contract_registry_modules: tuple[str, ...] = ("repro/*",)
+
+    #: RPL011 — the public API surface whose reachable raises are held
+    #: to the ReproError contract...
+    entry_point_modules: tuple[str, ...] = (
+        "repro/core/*",
+        "repro/model/*",
+        "repro/cli.py",
+    )
+    #: ...and the builtin exception names that must not escape it bare.
+    escape_exception_names: frozenset[str] = frozenset(
+        {"OSError", "IOError", "ValueError", "RuntimeError"}
+    )
+
+    #: RPL012 — modules whose resource creations are lifecycle-checked.
+    resource_checked_modules: tuple[str, ...] = ("repro/*",)
+
+    #: RPL013 — modules whose RNG constructions are taint-checked
+    #: (minus ``rng_allowed_modules``, which RPL013 shares with RPL001).
+    rng_taint_modules: tuple[str, ...] = ("repro/*",)
+
+    def digest(self) -> str:
+        """Stable content hash of the configuration.
+
+        Part of the incremental-cache fingerprint: any config change
+        must invalidate cached facts.  Unordered fields (frozensets)
+        are sorted so the digest is deterministic across processes.
+        """
+        payload: dict[str, object] = {}
+        for spec in fields(self):
+            value = getattr(self, spec.name)
+            if isinstance(value, frozenset):
+                payload[spec.name] = sorted(value)
+            else:
+                payload[spec.name] = list(value)
+        canonical = json.dumps(payload, sort_keys=True)
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()

@@ -1,7 +1,24 @@
-"""Drive the rules over a file tree and fold in pragmas + baseline."""
+"""Drive the rules over a file tree and fold in pragmas + baseline.
+
+Two rule families share one run:
+
+* **file rules** (RPL001-RPL009) check one module AST at a time and
+  their post-pragma findings are cacheable per file;
+* **project rules** (RPL010-RPL014) run against the
+  :class:`~repro.analysis.graph.ProjectGraph` assembled from every
+  file's extracted facts, and are recomputed on every run (their
+  inputs span files, so no single digest covers them).
+
+With a cache attached (``cache_path``), a warm run re-parses only the
+files whose content digest changed; everything else — facts *and*
+file-rule findings — is served from the cache, and the graph is built
+from the mix.  ``LintResult.files_parsed`` / ``cache_hits`` make the
+split observable (and testable).
+"""
 
 from __future__ import annotations
 
+import ast
 from dataclasses import dataclass, field
 from pathlib import Path
 from collections.abc import Sequence
@@ -9,12 +26,20 @@ from collections.abc import Sequence
 from ..exceptions import ValidationError
 from .baseline import Baseline
 from .config import LintConfig
+from .graph import FactsCache, FileFacts, ProjectGraph, extract_facts, file_digest
 from .pragmas import PragmaIndex
-from .rules import ALL_RULES, RuleVisitor, rules_by_code
-from .sources import ModuleSource, iter_python_files
+from .project_rules import ALL_PROJECT_RULES, ProjectRule
+from .rules import RuleVisitor, rules_by_code
+from .sources import ModuleSource, iter_python_files, normalize_path
 from .violations import Violation
 
-__all__ = ["LintResult", "lint_paths", "lint_source", "select_rules"]
+__all__ = [
+    "LintResult",
+    "all_rule_classes",
+    "lint_paths",
+    "lint_source",
+    "select_rules",
+]
 
 
 @dataclass
@@ -25,24 +50,43 @@ class LintResult:
     grandfathered); ``baselined`` are matches absorbed by the baseline;
     ``errors`` are files that could not be parsed (reported as
     violations of pseudo-code ``RPL000`` so they still fail the gate).
+    ``stale_baseline`` lists baseline keys that matched nothing this
+    run — entries whose violation has been fixed and that should be
+    pruned (``--update-baseline``) or failed on (``--check-baseline``).
     """
 
     violations: list[Violation] = field(default_factory=list)
     baselined: list[Violation] = field(default_factory=list)
     suppressed: int = 0
     files_checked: int = 0
+    #: files actually parsed this run (= cache misses when caching).
+    files_parsed: int = 0
+    #: files served from the incremental cache.
+    cache_hits: int = 0
+    #: baseline keys (code, path, qualname, message) that matched nothing.
+    stale_baseline: list[tuple[str, str, str, str]] = field(
+        default_factory=list
+    )
 
     @property
     def exit_code(self) -> int:
         return 1 if self.violations else 0
 
 
+def all_rule_classes() -> dict[str, type]:
+    """Every known rule class — file and project — keyed by code."""
+    registry: dict[str, type] = dict(rules_by_code())
+    for rule in ALL_PROJECT_RULES:
+        registry[rule.code] = type(rule)
+    return registry
+
+
 def select_rules(
     select: Sequence[str] | None = None,
     ignore: Sequence[str] | None = None,
-) -> list[RuleVisitor]:
+) -> list[RuleVisitor | ProjectRule]:
     """Instantiate the rule set, honouring ``--select`` / ``--ignore``."""
-    registry = rules_by_code()
+    registry = all_rule_classes()
     for code in list(select or []) + list(ignore or []):
         if code not in registry:
             raise ValidationError(
@@ -64,6 +108,8 @@ def lint_source(
     kept: list[Violation] = []
     suppressed = 0
     for rule in rules:
+        if getattr(rule, "scope", "file") != "file":
+            continue  # project rules need the graph, not one module
         for violation in rule.check(module, config):
             if pragmas.suppresses(violation):
                 suppressed += 1
@@ -79,39 +125,122 @@ def lint_paths(
     baseline: Baseline | None = None,
     select: Sequence[str] | None = None,
     ignore: Sequence[str] | None = None,
+    cache_path: Path | None = None,
 ) -> LintResult:
-    """Lint every python file under *paths*.
+    """Lint every python file under *paths* (file + project rules).
 
     Parse failures become ``RPL000`` violations rather than crashes, so
     one broken file cannot hide findings in the rest of the tree.
     """
     config = config if config is not None else LintConfig()
     rules = select_rules(select, ignore)
+    file_rules = [r for r in rules if getattr(r, "scope", "file") == "file"]
+    project_rules = [r for r in rules if getattr(r, "scope", "file") == "project"]
+
+    cache: FactsCache | None = None
+    if cache_path is not None:
+        fingerprint = FactsCache.make_fingerprint(
+            [r.code for r in rules], config.digest()
+        )
+        cache = FactsCache.load(cache_path, fingerprint)
+
     result = LintResult()
+    facts_by_path: dict[str, FileFacts] = {}
+    found: list[Violation] = []
+
     for file_path in iter_python_files([Path(p) for p in paths]):
         try:
-            module = ModuleSource.parse(file_path)
-        except (SyntaxError, UnicodeDecodeError) as exc:
-            lineno = getattr(exc, "lineno", None) or 1
+            raw = file_path.read_bytes()
+            text = raw.decode("utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
             result.violations.append(
                 Violation(
                     path=str(file_path),
-                    line=int(lineno),
+                    line=1,
                     column=0,
                     code="RPL000",
                     message=f"file does not parse: {exc.__class__.__name__}",
                 )
             )
             continue
-        result.files_checked += 1
-        found, suppressed = lint_source(module, rules, config)
-        result.suppressed += suppressed
-        if baseline is not None:
-            fresh, known = baseline.split(found)
-            result.violations.extend(fresh)
-            result.baselined.extend(known)
+        digest = file_digest(raw)
+        norm = normalize_path(file_path)
+
+        cached = cache.lookup(norm, digest) if cache is not None else None
+        if cached is not None:
+            facts, payloads, suppressed = cached
+            result.cache_hits += 1
+            file_found = [
+                Violation(
+                    path=str(p["path"]),
+                    line=int(p["line"]),
+                    column=int(p["column"]),
+                    code=str(p["code"]),
+                    message=str(p["message"]),
+                    qualname=str(p["qualname"]),
+                )
+                for p in payloads
+            ]
         else:
-            result.violations.extend(found)
+            try:
+                tree = ast.parse(text, filename=str(file_path))
+            except SyntaxError as exc:
+                lineno = getattr(exc, "lineno", None) or 1
+                result.violations.append(
+                    Violation(
+                        path=str(file_path),
+                        line=int(lineno),
+                        column=0,
+                        code="RPL000",
+                        message=f"file does not parse: {exc.__class__.__name__}",
+                    )
+                )
+                continue
+            module = ModuleSource(path=norm, text=text, tree=tree)
+            facts = extract_facts(module, digest)
+            file_found, suppressed = lint_source(module, file_rules, config)
+            result.files_parsed += 1
+            if cache is not None:
+                cache.store(
+                    norm, facts, [v.to_json() for v in file_found], suppressed
+                )
+
+        result.files_checked += 1
+        result.suppressed += suppressed
+        found.extend(file_found)
+        facts_by_path[norm] = facts
+
+    # ------------------------------------------------------------------
+    # project pass: one graph over all facts (cached or fresh)
+    # ------------------------------------------------------------------
+    if project_rules:
+        graph = ProjectGraph(facts_by_path)
+        for rule in project_rules:
+            for violation in rule.check_project(graph, config):
+                facts = facts_by_path.get(violation.path)
+                if facts is not None and facts.pragma_index().suppresses(
+                    violation
+                ):
+                    result.suppressed += 1
+                else:
+                    found.append(violation)
+
+    if baseline is not None:
+        fresh, known = baseline.split(found)
+        result.violations.extend(fresh)
+        result.baselined.extend(known)
+    else:
+        result.violations.extend(found)
     result.violations.sort()
     result.baselined.sort()
+
+    if baseline is not None:
+        matched = {v.key() for v in result.baselined}
+        result.stale_baseline = sorted(
+            key for key in baseline.keys() if key not in matched
+        )
+
+    if cache is not None and cache_path is not None:
+        cache.prune(set(facts_by_path))
+        cache.save(cache_path)
     return result

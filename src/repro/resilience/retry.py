@@ -18,6 +18,8 @@ import time
 from dataclasses import dataclass
 from typing import Callable, TypeVar
 
+from ..exceptions import ValidationError
+
 __all__ = ["RetryPolicy"]
 
 T = TypeVar("T")
@@ -44,9 +46,11 @@ class RetryPolicy:
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
-            raise ValueError("max_attempts must be >= 1")
+            raise ValidationError("max_attempts must be >= 1")
         if self.backoff < 0 or self.backoff_cap < 0 or self.jitter < 0:
-            raise ValueError("backoff, backoff_cap and jitter must be >= 0")
+            raise ValidationError(
+                "backoff, backoff_cap and jitter must be >= 0"
+            )
 
     def is_retryable(self, exc: BaseException) -> bool:
         """Whether *exc* belongs to a class this policy retries."""

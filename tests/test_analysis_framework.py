@@ -134,7 +134,7 @@ class TestRunner:
         rules = select_rules(ignore=["RPL001", "RPL002"])
         assert sorted(r.code for r in rules) == [
             "RPL003", "RPL004", "RPL005", "RPL006", "RPL007", "RPL008",
-            "RPL009",
+            "RPL009", "RPL010", "RPL011", "RPL012", "RPL013", "RPL014",
         ]
 
     def test_parse_failure_becomes_rpl000(self, tmp_path):
@@ -166,11 +166,12 @@ class TestReporters:
         payload = json.loads(render_json(self._result(tmp_path)))
         assert payload["version"] == REPORT_VERSION
         assert sorted(payload) == [
-            "baselined", "summary", "version", "violations",
+            "baselined", "stale_baseline", "summary", "version",
+            "violations",
         ]
         assert sorted(payload["summary"]) == [
-            "baselined", "exit_code", "files_checked", "suppressed",
-            "violations",
+            "baselined", "cache_hits", "exit_code", "files_checked",
+            "files_parsed", "stale_baseline", "suppressed", "violations",
         ]
         (record,) = payload["violations"]
         assert sorted(record) == [
@@ -260,3 +261,205 @@ class TestCli:
         repo_root = Path(__file__).resolve().parents[1]
         monkeypatch.chdir(repo_root)
         assert lint_main(["src"]) == 0
+
+
+class TestDeterministicOrdering:
+    def test_violations_sorted_by_path_line_code(self, tmp_path):
+        """Output order is a stable (path, line, column, code, ...) sort,
+        independent of file-discovery order."""
+        pkg = tmp_path / "repro"
+        pkg.mkdir()
+        (pkg / "zeta.py").write_text(UNSEEDED)
+        (pkg / "alpha.py").write_text(
+            "import numpy as np\n"
+            "a = np.random.default_rng()\n"
+            "b = np.random.default_rng()\n"
+        )
+        result = lint_paths([tmp_path])
+        rendered = [v.render() for v in result.violations]
+        assert rendered == sorted(rendered)
+        keys = [(v.path, v.line, v.column, v.code) for v in result.violations]
+        assert keys == sorted(keys)
+        assert keys[0][0] == "repro/alpha.py"
+        assert keys[-1][0] == "repro/zeta.py"
+
+    def test_order_stable_across_runs(self, tmp_path):
+        pkg = tmp_path / "repro"
+        pkg.mkdir()
+        (pkg / "one.py").write_text(UNSEEDED)
+        (pkg / "two.py").write_text(UNSEEDED)
+        first = lint_paths([tmp_path])
+        second = lint_paths([tmp_path])
+        assert [v.render() for v in first.violations] == [
+            v.render() for v in second.violations
+        ]
+
+
+class TestSarifReport:
+    def _result(self, tmp_path):
+        target = tmp_path / "repro" / "mod.py"
+        target.parent.mkdir()
+        target.write_text(UNSEEDED)
+        return lint_paths([tmp_path])
+
+    def test_sarif_schema_is_locked(self, tmp_path):
+        from repro.analysis.report import SARIF_VERSION, render_sarif
+
+        payload = json.loads(render_sarif(self._result(tmp_path)))
+        assert sorted(payload) == ["$schema", "runs", "version"]
+        assert payload["version"] == SARIF_VERSION == "2.1.0"
+        assert "sarif-schema-2.1.0.json" in payload["$schema"]
+        (run,) = payload["runs"]
+        assert sorted(run) == ["results", "tool"]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "repro-lint"
+        (rule,) = driver["rules"]
+        assert sorted(rule) == ["id", "name", "shortDescription"]
+        assert rule["id"] == "RPL001"
+        (record,) = run["results"]
+        assert sorted(record) == ["level", "locations", "message", "ruleId"]
+        assert record["ruleId"] == "RPL001"
+        assert record["level"] == "error"
+        (location,) = record["locations"]
+        physical = location["physicalLocation"]
+        assert physical["artifactLocation"]["uri"] == "repro/mod.py"
+        # SARIF regions are 1-based in both axes.
+        assert physical["region"]["startLine"] >= 1
+        assert physical["region"]["startColumn"] >= 1
+
+    def test_baselined_findings_carry_suppression(self, tmp_path):
+        from repro.analysis.report import render_sarif
+
+        raw = self._result(tmp_path)
+        baseline = Baseline.from_violations(raw.violations, "grandfathered")
+        gated = lint_paths([tmp_path], baseline=baseline)
+        payload = json.loads(render_sarif(gated))
+        (record,) = payload["runs"][0]["results"]
+        assert record["suppressions"] == [
+            {"kind": "external", "justification": "baselined"}
+        ]
+
+    def test_cli_emits_sarif(self, tmp_path, capsys):
+        target = tmp_path / "repro" / "mod.py"
+        target.parent.mkdir()
+        target.write_text(UNSEEDED)
+        assert (
+            lint_main([str(tmp_path), "--no-baseline", "--format", "sarif"])
+            == 1
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == "2.1.0"
+
+
+class TestBaselineStaleness:
+    def _dirty_tree(self, tmp_path):
+        target = tmp_path / "repro" / "mod.py"
+        target.parent.mkdir()
+        target.write_text(UNSEEDED)
+        return target
+
+    def test_stale_entries_reported_in_result(self, tmp_path):
+        target = self._dirty_tree(tmp_path)
+        raw = lint_paths([tmp_path])
+        baseline = Baseline.from_violations(raw.violations, "grandfathered")
+        target.write_text("x = 1\n")  # fix the violation
+        result = lint_paths([tmp_path], baseline=baseline)
+        assert result.violations == []
+        assert len(result.stale_baseline) == 1
+        code, path, _qualname, _message = result.stale_baseline[0]
+        assert (code, path) == ("RPL001", "repro/mod.py")
+
+    def test_live_baseline_is_not_stale(self, tmp_path):
+        self._dirty_tree(tmp_path)
+        raw = lint_paths([tmp_path])
+        baseline = Baseline.from_violations(raw.violations, "grandfathered")
+        result = lint_paths([tmp_path], baseline=baseline)
+        assert result.stale_baseline == []
+
+    def test_check_baseline_fails_on_staleness(self, tmp_path, capsys):
+        target = self._dirty_tree(tmp_path)
+        baseline_path = tmp_path / "baseline.json"
+        assert (
+            lint_main(
+                [str(tmp_path), "--update-baseline", "--baseline",
+                 str(baseline_path)]
+            )
+            == 0
+        )
+        target.write_text("x = 1\n")
+        assert (
+            lint_main(
+                [str(tmp_path), "--check-baseline", "--baseline",
+                 str(baseline_path)]
+            )
+            == 1
+        )
+        err = capsys.readouterr().err
+        assert "stale baseline" in err
+        assert "RPL001" in err
+
+    def test_check_baseline_passes_when_live(self, tmp_path, capsys):
+        self._dirty_tree(tmp_path)
+        baseline_path = tmp_path / "baseline.json"
+        lint_main(
+            [str(tmp_path), "--update-baseline", "--baseline",
+             str(baseline_path)]
+        )
+        assert (
+            lint_main(
+                [str(tmp_path), "--check-baseline", "--baseline",
+                 str(baseline_path)]
+            )
+            == 0
+        )
+
+    def test_update_baseline_prunes_and_reports(self, tmp_path, capsys):
+        target = self._dirty_tree(tmp_path)
+        baseline_path = tmp_path / "baseline.json"
+        lint_main(
+            [str(tmp_path), "--update-baseline", "--baseline",
+             str(baseline_path)]
+        )
+        target.write_text("x = 1\n")
+        assert (
+            lint_main(
+                [str(tmp_path), "--update-baseline", "--baseline",
+                 str(baseline_path)]
+            )
+            == 0
+        )
+        err = capsys.readouterr().err
+        assert "pruned 1 stale entr(y/ies)" in err
+        refreshed = Baseline.load(baseline_path)
+        assert len(refreshed) == 0
+
+    def test_update_conflicts_with_check(self, tmp_path, capsys):
+        self._dirty_tree(tmp_path)
+        with pytest.raises(SystemExit):
+            lint_main([str(tmp_path), "--update-baseline", "--check-baseline"])
+
+
+class TestExitCodeContract:
+    def test_clean_but_empty_source_dir_is_exit_zero(self, tmp_path, capsys):
+        """Exit 2 means *usage error*; an empty tree is simply clean."""
+        empty = tmp_path / "nothing_here"
+        empty.mkdir()
+        assert lint_main([str(empty), "--no-baseline"]) == 0
+        out = capsys.readouterr().out
+        assert "0 violation(s) in 0 file(s)" in out
+
+    def test_cache_flag_round_trips_through_cli(self, tmp_path, capsys):
+        target = tmp_path / "repro" / "mod.py"
+        target.parent.mkdir()
+        target.write_text(UNSEEDED)
+        cache = tmp_path / "cache.json"
+        args = [
+            str(tmp_path), "--no-baseline", "--format", "json",
+            "--cache", str(cache),
+        ]
+        assert lint_main(args) == 1
+        cold = json.loads(capsys.readouterr().out)["summary"]
+        assert lint_main(args) == 1
+        warm = json.loads(capsys.readouterr().out)["summary"]
+        assert cold["files_parsed"] == 1 and cold["cache_hits"] == 0
+        assert warm["files_parsed"] == 0 and warm["cache_hits"] == 1

@@ -550,3 +550,488 @@ class TestRPL009BroadExcept:
             select=["RPL009"],
         )
         assert found == []
+
+
+# ----------------------------------------------------------------------
+# project rules (RPL010-RPL014) — multi-file fixtures through lint_paths
+# ----------------------------------------------------------------------
+import pytest
+
+from repro.analysis.runner import lint_paths
+
+PROJECT_CODES = ["RPL010", "RPL011", "RPL012", "RPL013", "RPL014"]
+
+
+def lint_tree(tmp_path, files: dict, *, select: list[str]):
+    """Write ``files`` under a ``repro/`` tree and lint the whole tree."""
+    for rel, text in files.items():
+        target = tmp_path / "repro" / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(text))
+    return lint_paths([tmp_path], select=select)
+
+
+class TestRPL010EventContract:
+    def test_flags_emit_of_unregistered_type(self, tmp_path):
+        result = lint_tree(
+            tmp_path,
+            {
+                "engine/events.py": """
+                EVENT_TYPES = {"run_started"}
+                def emit_event(sink, type, **payload): ...
+                """,
+                "core/engine.py": """
+                from repro.engine.events import emit_event
+                def run(sink):
+                    emit_event(sink, "run_started")
+                    emit_event(sink, "made_up")
+                """,
+            },
+            select=["RPL010"],
+        )
+        assert codes(result.violations) == ["RPL010"]
+        assert "'made_up'" in result.violations[0].message
+        assert "never registered" in result.violations[0].message
+
+    def test_flags_registered_but_never_emitted(self, tmp_path):
+        result = lint_tree(
+            tmp_path,
+            {
+                "engine/events.py": """
+                EVENT_TYPES = {"run_started", "dead_type"}
+                def emit_event(sink, type, **payload): ...
+                """,
+                "core/engine.py": """
+                from repro.engine.events import emit_event
+                def run(sink):
+                    emit_event(sink, "run_started")
+                """,
+            },
+            select=["RPL010"],
+        )
+        assert codes(result.violations) == ["RPL010"]
+        assert "'dead_type'" in result.violations[0].message
+        assert "never emitted" in result.violations[0].message
+
+    def test_clean_when_vocabulary_is_closed_both_ways(self, tmp_path):
+        result = lint_tree(
+            tmp_path,
+            {
+                "engine/events.py": """
+                EVENT_TYPES = {"run_started"}
+                def emit_event(sink, type, **payload): ...
+                """,
+                "core/engine.py": """
+                from repro.engine.events import emit_event
+                def run(sink):
+                    emit_event(sink, "run_started")
+                """,
+            },
+            select=["RPL010"],
+        )
+        assert result.violations == []
+
+    def test_dynamic_emit_does_not_satisfy_registration(self, tmp_path):
+        """An emit through a variable cannot prove a type live."""
+        result = lint_tree(
+            tmp_path,
+            {
+                "engine/events.py": """
+                EVENT_TYPES = {"only_dynamic"}
+                def emit_event(sink, type, **payload): ...
+                """,
+                "core/engine.py": """
+                from repro.engine.events import emit_event
+                def forward(sink, event_type):
+                    emit_event(sink, event_type)
+                """,
+            },
+            select=["RPL010"],
+        )
+        assert codes(result.violations) == ["RPL010"]
+        assert "'only_dynamic'" in result.violations[0].message
+
+
+class TestRPL011ExceptionContract:
+    def test_flags_bare_raise_reachable_from_entry_point(self, tmp_path):
+        result = lint_tree(
+            tmp_path,
+            {
+                "core/api.py": """
+                from repro.internal.helper import load
+                def public_entry(path):
+                    return load(path)
+                """,
+                "internal/helper.py": """
+                def load(path):
+                    raise ValueError("bad path")
+                """,
+            },
+            select=["RPL011"],
+        )
+        assert codes(result.violations) == ["RPL011"]
+        violation = result.violations[0]
+        assert violation.path == "repro/internal/helper.py"
+        assert "public_entry" in violation.message
+        assert "ReproError" in violation.message
+
+    def test_typed_raise_is_clean(self, tmp_path):
+        result = lint_tree(
+            tmp_path,
+            {
+                "exceptions.py": """
+                class ReproError(Exception): ...
+                class ValidationError(ReproError, ValueError): ...
+                """,
+                "core/api.py": """
+                from repro.exceptions import ValidationError
+                def public_entry(value):
+                    if value < 0:
+                        raise ValidationError("negative")
+                    return value
+                """,
+            },
+            select=["RPL011"],
+        )
+        assert result.violations == []
+
+    def test_unreachable_raise_is_not_flagged(self, tmp_path):
+        """A bare raise in a module no entry point calls into is out of
+        the contract's scope (nothing public can observe it)."""
+        result = lint_tree(
+            tmp_path,
+            {
+                "core/api.py": """
+                def public_entry():
+                    return 1
+                """,
+                "internal/orphan.py": """
+                def never_called():
+                    raise RuntimeError("unreachable")
+                """,
+            },
+            select=["RPL011"],
+        )
+        assert result.violations == []
+
+    def test_private_entry_module_functions_are_exempt(self, tmp_path):
+        result = lint_tree(
+            tmp_path,
+            {
+                "core/api.py": """
+                def _private_helper():
+                    raise ValueError("internal invariant")
+                """,
+            },
+            select=["RPL011"],
+        )
+        assert result.violations == []
+
+    def test_dataclass_post_init_is_reachable_via_constructor(self, tmp_path):
+        result = lint_tree(
+            tmp_path,
+            {
+                "core/api.py": """
+                from repro.internal.spec import Spec
+                def public_entry():
+                    return Spec()
+                """,
+                "internal/spec.py": """
+                from dataclasses import dataclass
+                @dataclass
+                class Spec:
+                    limit: int = 1
+                    def __post_init__(self):
+                        if self.limit < 0:
+                            raise ValueError("limit")
+                """,
+            },
+            select=["RPL011"],
+        )
+        assert codes(result.violations) == ["RPL011"]
+        assert result.violations[0].qualname == "Spec.__post_init__"
+
+
+class TestRPL012ResourceLifecycle:
+    def test_flags_unmanaged_memmap(self, tmp_path):
+        result = lint_tree(
+            tmp_path,
+            {
+                "grid/loader.py": """
+                import numpy as np
+                def count(path):
+                    view = np.memmap(path, dtype="u1", mode="r")
+                    return int(view.sum())
+                """,
+            },
+            select=["RPL012"],
+        )
+        assert codes(result.violations) == ["RPL012"]
+        assert "numpy.memmap" in result.violations[0].message
+        assert "never released" in result.violations[0].message
+
+    def test_with_block_is_clean(self, tmp_path):
+        result = lint_tree(
+            tmp_path,
+            {
+                "grid/loader.py": """
+                import tempfile
+                def scratch():
+                    with tempfile.TemporaryDirectory() as workdir:
+                        return len(workdir)
+                """,
+            },
+            select=["RPL012"],
+        )
+        assert result.violations == []
+
+    def test_try_finally_close_is_clean(self, tmp_path):
+        result = lint_tree(
+            tmp_path,
+            {
+                "grid/loader.py": """
+                import tempfile
+                def scratch():
+                    holder = tempfile.TemporaryDirectory()
+                    try:
+                        return len(holder.name)
+                    finally:
+                        holder.cleanup()
+                """,
+            },
+            select=["RPL012"],
+        )
+        assert result.violations == []
+
+    def test_unprotected_close_is_flagged(self, tmp_path):
+        result = lint_tree(
+            tmp_path,
+            {
+                "grid/loader.py": """
+                import tempfile
+                def scratch(fn):
+                    holder = tempfile.TemporaryDirectory()
+                    value = fn(holder.name)
+                    holder.cleanup()
+                    return value
+                """,
+            },
+            select=["RPL012"],
+        )
+        assert codes(result.violations) == ["RPL012"]
+        assert "try/finally" in result.violations[0].message
+
+    def test_registered_finalizer_is_clean(self, tmp_path):
+        result = lint_tree(
+            tmp_path,
+            {
+                "grid/loader.py": """
+                import tempfile
+                import weakref
+                def scratch(owner):
+                    holder = tempfile.TemporaryDirectory()
+                    weakref.finalize(owner, holder, None)
+                    return holder
+                """,
+            },
+            select=["RPL012"],
+        )
+        assert result.violations == []
+
+    def test_escaping_resource_is_callers_problem(self, tmp_path):
+        result = lint_tree(
+            tmp_path,
+            {
+                "grid/loader.py": """
+                import numpy as np
+                def open_view(path):
+                    view = np.memmap(path, dtype="u1", mode="r")
+                    return view
+                """,
+            },
+            select=["RPL012"],
+        )
+        assert result.violations == []
+
+
+class TestRPL013RngTaint:
+    def test_flags_explicit_none_seed(self, tmp_path):
+        result = lint_tree(
+            tmp_path,
+            {
+                "core/sampler.py": """
+                import numpy as np
+                def draw(n):
+                    rng = np.random.default_rng(None)
+                    return rng.random(n)
+                """,
+            },
+            select=["RPL013"],
+        )
+        assert codes(result.violations) == ["RPL013"]
+        assert "OS entropy" in result.violations[0].message
+
+    def test_flags_opaque_seed_source(self, tmp_path):
+        result = lint_tree(
+            tmp_path,
+            {
+                "core/sampler.py": """
+                import numpy as np
+                def draw(n, data):
+                    rng = np.random.default_rng(id(data))
+                    return rng.random(n)
+                """,
+            },
+            select=["RPL013"],
+        )
+        assert codes(result.violations) == ["RPL013"]
+        assert "cannot be traced" in result.violations[0].message
+
+    def test_seed_parameter_is_clean(self, tmp_path):
+        result = lint_tree(
+            tmp_path,
+            {
+                "core/sampler.py": """
+                import numpy as np
+                def draw(n, seed):
+                    rng = np.random.default_rng(seed)
+                    return rng.random(n)
+                """,
+            },
+            select=["RPL013"],
+        )
+        assert result.violations == []
+
+    def test_integer_literal_and_derived_seed_are_clean(self, tmp_path):
+        result = lint_tree(
+            tmp_path,
+            {
+                "core/sampler.py": """
+                import numpy as np
+                def draw(n, seed):
+                    fixed = np.random.default_rng(12345)
+                    shifted = np.random.default_rng(seed + 1)
+                    return fixed.random(n) + shifted.random(n)
+                """,
+            },
+            select=["RPL013"],
+        )
+        assert result.violations == []
+
+    def test_zero_arg_constructor_is_rpl001_territory(self, tmp_path):
+        """RPL013 leaves the no-argument case to the single-file rule."""
+        result = lint_tree(
+            tmp_path,
+            {
+                "core/sampler.py": """
+                import numpy as np
+                def draw(n):
+                    rng = np.random.default_rng()
+                    return rng.random(n)
+                """,
+            },
+            select=["RPL013"],
+        )
+        assert result.violations == []
+
+
+class TestRPL014RegistryConsistency:
+    def test_flags_unregistered_fault_point(self, tmp_path):
+        result = lint_tree(
+            tmp_path,
+            {
+                "resilience/faults.py": """
+                FAULT_POINTS = {"shard_read": "reads"}
+                def maybe_inject(point, **detail): ...
+                """,
+                "grid/reader.py": """
+                from repro.resilience.faults import maybe_inject
+                def read(path):
+                    maybe_inject("shard_raed")
+                """,
+            },
+            select=["RPL014"],
+        )
+        assert codes(result.violations) == ["RPL014"]
+        assert "'shard_raed'" in result.violations[0].message
+
+    def test_registered_fault_point_is_clean(self, tmp_path):
+        result = lint_tree(
+            tmp_path,
+            {
+                "resilience/faults.py": """
+                FAULT_POINTS = {"shard_read": "reads"}
+                def maybe_inject(point, **detail): ...
+                """,
+                "grid/reader.py": """
+                from repro.resilience.faults import maybe_inject
+                def read(path):
+                    maybe_inject("shard_read")
+                """,
+            },
+            select=["RPL014"],
+        )
+        assert result.violations == []
+
+    def test_flags_unknown_backend_and_kernel_names(self, tmp_path):
+        result = lint_tree(
+            tmp_path,
+            {
+                "grid/backends.py": """
+                def register_kernel(name, fn): ...
+                def register_backend(spec): ...
+                def get_backend(name): ...
+                def resolve_kernel(name): ...
+                register_kernel("numpy", sum)
+                """,
+                "cli.py": """
+                from repro.grid.backends import get_backend, resolve_kernel
+                def pick():
+                    resolve_kernel("numpy")
+                    get_backend("natve")
+                """,
+            },
+            select=["RPL014"],
+        )
+        assert codes(result.violations) == ["RPL014"]
+        assert "backend 'natve'" in result.violations[0].message
+
+    def test_registered_but_unused_is_not_flagged(self, tmp_path):
+        """Registries exist to serve names the core never mentions."""
+        result = lint_tree(
+            tmp_path,
+            {
+                "resilience/faults.py": """
+                FAULT_POINTS = {"shard_read": "reads", "spare_point": "x"}
+                def maybe_inject(point, **detail): ...
+                """,
+                "grid/reader.py": """
+                from repro.resilience.faults import maybe_inject
+                def read(path):
+                    maybe_inject("shard_read")
+                """,
+            },
+            select=["RPL014"],
+        )
+        assert result.violations == []
+
+
+class TestProjectRulePragmas:
+    def test_line_pragma_suppresses_project_rule(self, tmp_path):
+        result = lint_tree(
+            tmp_path,
+            {
+                "resilience/faults.py": """
+                FAULT_POINTS = {"shard_read": "reads"}
+                def maybe_inject(point, **detail): ...
+                """,
+                "grid/reader.py": """
+                from repro.resilience.faults import maybe_inject
+                def read(path):
+                    maybe_inject("nope")  # repro-lint: disable=RPL014
+                """,
+            },
+            select=["RPL014"],
+        )
+        assert result.violations == []
+        assert result.suppressed == 1

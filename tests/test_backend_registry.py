@@ -76,19 +76,19 @@ class TestRegistryMenu:
 
     def test_get_backend_unknown_lists_menu(self):
         with pytest.raises(ValidationError) as exc:
-            get_backend("bogus")
+            get_backend("bogus")  # repro-lint: disable=RPL014
         message = str(exc.value)
         for name in BUILTIN_BACKENDS:
             assert name in message
 
     def test_counting_backend_kind_validated_via_registry(self):
         with pytest.raises(ValidationError) as exc:
-            CountingBackend(kind="bogus")
+            CountingBackend(kind="bogus")  # repro-lint: disable=RPL014
         assert "native" in str(exc.value)
 
     def test_resolve_kernel_unknown(self):
         with pytest.raises(ValidationError, match="numpy"):
-            resolve_kernel("bogus")
+            resolve_kernel("bogus")  # repro-lint: disable=RPL014
 
     def test_backend_spec_rejects_empty_name(self):
         with pytest.raises(ValidationError):
@@ -185,7 +185,7 @@ class TestConformanceGate:
     def test_backend_requires_registered_kernel(self, scratch_registry):
         with pytest.raises(ValidationError, match="unregistered"):
             register_backend(
-                BackendSpec(
+                BackendSpec(  # repro-lint: disable=RPL014
                     name="tests-orphan", kernel="no-such-kernel",
                     uses_pool=False, description="orphan",
                 )

@@ -54,7 +54,7 @@ class TestEmitEvent:
 
     def test_unknown_type_rejected(self):
         with pytest.raises(ValidationError, match="unknown event type"):
-            emit_event(InMemoryEventSink(), "made_up_event")
+            emit_event(InMemoryEventSink(), "made_up_event")  # repro-lint: disable=RPL010
 
     def test_register_event_type_widens_vocabulary(self):
         name = "plugin_tick_test"

@@ -104,3 +104,30 @@ class TestLintCaughtFixesStayFixed:
 
 def test_validation_all_exports_check_dimension_subset():
     assert "check_dimension_subset" in validation_all
+
+
+class TestRpl011ExceptionContract:
+    """RPL011 (PR 10) flagged ``RetryPolicy.__post_init__`` raising bare
+    ``ValueError`` on a path reachable from the public
+    ``CountingBackend.retry_policy`` API — breaking the library's
+    promise that deliberate errors derive from ``ReproError``.  The
+    raises are now ``ValidationError`` (which still IS-A ``ValueError``,
+    so pre-existing callers keep working)."""
+
+    def test_retry_policy_validation_is_typed(self):
+        import pytest
+
+        from repro.exceptions import ReproError, ValidationError
+        from repro.resilience.retry import RetryPolicy
+
+        with pytest.raises(ValidationError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValidationError):
+            RetryPolicy(backoff=-1.0)
+        # The typed error must remain catchable both ways.
+        assert issubclass(ValidationError, ReproError)
+        assert issubclass(ValidationError, ValueError)
+
+    def test_rpl011_stays_clean_on_src(self):
+        result = lint_paths([_REPO_ROOT / "src"], select=["RPL011"])
+        assert result.violations == []

@@ -115,7 +115,7 @@ def serial_counts(cells, cubes):
 class TestFaultInjection:
     def test_unknown_point_rejected(self):
         with pytest.raises(ValueError, match="unknown fault point"):
-            FaultSpec("not_a_point")
+            FaultSpec("not_a_point")  # repro-lint: disable=RPL014
 
     def test_trigger_and_times_are_deterministic(self):
         with fault_injection(
